@@ -1,0 +1,50 @@
+//! Fig. 2/3 bench: wall time of one data-path mini-batch (distributed
+//! sampling through the store cluster) for the DGL-like and BGL
+//! configurations — the operation whose per-batch time Fig. 2 breaks down.
+
+use bgl::experiments::{DatasetId, ExperimentCtx};
+use bgl::systems::SystemKind;
+use bgl::measure::{make_partitioner, make_ordering};
+use bgl_sim::network::NetworkModel;
+use bgl_store::StoreCluster;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_breakdown(c: &mut Criterion) {
+    let ctx = ExperimentCtx::small();
+    let ds = ctx.dataset(DatasetId::Products);
+    let mut group = c.benchmark_group("fig02_batch_data_path");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for sys in [SystemKind::Dgl, SystemKind::Bgl] {
+        let cfg = sys.config();
+        let partitioner = make_partitioner(cfg.partitioner, 1);
+        let partition = partitioner.partition(&ds.graph, &ds.split.train, 2);
+        let ordering = make_ordering(cfg.ordering, cfg.po_sequences, ctx.batch_size, 1);
+        let batches = ordering.epoch_batches(&ds.graph, &ds.split.train, ctx.batch_size, 0);
+        group.bench_function(sys.name(), |b| {
+            b.iter_batched(
+                || {
+                    StoreCluster::new(
+                        ds.graph.clone(),
+                        ds.features.clone(),
+                        &partition,
+                        NetworkModel::paper_fabric(),
+                        7,
+                    )
+                },
+                |mut cluster| {
+                    let seeds = &batches[0];
+                    let home = cluster.owner_of(seeds[0]);
+                    cluster
+                        .sample_batch(&ctx.fanouts, seeds, home)
+                        .expect("sampling succeeds")
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_breakdown);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Fig. 5a bench: wall time of one cache batch (lookup + update) per
+//! policy. The paper's claim being reproduced: FIFO's update path is far
+//! cheaper than LRU's and LFU's, and static has the cheapest (no updates).
+
+use bgl_cache::policy::{make_policy, PolicyKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use std::time::Duration;
+
+fn batch_stream(n_nodes: u32, batch: usize, batches: usize, seed: u64) -> Vec<Vec<u32>> {
+    // Zipf-ish key stream over a power-law popularity, like feature IDs.
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..batches)
+        .map(|_| {
+            (0..batch)
+                .map(|_| {
+                    let z = rng.random::<f64>();
+                    (((n_nodes as f64).powf(z) - 1.0) as u32).min(n_nodes - 1)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let n_nodes = 100_000u32;
+    let capacity = 10_000usize;
+    let stream = batch_stream(n_nodes, 4_096, 8, 42);
+    let hot: Vec<u32> = (0..capacity as u32).collect();
+    let mut group = c.benchmark_group("fig05_cache_policy_ops");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for kind in [
+        PolicyKind::StaticDegree,
+        PolicyKind::Fifo,
+        PolicyKind::Lru,
+        PolicyKind::Lfu,
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter_batched(
+                || make_policy(kind, capacity, &hot),
+                |mut policy| {
+                    let mut hits = 0u64;
+                    for batch in &stream {
+                        for &k in batch {
+                            if policy.lookup(k).is_some() {
+                                hits += 1;
+                            } else {
+                                policy.insert(k);
+                            }
+                        }
+                    }
+                    hits
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Fig. 14 bench: wall time of one feature-retrieval batch through the
+//! two-level cache engine vs the no-cache path (every row from the store),
+//! and the queue-based vs mutex-based shard consistency designs (§3.2.3's
+//! 8x claim, qualitatively).
+
+use bgl_cache::concurrent::{MutexShardedCache, QueueShardedCache};
+use bgl_cache::{FeatureCacheEngine, PolicyKind};
+use bgl_graph::{FeatureStore, NodeId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use std::time::Duration;
+
+fn bench_feature_fetch(c: &mut Criterion) {
+    let dim = 64usize;
+    let n_nodes = 50_000usize;
+    let features = FeatureStore::zeros(n_nodes, dim);
+    let mut rng = StdRng::seed_from_u64(5);
+    let batch: Vec<NodeId> = {
+        let mut set = std::collections::HashSet::new();
+        while set.len() < 4096 {
+            let z = rng.random::<f64>();
+            set.insert((((n_nodes as f64).powf(z) - 1.0) as u32).min(n_nodes as u32 - 1));
+        }
+        set.into_iter().collect()
+    };
+
+    let mut group = c.benchmark_group("fig14_feature_retrieval");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    group.bench_function("no-cache(store-gather)", |b| {
+        b.iter(|| features.gather(&batch))
+    });
+
+    group.bench_function("two-level-fifo-cache", |b| {
+        let mut engine =
+            FeatureCacheEngine::new(4, dim, n_nodes / 40, n_nodes / 10, PolicyKind::Fifo, &[]);
+        let mut src = |ids: &[NodeId]| features.gather(ids);
+        // Warm once so the measured iterations see steady-state hit ratios.
+        engine.fetch_batch(0, &batch, &mut src);
+        b.iter(|| engine.fetch_batch(0, &batch, &mut src).features.len())
+    });
+
+    group.bench_function("queue-sharded(concurrent)", |b| {
+        let cache = QueueShardedCache::new(4, dim, n_nodes / 10, PolicyKind::Fifo);
+        let mut src = |ids: &[NodeId]| features.gather(ids);
+        cache.fetch_batch(&batch, &mut src);
+        b.iter(|| cache.fetch_batch(&batch, &mut src).len())
+    });
+
+    group.bench_function("mutex-sharded(naive)", |b| {
+        let cache = MutexShardedCache::new(4, dim, n_nodes / 10, PolicyKind::Fifo);
+        let mut src = |ids: &[NodeId]| features.gather(ids);
+        cache.fetch_batch(&batch, &mut src);
+        b.iter(|| cache.fetch_batch(&batch, &mut src).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_feature_fetch);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 15 / §3.4 bench: the brute-force resource-allocation search. The
+//! paper reports "less than 20 ms on searching the best resource
+//! allocation"; this bench verifies our solver is in the same class.
+
+use bgl_exec::allocator::{solve, Capacities, ContentionModel};
+use bgl_exec::StageProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_allocator(c: &mut Criterion) {
+    let profile = StageProfile::paper_example();
+    let caps = Capacities::paper_testbed();
+    let mut group = c.benchmark_group("fig15_resource_allocation");
+    group.sample_size(50).measurement_time(Duration::from_secs(3));
+    group.bench_function("solve_isolated", |b| {
+        b.iter(|| solve(&profile, &caps).bottleneck)
+    });
+    group.bench_function("free_contention_model", |b| {
+        b.iter(|| ContentionModel::default().bottleneck(&profile, &caps))
+    });
+    // A larger machine (4x the paper's) to show the scaling headroom.
+    let big = Capacities {
+        c_gs: 384,
+        c_wm: 384,
+        b_pcie: 48,
+        pcie_unit: 12.8e9 / 48.0,
+    };
+    group.bench_function("solve_isolated_384core", |b| {
+        b.iter(|| solve(&profile, &big).bottleneck)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocator);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table 5 / Fig. 16 bench: wall time of one real training step (forward +
+//! backward + Adam) for each GNN model on a sampled batch — the compute
+//! whose accuracy trajectory Fig. 16 plots.
+
+use bgl_gnn::{make_model, ModelKind};
+use bgl_graph::DatasetSpec;
+use bgl_sampler::NeighborSampler;
+use bgl_tensor::{Adam, Matrix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use std::time::Duration;
+
+fn bench_train_step(c: &mut Criterion) {
+    let ds = DatasetSpec::products_like().with_nodes(1 << 11).build();
+    let sampler = NeighborSampler::new(vec![5, 5]);
+    let mut rng = StdRng::seed_from_u64(1);
+    let seeds: Vec<u32> = ds.split.train.iter().copied().take(32).collect();
+    let batch = sampler.sample(&ds.graph, &seeds, &mut rng);
+    let input = Matrix::from_vec(
+        batch.num_input_nodes(),
+        ds.features.dim(),
+        ds.features.gather(batch.input_nodes()),
+    );
+    let labels: Vec<u16> = seeds.iter().map(|&v| ds.labels[v as usize]).collect();
+
+    let mut group = c.benchmark_group("fig16_train_step");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for kind in [ModelKind::Gcn, ModelKind::GraphSage, ModelKind::Gat] {
+        group.bench_function(kind.name(), |b| {
+            let mut model = make_model(kind, ds.features.dim(), 32, ds.num_classes, 2, 7);
+            let mut opt = Adam::new(1e-3);
+            b.iter(|| model.train_step(&batch, &input, &labels, &mut opt).0)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

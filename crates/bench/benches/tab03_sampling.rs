@@ -1,0 +1,52 @@
+//! Table 3 bench: wall time of distributed multi-hop sampling under the
+//! three partitioners the table compares (Random / GMiner-like / BGL). The
+//! partitioner determines how many neighbor requests cross servers, which
+//! is exactly what the per-epoch sampling time in Table 3 measures.
+
+use bgl::experiments::{DatasetId, ExperimentCtx};
+use bgl_partition::{BglPartitioner, GMinerPartitioner, Partitioner, RandomPartitioner};
+use bgl_sim::network::NetworkModel;
+use bgl_store::StoreCluster;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_sampling(c: &mut Criterion) {
+    let ctx = ExperimentCtx::small();
+    let ds = ctx.dataset(DatasetId::Products);
+    let partitioners: Vec<(&str, Box<dyn Partitioner>)> = vec![
+        ("random", Box::new(RandomPartitioner::new(1))),
+        ("gminer", Box::new(GMinerPartitioner::default())),
+        ("bgl", Box::new(BglPartitioner::default())),
+    ];
+    let mut group = c.benchmark_group("tab03_distributed_sampling");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, p) in partitioners {
+        let partition = p.partition(&ds.graph, &ds.split.train, 4);
+        let seeds: Vec<u32> = ds.split.train.iter().copied().take(64).collect();
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    StoreCluster::new(
+                        ds.graph.clone(),
+                        ds.features.clone(),
+                        &partition,
+                        NetworkModel::paper_fabric(),
+                        3,
+                    )
+                },
+                |mut cluster| {
+                    let home = cluster.owner_of(seeds[0]);
+                    let (_, timing) = cluster
+                        .sample_batch(&ctx.fanouts, &seeds, home)
+                        .expect("sampling succeeds");
+                    timing.elapsed
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 4 bench: one-time partitioning wall time, GMiner-like vs BGL
+//! (plus Random as the floor) — the table's metric is exactly this
+//! wall-clock cost.
+
+use bgl::experiments::{DatasetId, ExperimentCtx};
+use bgl_partition::{BglPartitioner, GMinerPartitioner, Partitioner, RandomPartitioner};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_partitioning(c: &mut Criterion) {
+    let ctx = ExperimentCtx::small();
+    let ds = ctx.dataset(DatasetId::Products);
+    let mut group = c.benchmark_group("tab04_partition_cost");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    let partitioners: Vec<(&str, Box<dyn Partitioner>)> = vec![
+        ("random", Box::new(RandomPartitioner::new(1))),
+        ("gminer", Box::new(GMinerPartitioner::default())),
+        ("bgl", Box::new(BglPartitioner::default())),
+    ];
+    for (name, p) in partitioners {
+        group.bench_function(name, |b| {
+            b.iter(|| p.partition(&ds.graph, &ds.split.train, 4).sizes())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Shared helpers for the benchmark harness: rendering each experiment's
+//! result rows as the text tables the `figures` binary prints and the
+//! criterion benches reference.
+
+use bgl::experiments::{
+    AccuracyRow, BreakdownRow, CacheRow, FeatureTimeRow, PartitionRow, ThroughputRow,
+};
+use bgl::report::TextTable;
+
+/// Render Figs. 11/12/13 rows (one table per model).
+pub fn render_throughput(rows: &[ThroughputRow]) -> String {
+    let mut t = TextTable::new(&[
+        "dataset", "model", "system", "gpus", "samples/s", "gpu-util", "hit-ratio",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.dataset.to_string(),
+            r.model.to_string(),
+            r.system.to_string(),
+            r.num_gpus.to_string(),
+            if r.oom { "OOM".into() } else { format!("{:.0}", r.samples_per_sec) },
+            if r.oom { "-".into() } else { format!("{:.0}%", r.gpu_utilization * 100.0) },
+            if r.oom { "-".into() } else { format!("{:.2}", r.hit_ratio) },
+        ]);
+    }
+    t.render()
+}
+
+/// Render Fig. 2 / Fig. 3 rows.
+pub fn render_breakdown(rows: &[BreakdownRow]) -> String {
+    let mut t = TextTable::new(&[
+        "system",
+        "sampling-ms",
+        "feature-ms",
+        "compute-ms",
+        "preproc-frac",
+        "gpu-util",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.system.to_string(),
+            format!("{:.1}", r.sampling_ms),
+            format!("{:.1}", r.feature_ms),
+            format!("{:.1}", r.compute_ms),
+            format!("{:.0}%", r.preprocessing_fraction * 100.0),
+            format!("{:.0}%", r.gpu_utilization * 100.0),
+        ]);
+    }
+    t.render()
+}
+
+/// Render Fig. 5 rows.
+pub fn render_cache(rows: &[CacheRow]) -> String {
+    let mut t = TextTable::new(&[
+        "policy", "ordering", "cache-size", "hit-ratio", "overhead-ms/batch",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.policy.to_string(),
+            if r.proximity_ordering { "proximity".into() } else { "random".into() },
+            format!("{:.0}%", r.cache_frac * 100.0),
+            format!("{:.3}", r.hit_ratio),
+            format!("{:.2}", r.overhead_ms_per_batch),
+        ]);
+    }
+    t.render()
+}
+
+/// Render Table 3 / Table 4 rows.
+pub fn render_partition(rows: &[PartitionRow]) -> String {
+    let mut t = TextTable::new(&[
+        "dataset",
+        "partitioner",
+        "sampling-s/epoch",
+        "partition-s",
+        "train-imbalance",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.dataset.to_string(),
+            r.partitioner.to_string(),
+            format!("{:.3}", r.sampling_epoch_seconds),
+            format!("{:.2}", r.partition_seconds),
+            format!("{:.2}", r.train_imbalance),
+        ]);
+    }
+    t.render()
+}
+
+/// Render Fig. 14 rows.
+pub fn render_feature_time(rows: &[FeatureTimeRow]) -> String {
+    let mut t = TextTable::new(&["system", "gpus", "feature-ms/batch", "hit-ratio"]);
+    for r in rows {
+        t.row(&[
+            r.system.to_string(),
+            r.num_gpus.to_string(),
+            format!("{:.2}", r.feature_ms_per_batch),
+            format!("{:.2}", r.hit_ratio),
+        ]);
+    }
+    t.render()
+}
+
+/// Render Table 5 / Fig. 16 rows.
+pub fn render_accuracy(rows: &[AccuracyRow]) -> String {
+    let mut t = TextTable::new(&["dataset", "model", "ordering", "final-acc", "best-acc"]);
+    for r in rows {
+        t.row(&[
+            r.dataset.to_string(),
+            r.model.to_string(),
+            r.ordering.to_string(),
+            format!("{:.3}", r.final_test_acc),
+            format!("{:.3}", r.best_test_acc),
+        ]);
+    }
+    t.render()
+}
+
+/// Render a convergence curve as "epoch: acc" lines (Fig. 16).
+pub fn render_curves(rows: &[AccuracyRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&format!("{} / {} / {}:\n", r.dataset, r.model, r.ordering));
+        for (e, acc) in r.curve.iter().enumerate() {
+            out.push_str(&format!("  epoch {:>2}: {:.3}\n", e, acc));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgl::experiments::{DatasetId, ExperimentCtx};
+    use bgl::config::GnnModelKind;
+    use bgl::systems::SystemKind;
+
+    #[test]
+    fn renderers_produce_tables() {
+        let ctx = ExperimentCtx::small();
+        let row = ctx.throughput(
+            DatasetId::Products,
+            SystemKind::Bgl,
+            GnnModelKind::Gcn,
+            1,
+        );
+        let s = render_throughput(&[row]);
+        assert!(s.contains("samples/s"));
+        assert!(s.contains("bgl"));
+    }
+}

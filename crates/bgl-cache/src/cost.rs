@@ -1,0 +1,82 @@
+//! GPU-side cost model for cache operations.
+//!
+//! The overheads in Fig. 5a are GPU-resident costs (hash probes, slot
+//! writes and the extra bookkeeping kernels LRU/LFU need on-device). With
+//! no CUDA here, we charge per-operation costs calibrated to the numbers
+//! the paper reports: at ~400 K queried nodes per batch (batch 1000, fanout
+//! {15,10,5}), FIFO lands under 20 ms per batch while LRU/LFU land near
+//! 80 ms. Wall-clock measurements of the Rust policies are *also* taken by
+//! the benches — they show the same ordering (FIFO < LRU < LFU), just at
+//! CPU scale.
+
+use crate::policy::PolicyKind;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation costs in nanoseconds.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CacheCostModel {
+    /// Probing the cache map for one key.
+    pub lookup_ns: u64,
+    /// Writing one slot + map update on insert/evict.
+    pub insert_ns: u64,
+    /// Extra per-hit bookkeeping (LRU list splice / LFU bucket move).
+    /// Zero for FIFO and static — that is the entire point of §3.2.1.
+    pub touch_ns: u64,
+}
+
+impl CacheCostModel {
+    /// Calibrated model for one policy.
+    ///
+    /// With ~400 K lookups + ~100 K inserts per batch (a 75% hit ratio):
+    /// * FIFO: 400 K × 25 ns + 100 K × 60 ns ≈ 16 ms  (< 20 ms ✓)
+    /// * LRU:  400 K × 25 ns + 300 K × 170 ns + 100 K × 180 ns ≈ 79 ms
+    /// * LFU:  slightly worse than LRU (frequency buckets).
+    pub fn for_policy(kind: PolicyKind) -> Self {
+        match kind {
+            PolicyKind::Fifo => CacheCostModel { lookup_ns: 25, insert_ns: 60, touch_ns: 0 },
+            PolicyKind::Lru => CacheCostModel { lookup_ns: 25, insert_ns: 180, touch_ns: 170 },
+            PolicyKind::Lfu => CacheCostModel { lookup_ns: 25, insert_ns: 200, touch_ns: 190 },
+            PolicyKind::StaticDegree => {
+                CacheCostModel { lookup_ns: 25, insert_ns: 0, touch_ns: 0 }
+            }
+        }
+    }
+
+    /// Cost of a batch with `lookups` probes, `hits` of which hit (and are
+    /// touched), and `inserts` admissions.
+    pub fn batch_cost_ns(&self, lookups: u64, hits: u64, inserts: u64) -> u64 {
+        self.lookup_ns * lookups + self.touch_ns * hits + self.insert_ns * inserts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_paper_scale() {
+        // 400K lookups, 75% hit ratio, misses re-inserted.
+        let lookups = 400_000u64;
+        let hits = 300_000u64;
+        let inserts = 100_000u64;
+        let fifo = CacheCostModel::for_policy(PolicyKind::Fifo)
+            .batch_cost_ns(lookups, hits, inserts);
+        let lru = CacheCostModel::for_policy(PolicyKind::Lru)
+            .batch_cost_ns(lookups, hits, inserts);
+        let lfu = CacheCostModel::for_policy(PolicyKind::Lfu)
+            .batch_cost_ns(lookups, hits, inserts);
+        assert!(fifo < 20_000_000, "fifo {} ms", fifo / 1_000_000);
+        assert!(
+            (60_000_000..110_000_000).contains(&lru),
+            "lru {} ms should be ~80",
+            lru / 1_000_000
+        );
+        assert!(lfu > lru, "lfu should cost more than lru");
+    }
+
+    #[test]
+    fn static_has_no_update_cost() {
+        let m = CacheCostModel::for_policy(PolicyKind::StaticDegree);
+        assert_eq!(m.batch_cost_ns(1000, 800, 200), 25 * 1000);
+    }
+}

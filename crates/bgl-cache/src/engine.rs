@@ -1,0 +1,355 @@
+//! The two-level multi-GPU feature cache (paper §3.2.3, Fig. 8).
+//!
+//! One shard per GPU; shard `i` owns exactly the node IDs with
+//! `id % num_gpus == i`, so no feature is ever duplicated across GPU memory
+//! (the paper's "disjoint node IDs by mod" rule). A query from worker `w`
+//! for a key owned by shard `s ≠ w` that hits is a *peer* hit — a P2P copy
+//! over NVLink, still far cheaper than the network. Above the GPU shards
+//! sits a CPU cache running the same policy; below it, the graph store.
+
+use crate::cost::CacheCostModel;
+use crate::policy::{make_policy, CachePolicy, PolicyKind};
+use crate::stats::CacheStats;
+use bgl_graph::{FeatureStore, NodeId};
+
+/// One cache shard: a policy plus the slot buffer it indexes.
+pub(crate) struct Shard {
+    pub policy: Box<dyn CachePolicy>,
+    pub buffer: Vec<f32>,
+    dim: usize,
+}
+
+impl Shard {
+    pub(crate) fn new(kind: PolicyKind, capacity: usize, dim: usize, hot: &[NodeId]) -> Self {
+        let policy = make_policy(kind, capacity, hot);
+        let buffer = vec![0.0; policy.capacity() * dim];
+        Shard { policy, buffer, dim }
+    }
+
+    pub(crate) fn slot(&self, slot: u32) -> &[f32] {
+        let s = slot as usize;
+        &self.buffer[s * self.dim..(s + 1) * self.dim]
+    }
+
+    pub(crate) fn write_slot(&mut self, slot: u32, row: &[f32]) {
+        let s = slot as usize;
+        self.buffer[s * self.dim..(s + 1) * self.dim].copy_from_slice(row);
+    }
+
+    /// Admit `key` with feature `row`; returns true if cached.
+    pub(crate) fn admit(&mut self, key: NodeId, row: &[f32]) -> bool {
+        match self.policy.insert(key) {
+            Some((slot, _evicted)) => {
+                // Old features are implicitly evicted by overwriting the
+                // slot (§4: "old node features are implicitly evicted by
+                // inserting new node features").
+                self.write_slot(slot, row);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Result of one batch fetch.
+#[derive(Clone, Debug)]
+pub struct FetchResult {
+    /// Row-major `nodes.len() × dim` gathered features.
+    pub features: Vec<f32>,
+    /// This batch's counters (also folded into the engine totals).
+    pub stats: CacheStats,
+}
+
+/// The two-level (multi-GPU + CPU) feature cache engine.
+pub struct FeatureCacheEngine {
+    num_gpus: usize,
+    dim: usize,
+    gpu_shards: Vec<Shard>,
+    cpu_shard: Option<Shard>,
+    gpu_cost: CacheCostModel,
+    totals: CacheStats,
+    kind: PolicyKind,
+}
+
+impl FeatureCacheEngine {
+    /// Build an engine.
+    ///
+    /// * `gpu_capacity` — slots *per GPU shard*;
+    /// * `cpu_capacity` — slots in the CPU level (0 disables it);
+    /// * `hot_nodes` — degree-ranked node list, used by the static policy
+    ///   to prefill (each shard takes the hot nodes it owns by mod).
+    pub fn new(
+        num_gpus: usize,
+        dim: usize,
+        gpu_capacity: usize,
+        cpu_capacity: usize,
+        kind: PolicyKind,
+        hot_nodes: &[NodeId],
+    ) -> Self {
+        assert!(num_gpus >= 1, "need at least one GPU shard");
+        assert!(dim >= 1, "feature dim must be positive");
+        let gpu_shards = (0..num_gpus)
+            .map(|g| {
+                let hot: Vec<NodeId> = hot_nodes
+                    .iter()
+                    .copied()
+                    .filter(|&v| (v as usize) % num_gpus == g)
+                    .collect();
+                Shard::new(kind, gpu_capacity, dim, &hot)
+            })
+            .collect();
+        let cpu_shard = if cpu_capacity > 0 {
+            Some(Shard::new(kind, cpu_capacity, dim, hot_nodes))
+        } else {
+            None
+        };
+        FeatureCacheEngine {
+            num_gpus,
+            dim,
+            gpu_shards,
+            cpu_shard,
+            gpu_cost: CacheCostModel::for_policy(kind),
+            totals: CacheStats::default(),
+            kind,
+        }
+    }
+
+    /// Load the features of every statically resident key (no-op for the
+    /// dynamic policies, which start cold).
+    pub fn warm(&mut self, features: &FeatureStore) {
+        for shard in self.gpu_shards.iter_mut().chain(self.cpu_shard.iter_mut()) {
+            let resident: Vec<NodeId> = {
+                // Only the static policy has pre-resident keys.
+                if shard.policy.kind() == PolicyKind::StaticDegree {
+                    (0..features.num_nodes() as NodeId)
+                        .filter(|&v| shard.policy.contains(v))
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            };
+            for key in resident {
+                if let Some(slot) = shard.policy.lookup(key) {
+                    shard.write_slot(slot, features.row(key));
+                }
+            }
+        }
+    }
+
+    /// Policy kind this engine runs.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.totals
+    }
+
+    /// Fetch the features for `nodes` on behalf of GPU `worker`. Missing
+    /// rows are pulled through `source`, which receives the missing node
+    /// IDs and must return their rows in order (`missing.len() × dim`).
+    pub fn fetch_batch(
+        &mut self,
+        worker: usize,
+        nodes: &[NodeId],
+        source: &mut dyn FnMut(&[NodeId]) -> Vec<f32>,
+    ) -> FetchResult {
+        assert!(worker < self.num_gpus, "worker {} out of range", worker);
+        let dim = self.dim;
+        let mut out = vec![0.0f32; nodes.len() * dim];
+        let mut stats = CacheStats { batches: 1, ..Default::default() };
+        let mut missing: Vec<(usize, NodeId)> = Vec::new();
+        let mut gpu_lookups = 0u64;
+        let mut gpu_hits = 0u64;
+        let mut gpu_inserts = 0u64;
+
+        for (i, &v) in nodes.iter().enumerate() {
+            let shard_id = (v as usize) % self.num_gpus;
+            gpu_lookups += 1;
+            if let Some(slot) = self.gpu_shards[shard_id].policy.lookup(v) {
+                gpu_hits += 1;
+                if shard_id == worker {
+                    stats.gpu_local_hits += 1;
+                } else {
+                    stats.gpu_peer_hits += 1;
+                }
+                let row = self.gpu_shards[shard_id].slot(slot);
+                out[i * dim..(i + 1) * dim].copy_from_slice(row);
+                continue;
+            }
+            // GPU miss: try the CPU level.
+            if let Some(cpu) = self.cpu_shard.as_mut() {
+                if let Some(slot) = cpu.policy.lookup(v) {
+                    stats.cpu_hits += 1;
+                    let row = cpu.slot(slot).to_vec();
+                    out[i * dim..(i + 1) * dim].copy_from_slice(&row);
+                    // Promote into the owning GPU shard.
+                    if self.gpu_shards[shard_id].admit(v, &row) {
+                        gpu_inserts += 1;
+                    }
+                    continue;
+                }
+            }
+            missing.push((i, v));
+        }
+
+        if !missing.is_empty() {
+            let miss_ids: Vec<NodeId> = missing.iter().map(|&(_, v)| v).collect();
+            let rows = source(&miss_ids);
+            assert_eq!(
+                rows.len(),
+                miss_ids.len() * dim,
+                "source returned wrong row count"
+            );
+            stats.misses += miss_ids.len() as u64;
+            stats.miss_bytes += (rows.len() * std::mem::size_of::<f32>()) as u64;
+            for (j, &(i, v)) in missing.iter().enumerate() {
+                let row = &rows[j * dim..(j + 1) * dim];
+                out[i * dim..(i + 1) * dim].copy_from_slice(row);
+                let shard_id = (v as usize) % self.num_gpus;
+                if self.gpu_shards[shard_id].admit(v, row) {
+                    gpu_inserts += 1;
+                }
+                if let Some(cpu) = self.cpu_shard.as_mut() {
+                    cpu.admit(v, row);
+                }
+            }
+        }
+
+        stats.overhead_ns = self
+            .gpu_cost
+            .batch_cost_ns(gpu_lookups, gpu_hits, gpu_inserts);
+        self.totals.merge(&stats);
+        FetchResult { features: out, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(n: usize, dim: usize) -> FeatureStore {
+        let mut f = FeatureStore::zeros(n, dim);
+        for v in 0..n as NodeId {
+            for (j, x) in f.row_mut(v).iter_mut().enumerate() {
+                *x = v as f32 * 100.0 + j as f32;
+            }
+        }
+        f
+    }
+
+    fn store_source(f: &FeatureStore) -> impl FnMut(&[NodeId]) -> Vec<f32> + '_ {
+        move |ids: &[NodeId]| f.gather(ids)
+    }
+
+    #[test]
+    fn returns_correct_features_cold() {
+        let f = features(100, 4);
+        let mut eng = FeatureCacheEngine::new(2, 4, 10, 0, PolicyKind::Fifo, &[]);
+        let mut src = store_source(&f);
+        let res = eng.fetch_batch(0, &[3, 7, 42], &mut src);
+        assert_eq!(&res.features[0..4], f.row(3));
+        assert_eq!(&res.features[4..8], f.row(7));
+        assert_eq!(&res.features[8..12], f.row(42));
+        assert_eq!(res.stats.misses, 3);
+    }
+
+    #[test]
+    fn second_fetch_hits() {
+        let f = features(100, 4);
+        let mut eng = FeatureCacheEngine::new(2, 4, 10, 0, PolicyKind::Fifo, &[]);
+        let mut src = store_source(&f);
+        eng.fetch_batch(0, &[3, 7, 42], &mut src);
+        let res = eng.fetch_batch(0, &[3, 7, 42], &mut src);
+        assert_eq!(res.stats.misses, 0);
+        assert_eq!(res.stats.gpu_local_hits + res.stats.gpu_peer_hits, 3);
+        assert_eq!(&res.features[0..4], f.row(3));
+    }
+
+    #[test]
+    fn peer_hits_counted_for_other_shards() {
+        let f = features(100, 2);
+        let mut eng = FeatureCacheEngine::new(4, 2, 10, 0, PolicyKind::Fifo, &[]);
+        let mut src = store_source(&f);
+        // Node 5 belongs to shard 1; query from worker 0.
+        eng.fetch_batch(0, &[5], &mut src);
+        let res = eng.fetch_batch(0, &[5], &mut src);
+        assert_eq!(res.stats.gpu_peer_hits, 1);
+        assert_eq!(res.stats.gpu_local_hits, 0);
+        // From worker 1 it is a local hit.
+        let res = eng.fetch_batch(1, &[5], &mut src);
+        assert_eq!(res.stats.gpu_local_hits, 1);
+    }
+
+    #[test]
+    fn cpu_level_catches_gpu_evictions() {
+        let f = features(100, 2);
+        // Tiny GPU (2 slots/shard), big CPU level.
+        let mut eng = FeatureCacheEngine::new(1, 2, 2, 50, PolicyKind::Fifo, &[]);
+        let mut src = store_source(&f);
+        eng.fetch_batch(0, &[1, 2, 3, 4], &mut src); // 1,2 evicted from GPU
+        let res = eng.fetch_batch(0, &[1, 2], &mut src);
+        assert_eq!(res.stats.misses, 0, "CPU level should hold evictees");
+        assert_eq!(res.stats.cpu_hits, 2);
+        assert_eq!(&res.features[0..2], f.row(1));
+    }
+
+    #[test]
+    fn static_policy_serves_prefilled_only() {
+        let f = features(100, 2);
+        let hot: Vec<NodeId> = vec![10, 11, 12, 13];
+        let mut eng =
+            FeatureCacheEngine::new(2, 2, 2, 0, PolicyKind::StaticDegree, &hot);
+        eng.warm(&f);
+        let mut src = store_source(&f);
+        let res = eng.fetch_batch(0, &[10, 11, 50], &mut src);
+        assert_eq!(res.stats.misses, 1);
+        assert_eq!(res.stats.gpu_local_hits + res.stats.gpu_peer_hits, 2);
+        assert_eq!(&res.features[0..2], f.row(10));
+        assert_eq!(&res.features[4..6], f.row(50));
+        // 50 was not admitted: same query misses again.
+        let res = eng.fetch_batch(0, &[50], &mut src);
+        assert_eq!(res.stats.misses, 1);
+    }
+
+    #[test]
+    fn no_duplication_across_shards() {
+        let f = features(100, 2);
+        let mut eng = FeatureCacheEngine::new(4, 2, 10, 0, PolicyKind::Fifo, &[]);
+        let mut src = store_source(&f);
+        eng.fetch_batch(0, &(0..40).collect::<Vec<_>>(), &mut src);
+        // Each shard may only contain keys it owns by mod.
+        for (g, shard) in eng.gpu_shards.iter().enumerate() {
+            for v in 0..100u32 {
+                if shard.policy.contains(v) {
+                    assert_eq!((v as usize) % 4, g, "shard {} holds foreign key {}", g, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_accumulates_per_model() {
+        let f = features(100, 2);
+        let mut eng = FeatureCacheEngine::new(1, 2, 10, 0, PolicyKind::Lru, &[]);
+        let mut src = store_source(&f);
+        let r1 = eng.fetch_batch(0, &[1, 2, 3], &mut src);
+        assert!(r1.stats.overhead_ns > 0);
+        assert_eq!(eng.stats().batches, 1);
+    }
+
+    #[test]
+    fn miss_bytes_accounted() {
+        let f = features(100, 8);
+        let mut eng = FeatureCacheEngine::new(1, 8, 4, 0, PolicyKind::Fifo, &[]);
+        let mut src = store_source(&f);
+        let res = eng.fetch_batch(0, &[1, 2], &mut src);
+        assert_eq!(res.stats.miss_bytes, 2 * 8 * 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for cache policies and the two-level engine.
+
+use bgl_cache::policy::{make_policy, PolicyKind};
+use bgl_cache::{FeatureCacheEngine, Fifo, LruO1};
+use bgl_cache::policy::CachePolicy;
+use bgl_graph::{FeatureStore, NodeId};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    /// FIFO must evict in exact insertion order, regardless of lookups.
+    #[test]
+    fn fifo_matches_reference_queue(
+        ops in proptest::collection::vec((0u32..50, any::<bool>()), 1..300),
+        cap in 1usize..16,
+    ) {
+        let mut cache = Fifo::new(cap);
+        let mut reference: VecDeque<NodeId> = VecDeque::new();
+        for (key, is_insert) in ops {
+            if is_insert {
+                let before = reference.contains(&key);
+                let evicted = cache.insert(key).unwrap().1;
+                if !before {
+                    if reference.len() == cap {
+                        let expect = reference.pop_front();
+                        prop_assert_eq!(evicted, expect);
+                    } else {
+                        prop_assert_eq!(evicted, None);
+                    }
+                    reference.push_back(key);
+                } else {
+                    prop_assert_eq!(evicted, None);
+                }
+            } else {
+                prop_assert_eq!(cache.lookup(key).is_some(), reference.contains(&key));
+            }
+            prop_assert_eq!(cache.len(), reference.len());
+        }
+    }
+
+    /// LRU must evict the least-recently-used key (model: Vec as recency
+    /// list, most recent last).
+    #[test]
+    fn lru_matches_reference_list(
+        ops in proptest::collection::vec((0u32..30, any::<bool>()), 1..300),
+        cap in 1usize..12,
+    ) {
+        let mut cache = LruO1::new(cap);
+        let mut reference: Vec<NodeId> = Vec::new();
+        for (key, is_insert) in ops {
+            if is_insert {
+                let evicted = cache.insert(key).unwrap().1;
+                if let Some(pos) = reference.iter().position(|&k| k == key) {
+                    reference.remove(pos);
+                    reference.push(key);
+                    prop_assert_eq!(evicted, None);
+                } else {
+                    if reference.len() == cap {
+                        let lru = reference.remove(0);
+                        prop_assert_eq!(evicted, Some(lru));
+                    } else {
+                        prop_assert_eq!(evicted, None);
+                    }
+                    reference.push(key);
+                }
+            } else {
+                let hit = cache.lookup(key).is_some();
+                let model_hit = reference.iter().any(|&k| k == key);
+                prop_assert_eq!(hit, model_hit);
+                if model_hit {
+                    let pos = reference.iter().position(|&k| k == key).unwrap();
+                    reference.remove(pos);
+                    reference.push(key);
+                }
+            }
+        }
+    }
+
+    /// All policies: capacity bound, membership consistency with lookup.
+    #[test]
+    fn policies_respect_capacity(
+        keys in proptest::collection::vec(0u32..200, 1..400),
+        cap in 1usize..32,
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [PolicyKind::Fifo, PolicyKind::Lru, PolicyKind::Lfu][kind_idx];
+        let mut cache = make_policy(kind, cap, &[]);
+        for &k in &keys {
+            cache.insert(k);
+            prop_assert!(cache.len() <= cap);
+            prop_assert!(cache.contains(k), "{:?}: just-inserted key missing", kind);
+        }
+    }
+
+    /// The engine must always return exactly the store's features, whatever
+    /// the policy, shard count, and capacities.
+    #[test]
+    fn engine_is_transparent(
+        queries in proptest::collection::vec(
+            proptest::collection::vec(0u32..64, 1..20), 1..12),
+        gpus in 1usize..5,
+        gpu_cap in 1usize..16,
+        cpu_cap in 0usize..32,
+        kind_idx in 0usize..4,
+    ) {
+        let kind = [
+            PolicyKind::Fifo,
+            PolicyKind::Lru,
+            PolicyKind::Lfu,
+            PolicyKind::StaticDegree,
+        ][kind_idx];
+        let dim = 3usize;
+        let mut f = FeatureStore::zeros(64, dim);
+        for v in 0..64u32 {
+            for (j, x) in f.row_mut(v).iter_mut().enumerate() {
+                *x = (v as usize * dim + j) as f32;
+            }
+        }
+        let hot: Vec<NodeId> = (0..32).collect();
+        let mut eng = FeatureCacheEngine::new(gpus, dim, gpu_cap, cpu_cap, kind, &hot);
+        eng.warm(&f);
+        for (qi, q) in queries.iter().enumerate() {
+            // Deduplicate query (engine contract: distinct input nodes).
+            let mut q = q.clone();
+            q.sort_unstable();
+            q.dedup();
+            let worker = qi % gpus;
+            let mut src = |ids: &[NodeId]| f.gather(ids);
+            let res = eng.fetch_batch(worker, &q, &mut src);
+            for (i, &v) in q.iter().enumerate() {
+                prop_assert_eq!(
+                    &res.features[i * dim..(i + 1) * dim],
+                    f.row(v),
+                    "wrong features for node {} under {:?}",
+                    v,
+                    kind
+                );
+            }
+        }
+        // Totals are consistent.
+        let s = eng.stats();
+        prop_assert_eq!(
+            s.total(),
+            s.gpu_local_hits + s.gpu_peer_hits + s.cpu_hits + s.misses
+        );
+    }
+}

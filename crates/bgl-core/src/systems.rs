@@ -1,0 +1,204 @@
+//! The evaluated systems as substrate ablations.
+//!
+//! Each baseline's preset encodes exactly the data-path properties the
+//! paper attributes its performance to (§5.1-§5.2):
+//!
+//! | System    | Partition      | Cache            | Ordering | Isolation | Machine |
+//! |-----------|----------------|------------------|----------|-----------|---------|
+//! | Euler     | Random         | none             | shuffle  | no        | distrib |
+//! | DGL       | METIS/Random   | none             | shuffle  | no        | distrib |
+//! | PyG       | colocated      | none             | shuffle  | no        | single  |
+//! | PaGraph   | per-GPU static | static(degree)   | shuffle  | no        | single  |
+//! | BGL-noiso | BGL            | FIFO dyn, 2-lvl  | PO       | no        | distrib |
+//! | BGL       | BGL            | FIFO dyn, 2-lvl  | PO       | yes       | distrib |
+
+use crate::config::{
+    CacheConfig, CpuCostModel, OrderingKind, PartitionerKind, SystemConfig,
+};
+use bgl_cache::PolicyKind;
+use serde::{Deserialize, Serialize};
+
+/// The systems compared in the evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemKind {
+    Euler,
+    Dgl,
+    Pyg,
+    PaGraph,
+    BglNoIsolation,
+    Bgl,
+}
+
+impl SystemKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Euler => "euler",
+            SystemKind::Dgl => "dgl",
+            SystemKind::Pyg => "pyg",
+            SystemKind::PaGraph => "pagraph",
+            SystemKind::BglNoIsolation => "bgl-noiso",
+            SystemKind::Bgl => "bgl",
+        }
+    }
+
+    /// All systems, baseline-first.
+    pub fn all() -> [SystemKind; 6] {
+        [
+            SystemKind::Euler,
+            SystemKind::Dgl,
+            SystemKind::Pyg,
+            SystemKind::PaGraph,
+            SystemKind::BglNoIsolation,
+            SystemKind::Bgl,
+        ]
+    }
+
+    /// The preset configuration for this system.
+    pub fn config(self) -> SystemConfig {
+        match self {
+            SystemKind::Euler => SystemConfig {
+                partitioner: PartitionerKind::Random,
+                ordering: OrderingKind::RandomShuffle,
+                cache: None,
+                isolation: false,
+                single_machine: false,
+                // TensorFlow op dispatch + gRPC serialization on every hop;
+                // unoptimized irregular GPU kernels (4x, and 10x on GAT).
+                cost: CpuCostModel {
+                    sample_ns_per_node: 12_000.0,
+                    build_ns_per_edge: 40_000.0,
+                    convert_ns_per_edge: 70_000.0,
+                    gpu_factor: 4.0,
+                    gat_gpu_factor: 10.0,
+                    net_efficiency: 0.05,
+                },
+                po_sequences: 1,
+            },
+            SystemKind::Dgl => SystemConfig {
+                partitioner: PartitionerKind::MetisLike,
+                ordering: OrderingKind::RandomShuffle,
+                cache: None,
+                isolation: false,
+                single_machine: false,
+                // C++ sampling core but Python dataloader + pickle IPC.
+                cost: CpuCostModel {
+                    sample_ns_per_node: 4_000.0,
+                    build_ns_per_edge: 20_000.0,
+                    convert_ns_per_edge: 26_000.0,
+                    gpu_factor: 1.0,
+                    gat_gpu_factor: 1.0,
+                    net_efficiency: 0.15,
+                },
+                po_sequences: 1,
+            },
+            SystemKind::Pyg => SystemConfig {
+                partitioner: PartitionerKind::Random,
+                ordering: OrderingKind::RandomShuffle,
+                cache: None,
+                isolation: false,
+                single_machine: true,
+                // Colocated store (no network) but a torch-scatter heavy
+                // CPU path.
+                cost: CpuCostModel {
+                    sample_ns_per_node: 3_500.0,
+                    build_ns_per_edge: 4_000.0,
+                    convert_ns_per_edge: 22_000.0,
+                    gpu_factor: 1.0,
+                    gat_gpu_factor: 1.0,
+                    net_efficiency: 0.30,
+                },
+                po_sequences: 1,
+            },
+            SystemKind::PaGraph => SystemConfig {
+                partitioner: PartitionerKind::Bgl,
+                ordering: OrderingKind::RandomShuffle,
+                cache: Some(CacheConfig {
+                    policy: PolicyKind::StaticDegree,
+                    gpu_frac: 0.10,
+                    cpu_frac: 0.0,
+                    // PaGraph replicates the hot set per GPU — aggregate
+                    // capacity does not grow with the GPU count.
+                    sharded_across_gpus: false,
+                }),
+                isolation: false,
+                single_machine: true,
+                // DGL-based with a leaner feeding path.
+                cost: CpuCostModel {
+                    sample_ns_per_node: 2_000.0,
+                    build_ns_per_edge: 2_800.0,
+                    convert_ns_per_edge: 3_200.0,
+                    gpu_factor: 1.0,
+                    gat_gpu_factor: 1.0,
+                    net_efficiency: 0.85,
+                },
+                po_sequences: 1,
+            },
+            SystemKind::BglNoIsolation => {
+                let mut cfg = SystemKind::Bgl.config();
+                cfg.isolation = false;
+                cfg
+            }
+            SystemKind::Bgl => SystemConfig {
+                partitioner: PartitionerKind::Bgl,
+                ordering: OrderingKind::ProximityAware,
+                cache: Some(CacheConfig {
+                    policy: PolicyKind::Fifo,
+                    gpu_frac: 0.10,
+                    cpu_frac: 0.20,
+                    sharded_across_gpus: true,
+                }),
+                isolation: true,
+                single_machine: false,
+                // Hand-written C++ data path, shared-memory IPC, dedicated
+                // CUDA streams (§4).
+                cost: CpuCostModel {
+                    sample_ns_per_node: 1_500.0,
+                    build_ns_per_edge: 2_200.0,
+                    convert_ns_per_edge: 1_800.0,
+                    gpu_factor: 1.0,
+                    gat_gpu_factor: 1.0,
+                    net_efficiency: 1.0,
+                },
+                po_sequences: 5,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_shape() {
+        assert!(SystemKind::Bgl.config().cache.is_some());
+        assert!(SystemKind::Bgl.config().isolation);
+        assert!(!SystemKind::BglNoIsolation.config().isolation);
+        assert!(SystemKind::Dgl.config().cache.is_none());
+        assert!(SystemKind::Pyg.config().single_machine);
+        assert!(SystemKind::PaGraph.config().single_machine);
+        assert_eq!(
+            SystemKind::PaGraph.config().cache.unwrap().policy,
+            PolicyKind::StaticDegree
+        );
+    }
+
+    #[test]
+    fn bgl_has_the_cheapest_cpu_path() {
+        let bgl = SystemKind::Bgl.config().cost;
+        for other in [SystemKind::Euler, SystemKind::Dgl, SystemKind::Pyg] {
+            let c = other.config().cost;
+            assert!(c.sample_ns_per_node > bgl.sample_ns_per_node);
+            assert!(c.build_ns_per_edge > bgl.build_ns_per_edge);
+        }
+    }
+
+    #[test]
+    fn oom_rule() {
+        let pyg = SystemKind::Pyg.config();
+        assert!(pyg.fits(100, 1000));
+        assert!(!pyg.fits(2000, 1000));
+        let bgl = SystemKind::Bgl.config();
+        assert!(bgl.fits(usize::MAX / 2, 1000), "distributed systems never OOM here");
+    }
+}

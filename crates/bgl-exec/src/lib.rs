@@ -1,0 +1,31 @@
+//! # bgl-exec — pipeline execution model and resource isolation (§3.4)
+//!
+//! The paper divides GNN training into 8 asynchronous pipeline stages
+//! (Fig. 10) and observes that letting them freely compete for CPU cores
+//! and PCIe bandwidth wrecks end-to-end throughput. BGL instead profiles
+//! each stage and solves
+//!
+//! ```text
+//! min max{ T1/c1, T2/c2, T_net, T3/c3, D_I/b_I, f(c4), D_II/b_II, T_gpu }
+//!   s.t. c1 + c2 ≤ C_gs,   c3 + c4 ≤ C_wm,   b_I + b_II ≤ B_pcie
+//! ```
+//!
+//! by brute force (the three constraint pairs touch disjoint objective
+//! terms, so the search is three independent 1-D sweeps — the paper's
+//! `O(C_gs² + C_wm² + B_pcie²)` bound).
+//!
+//! * [`profile`] — [`profile::StageProfile`]: the profiled quantities, with
+//!   a constructor that measures them from the real substrate (store
+//!   traffic, cache miss bytes, model FLOPs on the V100 device model);
+//! * [`allocator`] — the brute-force solver, plus the free-contention model
+//!   ("BGL w/o isolation", Fig. 15) where every stage grabs all cores and
+//!   pays oversubscription and OpenMP-style scaling penalties;
+//! * [`build`] — turn an allocation into a `bgl_sim` tandem pipeline and
+//!   read off throughput and GPU utilization.
+
+pub mod allocator;
+pub mod build;
+pub mod profile;
+
+pub use allocator::{solve, Allocation, ContentionModel};
+pub use profile::StageProfile;

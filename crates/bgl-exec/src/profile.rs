@@ -1,0 +1,158 @@
+//! Stage profiles: the quantities §3.4's optimizer consumes.
+//!
+//! All CPU times are *single-core work* in seconds per mini-batch (the
+//! optimizer divides by the core allocation, assuming linear scaling for
+//! every stage except the cache). Data sizes are bytes per mini-batch.
+
+use serde::{Deserialize, Serialize};
+
+/// Profiled per-batch quantities for the 8-stage pipeline (Fig. 10).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Stage 1 — processing sampling requests on graph store CPUs
+    /// (single-core seconds per batch).
+    pub t1: f64,
+    /// Stage 2 — constructing subgraphs on graph store CPUs.
+    pub t2: f64,
+    /// Stage 3 — network transfer of sampled subgraphs + missed features
+    /// (seconds per batch; not CPU-scalable).
+    pub t_net: f64,
+    /// Stage 4 — subgraph processing (format conversion) on worker CPUs.
+    pub t3: f64,
+    /// Stage 5 — subgraph bytes over PCIe (D_I).
+    pub d_i: f64,
+    /// Stage 6 — cache workflow: `f(c4) = a / min(c4, knee) + d +
+    /// degrade · max(0, c4 − knee)`. `a` is the parallel work, `d` the
+    /// irreducible serial part.
+    pub cache_a: f64,
+    pub cache_d: f64,
+    /// Core count beyond which the cache stage stops scaling (the paper
+    /// observed ≈ 40) and starts to *degrade* (OpenMP sync + memory
+    /// bandwidth, §3.4).
+    pub cache_knee: usize,
+    /// Per-extra-core degradation beyond the knee (seconds/core).
+    pub cache_degrade: f64,
+    /// Stage 7 — missed-feature bytes over PCIe (D_II).
+    pub d_ii: f64,
+    /// Stage 8 — GPU model computation (seconds per batch, per GPU).
+    pub t_gpu: f64,
+}
+
+impl StageProfile {
+    /// A profile shaped like the paper's running example (§2.2): DGL-style
+    /// data path on Ogbn-products, batch 1000, fanout {15,10,5}: ~200 MB of
+    /// features per batch, 20 ms GPU compute, and CPU-side sampling /
+    /// subgraph construction / format conversion heavy enough that the
+    /// contended pipeline lands at "a few mini-batches per second" (Fig. 2)
+    /// and single-digit GPU utilization (Fig. 3).
+    pub fn paper_example() -> Self {
+        StageProfile {
+            t1: 4.0,
+            t2: 8.0,
+            t_net: 0.018,
+            t3: 6.0,
+            d_i: 5.0e6,
+            cache_a: 0.50,
+            cache_d: 0.004,
+            cache_knee: 40,
+            cache_degrade: 2.0e-4,
+            d_ii: 195.0e6,
+            t_gpu: 0.020,
+        }
+    }
+
+    /// Cache-stage completion time with `c4` cores.
+    pub fn cache_time(&self, c4: usize) -> f64 {
+        let c4 = c4.max(1);
+        let knee = self.cache_knee.max(1);
+        self.cache_a / c4.min(knee) as f64
+            + self.cache_d
+            + self.cache_degrade * c4.saturating_sub(knee) as f64
+    }
+
+    /// All eight stage times under a concrete allocation. `pcie_unit` is
+    /// the bandwidth of one PCIe share in bytes/second.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stage_times(
+        &self,
+        c1: usize,
+        c2: usize,
+        c3: usize,
+        c4: usize,
+        b_i: usize,
+        b_ii: usize,
+        pcie_unit: f64,
+    ) -> [f64; 8] {
+        [
+            self.t1 / c1.max(1) as f64,
+            self.t2 / c2.max(1) as f64,
+            self.t_net,
+            self.t3 / c3.max(1) as f64,
+            self.d_i / (b_i.max(1) as f64 * pcie_unit),
+            self.cache_time(c4),
+            self.d_ii / (b_ii.max(1) as f64 * pcie_unit),
+            self.t_gpu,
+        ]
+    }
+
+    /// Human-readable stage names, aligned with `stage_times` indices.
+    pub fn stage_names() -> [&'static str; 8] {
+        [
+            "sample-requests",
+            "construct-subgraphs",
+            "network",
+            "subgraph-processing",
+            "pcie-subgraph",
+            "cache-workflow",
+            "pcie-features",
+            "gpu-compute",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_time_scales_then_degrades() {
+        let p = StageProfile::paper_example();
+        let t1 = p.cache_time(1);
+        let t20 = p.cache_time(20);
+        let t40 = p.cache_time(40);
+        let t96 = p.cache_time(96);
+        assert!(t20 < t1);
+        assert!(t40 < t20);
+        assert!(
+            t96 > t40,
+            "beyond the knee more cores must hurt: {} vs {}",
+            t96,
+            t40
+        );
+    }
+
+    #[test]
+    fn stage_times_shape() {
+        let p = StageProfile::paper_example();
+        let t = p.stage_times(10, 20, 30, 40, 6, 6, 1.0e9);
+        assert_eq!(t.len(), 8);
+        assert!((t[0] - 0.4).abs() < 1e-9);
+        assert!((t[2] - p.t_net).abs() < 1e-12);
+        assert!((t[7] - p.t_gpu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_is_preprocessing_bound() {
+        // The motivation plot (Fig. 2): preprocessing ≫ GPU compute even
+        // with a generous split.
+        let p = StageProfile::paper_example();
+        let t = p.stage_times(48, 48, 48, 48, 6, 6, 1.06e9);
+        let pre_max = t[..7].iter().cloned().fold(0.0, f64::max);
+        assert!(
+            pre_max > 3.0 * t[7],
+            "preprocessing {} should dominate gpu {}",
+            pre_max,
+            t[7]
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! GAT (Veličković et al.), single attention head, on sampled blocks.
+//!
+//! Per layer, with `zh = H_src · W`:
+//!
+//! ```text
+//! s_{d,c}  = LeakyReLU( aₗ·zh[d] + aᵣ·zh[c] ),   c ∈ {d} ∪ N(d)
+//! α_{d,·}  = softmax_c( s_{d,·} )
+//! out[d]   = Σ_c α_{d,c} · zh[c] + b
+//! ```
+//!
+//! ReLU between layers, linear logits at the end. The attention softmax and
+//! LeakyReLU backward are hand-derived and finite-difference-checked; this
+//! is also the most FLOP-heavy of the three models, which is why the paper
+//! sees the smallest relative gains on GAT (compute-bound, §5.2).
+
+use crate::{GnnModel, ModelKind};
+use bgl_sampler::MiniBatch;
+use bgl_tensor::init::xavier_uniform;
+use bgl_tensor::ops::{relu, relu_backward};
+use bgl_tensor::{Matrix, Optimizer};
+use rand::prelude::*;
+
+const LEAKY: f32 = 0.2;
+
+struct LayerCache {
+    h_src: Matrix,
+    zh: Matrix,
+    /// Per dst: candidate local indices ({d} ∪ N(d)).
+    cands: Vec<Vec<u32>>,
+    /// Per dst: raw (pre-LeakyReLU) attention scores.
+    raw: Vec<Vec<f32>>,
+    /// Per dst: softmax attention weights.
+    alpha: Vec<Vec<f32>>,
+    /// Pre-activation layer output.
+    z: Matrix,
+}
+
+/// Single-head GAT with `num_layers` attention layers.
+pub struct Gat {
+    dims: Vec<usize>,
+    weights: Vec<Matrix>,
+    attn_l: Vec<Matrix>,
+    attn_r: Vec<Matrix>,
+    biases: Vec<Matrix>,
+    grad_w: Vec<Matrix>,
+    grad_al: Vec<Matrix>,
+    grad_ar: Vec<Matrix>,
+    grad_b: Vec<Matrix>,
+    cache: Vec<LayerCache>,
+    batch_blocks: Vec<bgl_sampler::LayerBlock>,
+}
+
+impl Gat {
+    pub fn new(in_dim: usize, hidden: usize, classes: usize, num_layers: usize, seed: u64) -> Self {
+        assert!(num_layers >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dims = vec![in_dim];
+        for _ in 0..num_layers - 1 {
+            dims.push(hidden);
+        }
+        dims.push(classes);
+        let mut weights = Vec::new();
+        let mut attn_l = Vec::new();
+        let mut attn_r = Vec::new();
+        let mut biases = Vec::new();
+        for l in 0..num_layers {
+            weights.push(xavier_uniform(dims[l], dims[l + 1], &mut rng));
+            attn_l.push(xavier_uniform(1, dims[l + 1], &mut rng));
+            attn_r.push(xavier_uniform(1, dims[l + 1], &mut rng));
+            biases.push(Matrix::zeros(1, dims[l + 1]));
+        }
+        let zero_like =
+            |v: &Vec<Matrix>| v.iter().map(|m| Matrix::zeros(m.rows(), m.cols())).collect();
+        Gat {
+            grad_w: zero_like(&weights),
+            grad_al: zero_like(&attn_l),
+            grad_ar: zero_like(&attn_r),
+            grad_b: zero_like(&biases),
+            dims,
+            weights,
+            attn_l,
+            attn_r,
+            biases,
+            cache: Vec::new(),
+            batch_blocks: Vec::new(),
+        }
+    }
+
+    fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl GnnModel for Gat {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Gat
+    }
+
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn forward(&mut self, batch: &MiniBatch, input: &Matrix) -> Matrix {
+        assert_eq!(batch.blocks.len(), self.num_layers());
+        assert_eq!(input.rows(), batch.num_input_nodes());
+        assert_eq!(input.cols(), self.dims[0]);
+        self.cache.clear();
+        self.batch_blocks = batch.blocks.clone();
+        let mut h = input.clone();
+        for (l, block) in batch.blocks.iter().enumerate() {
+            let dout = self.dims[l + 1];
+            let zh = h.matmul(&self.weights[l]);
+            let al = self.attn_l[l].row(0);
+            let ar = self.attn_r[l].row(0);
+            // Per-src right attention term, computed once.
+            let er: Vec<f32> = (0..zh.rows()).map(|s| dot(ar, zh.row(s))).collect();
+            let mut z = Matrix::zeros(block.num_dst(), dout);
+            let mut cands = Vec::with_capacity(block.num_dst());
+            let mut raws = Vec::with_capacity(block.num_dst());
+            let mut alphas = Vec::with_capacity(block.num_dst());
+            for d in 0..block.num_dst() {
+                let mut cand: Vec<u32> = Vec::with_capacity(block.neighbors_of(d).len() + 1);
+                cand.push(d as u32);
+                cand.extend_from_slice(block.neighbors_of(d));
+                let el_d = dot(al, zh.row(d));
+                let raw: Vec<f32> = cand.iter().map(|&c| el_d + er[c as usize]).collect();
+                // LeakyReLU then stabilized softmax.
+                let scores: Vec<f32> = raw
+                    .iter()
+                    .map(|&x| if x > 0.0 { x } else { LEAKY * x })
+                    .collect();
+                let max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let exp: Vec<f32> = scores.iter().map(|&s| (s - max).exp()).collect();
+                let sum: f32 = exp.iter().sum();
+                let alpha: Vec<f32> = exp.iter().map(|&e| e / sum).collect();
+                let row = z.row_mut(d);
+                for (&c, &a) in cand.iter().zip(&alpha) {
+                    for (r, &x) in row.iter_mut().zip(zh.row(c as usize)) {
+                        *r += a * x;
+                    }
+                }
+                cands.push(cand);
+                raws.push(raw);
+                alphas.push(alpha);
+            }
+            z.add_row_broadcast(self.biases[l].row(0));
+            let out = if l + 1 < self.num_layers() { relu(&z) } else { z.clone() };
+            self.cache.push(LayerCache { h_src: h, zh, cands, raw: raws, alpha: alphas, z });
+            h = out;
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_logits: &Matrix) {
+        let mut grad = grad_logits.clone();
+        for l in (0..self.num_layers()).rev() {
+            let cache = &self.cache[l];
+            let dz = if l + 1 < self.num_layers() {
+                relu_backward(&cache.z, &grad)
+            } else {
+                grad.clone()
+            };
+            self.grad_b[l].add_assign(&Matrix::from_vec(1, dz.cols(), dz.col_sums()));
+            let al = self.attn_l[l].row(0).to_vec();
+            let ar = self.attn_r[l].row(0).to_vec();
+            let mut dzh = Matrix::zeros(cache.zh.rows(), cache.zh.cols());
+            let mut dal = vec![0.0f32; al.len()];
+            let mut dar = vec![0.0f32; ar.len()];
+            for d in 0..cache.cands.len() {
+                let g = dz.row(d);
+                let cand = &cache.cands[d];
+                let alpha = &cache.alpha[d];
+                let raw = &cache.raw[d];
+                // dα_c = g · zh[c]; value path dzh[c] += α_c g.
+                let mut dalpha = Vec::with_capacity(cand.len());
+                for (&c, &a) in cand.iter().zip(alpha) {
+                    dalpha.push(dot(g, cache.zh.row(c as usize)));
+                    let row = dzh.row_mut(c as usize);
+                    for (r, &x) in row.iter_mut().zip(g) {
+                        *r += a * x;
+                    }
+                }
+                // Softmax backward: ds_c = α_c (dα_c − Σ_j α_j dα_j).
+                let dot_ad: f32 = alpha.iter().zip(&dalpha).map(|(&a, &da)| a * da).sum();
+                // LeakyReLU backward on the raw scores, then fan out to
+                // attention vectors and zh.
+                let mut del_d = 0.0f32;
+                for (k, &c) in cand.iter().enumerate() {
+                    let ds = alpha[k] * (dalpha[k] - dot_ad);
+                    let draw = if raw[k] > 0.0 { ds } else { LEAKY * ds };
+                    del_d += draw;
+                    for (gr, &x) in dar.iter_mut().zip(cache.zh.row(c as usize)) {
+                        *gr += draw * x;
+                    }
+                    let row = dzh.row_mut(c as usize);
+                    for (r, &a) in row.iter_mut().zip(&ar) {
+                        *r += draw * a;
+                    }
+                }
+                for (gl, &x) in dal.iter_mut().zip(cache.zh.row(d)) {
+                    *gl += del_d * x;
+                }
+                let row = dzh.row_mut(d);
+                for (r, &a) in row.iter_mut().zip(&al) {
+                    *r += del_d * a;
+                }
+            }
+            self.grad_al[l].add_assign(&Matrix::from_vec(1, dal.len(), dal));
+            self.grad_ar[l].add_assign(&Matrix::from_vec(1, dar.len(), dar));
+            self.grad_w[l].add_assign(&cache.h_src.matmul_tn(&dzh));
+            grad = dzh.matmul_nt(&self.weights[l]);
+        }
+    }
+
+    fn apply(&mut self, opt: &mut dyn Optimizer) {
+        for l in 0..self.num_layers() {
+            opt.step(4 * l, &mut self.weights[l], &self.grad_w[l]);
+            opt.step(4 * l + 1, &mut self.attn_l[l], &self.grad_al[l]);
+            opt.step(4 * l + 2, &mut self.attn_r[l], &self.grad_ar[l]);
+            opt.step(4 * l + 3, &mut self.biases[l], &self.grad_b[l]);
+            self.grad_w[l].scale(0.0);
+            self.grad_al[l].scale(0.0);
+            self.grad_ar[l].scale(0.0);
+            self.grad_b[l].scale(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gcn::gradcheck::{check_model, small_batch};
+    use bgl_tensor::Adam;
+
+    #[test]
+    fn forward_shapes_and_alpha_sums() {
+        let (batch, input, _) = small_batch(2, 5);
+        let mut m = Gat::new(5, 6, 4, 2, 1);
+        let logits = m.forward(&batch, &input);
+        assert_eq!((logits.rows(), logits.cols()), (3, 4));
+        for layer in &m.cache {
+            for alpha in &layer.alpha {
+                let sum: f32 = alpha.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-5, "attention rows must sum to 1");
+                assert!(alpha.iter().all(|&a| a >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_differences() {
+        let (batch, input, labels) = small_batch(2, 4);
+        let probes = vec![(0, 0, 0), (0, 3, 2), (1, 2, 1), (1, 4, 0)];
+        check_model(
+            || Gat::new(4, 5, 3, 2, 42),
+            &batch,
+            &input,
+            &labels,
+            &probes,
+            |m, p| m.weights[p].clone(),
+            |m, p, w| m.weights[p] = w,
+            |m, p| m.grad_w[p].clone(),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn attention_gradients_match_finite_differences() {
+        let (batch, input, labels) = small_batch(2, 4);
+        let probes = vec![(0, 0, 0), (0, 0, 3), (1, 0, 1)];
+        check_model(
+            || Gat::new(4, 5, 3, 2, 42),
+            &batch,
+            &input,
+            &labels,
+            &probes,
+            |m, p| m.attn_l[p].clone(),
+            |m, p, a| m.attn_l[p] = a,
+            |m, p| m.grad_al[p].clone(),
+            3e-2,
+        );
+        check_model(
+            || Gat::new(4, 5, 3, 2, 42),
+            &batch,
+            &input,
+            &labels,
+            &probes,
+            |m, p| m.attn_r[p].clone(),
+            |m, p, a| m.attn_r[p] = a,
+            |m, p| m.grad_ar[p].clone(),
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (batch, input, labels) = small_batch(2, 4);
+        let mut m = Gat::new(4, 8, 3, 2, 11);
+        let mut opt = Adam::new(0.01);
+        let first = m.train_step(&batch, &input, &labels, &mut opt).0;
+        let mut last = first;
+        for _ in 0..50 {
+            last = m.train_step(&batch, &input, &labels, &mut opt).0;
+        }
+        assert!(last < first * 0.5, "loss {} -> {}", first, last);
+    }
+}

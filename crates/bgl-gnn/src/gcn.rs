@@ -1,0 +1,263 @@
+//! GCN (Kipf & Welling) on sampled blocks.
+//!
+//! Per layer: `H_dst = σ( mean(H_src over {d} ∪ N(d)) · W + b )`, the
+//! mean-normalized convolution used for sampled training (exact symmetric
+//! normalization needs global degrees, which mini-batch sampling does not
+//! see — this is also what DGL's `GraphConv(norm='right')` computes on
+//! blocks, plus self edges). ReLU between layers, linear logits at the end.
+
+use crate::agg::{mean_aggregate, mean_aggregate_backward};
+use crate::{GnnModel, ModelKind};
+use bgl_sampler::MiniBatch;
+use bgl_tensor::init::xavier_uniform;
+use bgl_tensor::ops::{relu, relu_backward};
+use bgl_tensor::{Matrix, Optimizer};
+use rand::prelude::*;
+
+struct LayerCache {
+    /// Input activations of the layer (src side).
+    h_src: Matrix,
+    /// Aggregated features (dst side), before the linear map.
+    agg: Matrix,
+    /// Pre-activation output.
+    z: Matrix,
+}
+
+/// A GCN with `num_layers` graph convolutions.
+pub struct Gcn {
+    dims: Vec<usize>,
+    weights: Vec<Matrix>,
+    biases: Vec<Matrix>,
+    grad_w: Vec<Matrix>,
+    grad_b: Vec<Matrix>,
+    cache: Vec<LayerCache>,
+    batch_blocks: Vec<bgl_sampler::LayerBlock>,
+}
+
+impl Gcn {
+    pub fn new(in_dim: usize, hidden: usize, classes: usize, num_layers: usize, seed: u64) -> Self {
+        assert!(num_layers >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dims = vec![in_dim];
+        for _ in 0..num_layers - 1 {
+            dims.push(hidden);
+        }
+        dims.push(classes);
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for l in 0..num_layers {
+            weights.push(xavier_uniform(dims[l], dims[l + 1], &mut rng));
+            biases.push(Matrix::zeros(1, dims[l + 1]));
+        }
+        let grad_w = weights.iter().map(|w| Matrix::zeros(w.rows(), w.cols())).collect();
+        let grad_b = biases.iter().map(|b| Matrix::zeros(1, b.cols())).collect();
+        Gcn { dims, weights, biases, grad_w, grad_b, cache: Vec::new(), batch_blocks: Vec::new() }
+    }
+
+    fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+impl GnnModel for Gcn {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Gcn
+    }
+
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn forward(&mut self, batch: &MiniBatch, input: &Matrix) -> Matrix {
+        assert_eq!(
+            batch.blocks.len(),
+            self.num_layers(),
+            "batch depth must match layer count"
+        );
+        assert_eq!(input.rows(), batch.num_input_nodes());
+        assert_eq!(input.cols(), self.dims[0]);
+        self.cache.clear();
+        self.batch_blocks = batch.blocks.clone();
+        let mut h = input.clone();
+        for (l, block) in batch.blocks.iter().enumerate() {
+            let agg = mean_aggregate(block, &h, true);
+            let mut z = agg.matmul(&self.weights[l]);
+            z.add_row_broadcast(self.biases[l].row(0));
+            let out = if l + 1 < self.num_layers() { relu(&z) } else { z.clone() };
+            self.cache.push(LayerCache { h_src: h, agg, z });
+            h = out;
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_logits: &Matrix) {
+        let mut grad = grad_logits.clone();
+        for l in (0..self.num_layers()).rev() {
+            let cache = &self.cache[l];
+            let block = &self.batch_blocks[l];
+            // Through the activation (last layer is linear).
+            let dz = if l + 1 < self.num_layers() {
+                relu_backward(&cache.z, &grad)
+            } else {
+                grad.clone()
+            };
+            self.grad_w[l].add_assign(&cache.agg.matmul_tn(&dz));
+            self.grad_b[l].add_assign(&Matrix::from_vec(1, dz.cols(), dz.col_sums()));
+            let dagg = dz.matmul_nt(&self.weights[l]);
+            grad = mean_aggregate_backward(block, &dagg, true, cache.h_src.rows());
+        }
+    }
+
+    fn apply(&mut self, opt: &mut dyn Optimizer) {
+        for l in 0..self.num_layers() {
+            opt.step(2 * l, &mut self.weights[l], &self.grad_w[l]);
+            opt.step(2 * l + 1, &mut self.biases[l], &self.grad_b[l]);
+            self.grad_w[l].scale(0.0);
+            self.grad_b[l].scale(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    use super::*;
+    use bgl_graph::generate;
+    use bgl_sampler::NeighborSampler;
+    use bgl_tensor::ops::cross_entropy_with_grad;
+
+    /// Build a small random batch + input features for gradient checking.
+    pub fn small_batch(
+        layers: usize,
+        in_dim: usize,
+    ) -> (MiniBatch, Matrix, Vec<u16>) {
+        let g = generate::barabasi_albert(60, 3, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sampler = NeighborSampler::new(vec![3; layers]);
+        let batch = sampler.sample(&g, &[1, 2, 7], &mut rng);
+        let n = batch.num_input_nodes();
+        let input = Matrix::from_vec(
+            n,
+            in_dim,
+            (0..n * in_dim)
+                .map(|i| ((i * 2654435761) % 1000) as f32 / 500.0 - 1.0)
+                .collect(),
+        );
+        let labels = vec![0u16, 2, 1];
+        (batch, input, labels)
+    }
+
+    /// Check d(loss)/d(weights[l][i][j]) for a sample of entries against
+    /// finite differences. `get_w`/`set_w` expose one weight matrix.
+    pub fn check_model<M: GnnModel>(
+        make: impl Fn() -> M,
+        batch: &MiniBatch,
+        input: &Matrix,
+        labels: &[u16],
+        probe: &[(usize, usize, usize)], // (param slot under test via accessor, i, j)
+        get_param: impl Fn(&M, usize) -> Matrix,
+        set_param: impl Fn(&mut M, usize, Matrix),
+        grad_of: impl Fn(&M, usize) -> Matrix,
+        tol: f32,
+    ) {
+        let mut model = make();
+        let logits = model.forward(batch, input);
+        let (_, grad_logits) = cross_entropy_with_grad(&logits, labels);
+        model.backward(&grad_logits);
+        let eps = 5e-3;
+        for &(p, i, j) in probe {
+            let analytic = grad_of(&model, p).get(i, j);
+            let loss_at = |delta: f32| -> f32 {
+                let mut m2 = make();
+                let mut w = get_param(&m2, p);
+                w.set(i, j, w.get(i, j) + delta);
+                set_param(&mut m2, p, w);
+                let lg = m2.forward(batch, input);
+                cross_entropy_with_grad(&lg, labels).0
+            };
+            let fd = (loss_at(eps) - loss_at(-eps)) / (2.0 * eps);
+            assert!(
+                (analytic - fd).abs() < tol.max(fd.abs() * 0.08),
+                "param {} entry ({},{}): analytic {} vs fd {}",
+                p,
+                i,
+                j,
+                analytic,
+                fd
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gradcheck::{check_model, small_batch};
+    use super::*;
+    use bgl_tensor::Adam;
+
+    #[test]
+    fn forward_shapes() {
+        let (batch, input, _) = small_batch(2, 6);
+        let mut m = Gcn::new(6, 8, 4, 2, 1);
+        let logits = m.forward(&batch, &input);
+        assert_eq!(logits.rows(), 3);
+        assert_eq!(logits.cols(), 4);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (batch, input, labels) = small_batch(2, 5);
+        let probes: Vec<(usize, usize, usize)> = vec![
+            (0, 0, 0),
+            (0, 2, 3),
+            (0, 4, 1),
+            (1, 0, 0),
+            (1, 5, 2),
+        ];
+        check_model(
+            || Gcn::new(5, 6, 3, 2, 42),
+            &batch,
+            &input,
+            &labels,
+            &probes,
+            |m, p| m.weights[p].clone(),
+            |m, p, w| m.weights[p] = w,
+            |m, p| m.grad_w[p].clone(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn bias_gradients_match_finite_differences() {
+        let (batch, input, labels) = small_batch(2, 5);
+        let probes = vec![(0, 0, 1), (1, 0, 0), (1, 0, 2)];
+        check_model(
+            || Gcn::new(5, 6, 3, 2, 42),
+            &batch,
+            &input,
+            &labels,
+            &probes,
+            |m, p| m.biases[p].clone(),
+            |m, p, b| m.biases[p] = b,
+            |m, p| m.grad_b[p].clone(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (batch, input, labels) = small_batch(2, 5);
+        let mut m = Gcn::new(5, 8, 3, 2, 7);
+        let mut opt = Adam::new(0.01);
+        let mut losses = Vec::new();
+        for _ in 0..40 {
+            let (loss, _) = m.train_step(&batch, &input, &labels, &mut opt);
+            losses.push(loss);
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "loss {} -> {} did not halve",
+            losses[0],
+            losses.last().unwrap()
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! # bgl-gnn — GNN models with explicit backprop on sampled blocks
+//!
+//! The model-computation stage of sampling-based GNN training (paper §2.1,
+//! stage 3), on CPU: the three models the paper evaluates — GCN (Kipf &
+//! Welling), GraphSAGE (mean aggregator, Hamilton et al.) and GAT
+//! (Veličković et al., single attention head) — each consuming the
+//! [`bgl_sampler::MiniBatch`] message-flow blocks directly.
+//!
+//! Backward passes are hand-written (no autograd) and validated against
+//! finite differences in every model's tests. The paper's
+//! hyper-parameters are the defaults: 3 layers, 128 hidden units.
+//!
+//! [`trainer`] drives full training runs (ordering → sampling → feature
+//! gather → train step) for the accuracy experiments (Table 5, Fig. 16),
+//! and [`flops`] estimates per-batch FLOPs for the GPU device model used by
+//! the throughput experiments.
+
+pub mod agg;
+pub mod flops;
+pub mod gat;
+pub mod gcn;
+pub mod sage;
+pub mod trainer;
+
+pub use gat::Gat;
+pub use gcn::Gcn;
+pub use sage::GraphSage;
+pub use trainer::{TrainConfig, TrainHistory, Trainer};
+
+use bgl_sampler::MiniBatch;
+use bgl_tensor::{Matrix, Optimizer};
+
+/// Which model a configuration names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    Gcn,
+    GraphSage,
+    Gat,
+}
+
+impl ModelKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Gcn => "gcn",
+            ModelKind::GraphSage => "graphsage",
+            ModelKind::Gat => "gat",
+        }
+    }
+}
+
+/// A trainable sampled-batch GNN.
+///
+/// `forward` consumes a mini-batch plus the input-frontier features
+/// (`batch.input_nodes().len() × in_dim`) and returns seed logits;
+/// `backward` consumes the logits gradient and accumulates parameter
+/// gradients; `apply` hands them to an optimizer.
+pub trait GnnModel {
+    fn kind(&self) -> ModelKind;
+
+    /// Layer widths, `[in, hidden.., classes]`.
+    fn dims(&self) -> &[usize];
+
+    /// Forward pass; caches activations for `backward`.
+    fn forward(&mut self, batch: &MiniBatch, input: &Matrix) -> Matrix;
+
+    /// Backward pass from the logits gradient (requires a prior `forward`
+    /// on the same batch).
+    fn backward(&mut self, grad_logits: &Matrix);
+
+    /// Apply accumulated gradients through `opt` and clear them.
+    fn apply(&mut self, opt: &mut dyn Optimizer);
+
+    /// One SGD step: forward, loss, backward, apply. Returns
+    /// `(loss, train_accuracy)`.
+    fn train_step(
+        &mut self,
+        batch: &MiniBatch,
+        input: &Matrix,
+        labels: &[u16],
+        opt: &mut dyn Optimizer,
+    ) -> (f32, f64) {
+        let logits = self.forward(batch, input);
+        let (loss, grad) = bgl_tensor::ops::cross_entropy_with_grad(&logits, labels);
+        let acc = bgl_tensor::ops::accuracy(&logits, labels);
+        self.backward(&grad);
+        self.apply(opt);
+        opt.next_batch();
+        (loss, acc)
+    }
+}
+
+/// Build a model of `kind` with the given widths.
+pub fn make_model(
+    kind: ModelKind,
+    in_dim: usize,
+    hidden: usize,
+    classes: usize,
+    num_layers: usize,
+    seed: u64,
+) -> Box<dyn GnnModel> {
+    match kind {
+        ModelKind::Gcn => Box::new(Gcn::new(in_dim, hidden, classes, num_layers, seed)),
+        ModelKind::GraphSage => {
+            Box::new(GraphSage::new(in_dim, hidden, classes, num_layers, seed))
+        }
+        ModelKind::Gat => Box::new(Gat::new(in_dim, hidden, classes, num_layers, seed)),
+    }
+}

@@ -1,0 +1,194 @@
+//! GraphSAGE with the mean aggregator (Hamilton et al.).
+//!
+//! Per layer: `H_dst = σ( [H_dst ‖ mean(H_src over N(d))] · W + b )` —
+//! self features concatenated with the neighbor mean, the configuration
+//! the paper benchmarks ("GraphSAGE ... uses neighbor sampling to learn
+//! different aggregation functions").
+
+use crate::agg::{mean_aggregate, mean_aggregate_backward, top_rows};
+use crate::{GnnModel, ModelKind};
+use bgl_sampler::MiniBatch;
+use bgl_tensor::init::he_uniform;
+use bgl_tensor::ops::{relu, relu_backward};
+use bgl_tensor::{Matrix, Optimizer};
+use rand::prelude::*;
+
+struct LayerCache {
+    h_src: Matrix,
+    /// `[self ‖ neighbor-mean]`, the linear-map input.
+    concat: Matrix,
+    z: Matrix,
+}
+
+/// GraphSAGE-mean with `num_layers` layers.
+pub struct GraphSage {
+    dims: Vec<usize>,
+    /// Each weight is `(2·in) × out` (concat of self and neighbor mean).
+    weights: Vec<Matrix>,
+    biases: Vec<Matrix>,
+    grad_w: Vec<Matrix>,
+    grad_b: Vec<Matrix>,
+    cache: Vec<LayerCache>,
+    batch_blocks: Vec<bgl_sampler::LayerBlock>,
+}
+
+impl GraphSage {
+    pub fn new(in_dim: usize, hidden: usize, classes: usize, num_layers: usize, seed: u64) -> Self {
+        assert!(num_layers >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dims = vec![in_dim];
+        for _ in 0..num_layers - 1 {
+            dims.push(hidden);
+        }
+        dims.push(classes);
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for l in 0..num_layers {
+            weights.push(he_uniform(2 * dims[l], dims[l + 1], &mut rng));
+            biases.push(Matrix::zeros(1, dims[l + 1]));
+        }
+        let grad_w = weights.iter().map(|w| Matrix::zeros(w.rows(), w.cols())).collect();
+        let grad_b = biases.iter().map(|b| Matrix::zeros(1, b.cols())).collect();
+        GraphSage {
+            dims,
+            weights,
+            biases,
+            grad_w,
+            grad_b,
+            cache: Vec::new(),
+            batch_blocks: Vec::new(),
+        }
+    }
+
+    fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+impl GnnModel for GraphSage {
+    fn kind(&self) -> ModelKind {
+        ModelKind::GraphSage
+    }
+
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn forward(&mut self, batch: &MiniBatch, input: &Matrix) -> Matrix {
+        assert_eq!(batch.blocks.len(), self.num_layers());
+        assert_eq!(input.rows(), batch.num_input_nodes());
+        assert_eq!(input.cols(), self.dims[0]);
+        self.cache.clear();
+        self.batch_blocks = batch.blocks.clone();
+        let mut h = input.clone();
+        for (l, block) in batch.blocks.iter().enumerate() {
+            let self_h = top_rows(&h, block.num_dst());
+            let neigh = mean_aggregate(block, &h, false);
+            let concat = self_h.hconcat(&neigh);
+            let mut z = concat.matmul(&self.weights[l]);
+            z.add_row_broadcast(self.biases[l].row(0));
+            let out = if l + 1 < self.num_layers() { relu(&z) } else { z.clone() };
+            self.cache.push(LayerCache { h_src: h, concat, z });
+            h = out;
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_logits: &Matrix) {
+        let mut grad = grad_logits.clone();
+        for l in (0..self.num_layers()).rev() {
+            let cache = &self.cache[l];
+            let block = &self.batch_blocks[l];
+            let dz = if l + 1 < self.num_layers() {
+                relu_backward(&cache.z, &grad)
+            } else {
+                grad.clone()
+            };
+            self.grad_w[l].add_assign(&cache.concat.matmul_tn(&dz));
+            self.grad_b[l].add_assign(&Matrix::from_vec(1, dz.cols(), dz.col_sums()));
+            let dconcat = dz.matmul_nt(&self.weights[l]);
+            let in_dim = self.dims[l];
+            let (dself, dneigh) = dconcat.hsplit(in_dim);
+            // Neighbor-mean path back to all sources…
+            let mut dh = mean_aggregate_backward(block, &dneigh, false, cache.h_src.rows());
+            // …plus the self path back to the dst prefix.
+            for d in 0..block.num_dst() {
+                for (r, &x) in dh.row_mut(d).iter_mut().zip(dself.row(d)) {
+                    *r += x;
+                }
+            }
+            grad = dh;
+        }
+    }
+
+    fn apply(&mut self, opt: &mut dyn Optimizer) {
+        for l in 0..self.num_layers() {
+            opt.step(2 * l, &mut self.weights[l], &self.grad_w[l]);
+            opt.step(2 * l + 1, &mut self.biases[l], &self.grad_b[l]);
+            self.grad_w[l].scale(0.0);
+            self.grad_b[l].scale(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gcn::gradcheck::{check_model, small_batch};
+    use bgl_tensor::Adam;
+
+    #[test]
+    fn forward_shapes() {
+        let (batch, input, _) = small_batch(3, 4);
+        let mut m = GraphSage::new(4, 8, 5, 3, 1);
+        let logits = m.forward(&batch, &input);
+        assert_eq!((logits.rows(), logits.cols()), (3, 5));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (batch, input, labels) = small_batch(2, 4);
+        let probes = vec![(0, 0, 0), (0, 5, 2), (0, 7, 1), (1, 3, 0), (1, 9, 2)];
+        check_model(
+            || GraphSage::new(4, 5, 3, 2, 42),
+            &batch,
+            &input,
+            &labels,
+            &probes,
+            |m, p| m.weights[p].clone(),
+            |m, p, w| m.weights[p] = w,
+            |m, p| m.grad_w[p].clone(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn bias_gradients_match_finite_differences() {
+        let (batch, input, labels) = small_batch(2, 4);
+        let probes = vec![(0, 0, 2), (1, 0, 1)];
+        check_model(
+            || GraphSage::new(4, 5, 3, 2, 42),
+            &batch,
+            &input,
+            &labels,
+            &probes,
+            |m, p| m.biases[p].clone(),
+            |m, p, b| m.biases[p] = b,
+            |m, p| m.grad_b[p].clone(),
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (batch, input, labels) = small_batch(2, 4);
+        let mut m = GraphSage::new(4, 8, 3, 2, 9);
+        let mut opt = Adam::new(0.01);
+        let first = m.train_step(&batch, &input, &labels, &mut opt).0;
+        let mut last = first;
+        for _ in 0..40 {
+            last = m.train_step(&batch, &input, &labels, &mut opt).0;
+        }
+        assert!(last < first * 0.5, "loss {} -> {}", first, last);
+    }
+}

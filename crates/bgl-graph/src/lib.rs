@@ -1,0 +1,44 @@
+//! # bgl-graph — graph substrate for the BGL reproduction
+//!
+//! This crate provides the graph data structures and synthetic workload
+//! generators that every other crate in the workspace builds on:
+//!
+//! * [`Csr`] — compressed-sparse-row adjacency, the canonical immutable
+//!   graph representation used by samplers, partitioners and the store.
+//! * [`GraphBuilder`] — edge-list accumulator that deduplicates, sorts and
+//!   freezes into a [`Csr`].
+//! * [`generate`] — R-MAT / Barabási–Albert / Erdős–Rényi / bipartite
+//!   generators used to synthesize stand-ins for the paper's datasets
+//!   (Ogbn-products, Ogbn-papers and the proprietary User-Item graph).
+//! * [`FeatureStore`] — dense `f32` node-feature matrix with
+//!   class-correlated synthetic feature generation so that the GNN models in
+//!   `bgl-gnn` have real signal to learn.
+//! * [`Dataset`] / [`DatasetSpec`] — a labelled graph with train/val/test
+//!   splits, mirroring Table 2 of the paper at configurable scale.
+//! * [`traversal`] — BFS, multi-source BFS and connected components, the
+//!   primitives behind both proximity-aware ordering (§3.2.2) and the
+//!   BFS-coarsening partitioner (§3.3).
+//!
+//! Node identifiers are `u32` ([`NodeId`]); this supports graphs up to
+//! ~4.2 B nodes, enough for the 1.2 B-node User-Item graph in the paper.
+
+pub mod builder;
+pub mod csr;
+pub mod dataset;
+pub mod features;
+pub mod generate;
+pub mod subgraph;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::Csr;
+pub use dataset::{Dataset, DatasetSpec, Split};
+pub use features::FeatureStore;
+pub use subgraph::{khop_neighborhood, InducedSubgraph};
+
+/// Node identifier. `u32` keeps adjacency arrays compact while still
+/// addressing the billion-node graphs the paper targets.
+pub type NodeId = u32;
+
+/// Edge identifier (index into the CSR target array).
+pub type EdgeId = u64;

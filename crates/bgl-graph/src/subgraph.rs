@@ -1,0 +1,119 @@
+//! Induced subgraphs and k-hop neighborhoods.
+//!
+//! Sampled mini-batches are subgraphs; partition quality is measured by how
+//! much of a training node's k-hop neighborhood stays inside one partition.
+
+use crate::{Csr, GraphBuilder, NodeId};
+use std::collections::VecDeque;
+
+/// A subgraph induced on a node subset, with the local->global ID mapping
+/// preserved — the same representation samplers ship to workers.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    /// Local adjacency (IDs are indices into `global_ids`).
+    pub graph: Csr,
+    /// `global_ids[local]` is the original node ID.
+    pub global_ids: Vec<NodeId>,
+}
+
+impl InducedSubgraph {
+    /// Induce the subgraph of `g` on `nodes` (order preserved, must be
+    /// duplicate-free).
+    pub fn induce(g: &Csr, nodes: &[NodeId]) -> Self {
+        let mut local_of = std::collections::HashMap::with_capacity(nodes.len());
+        for (i, &v) in nodes.iter().enumerate() {
+            let prev = local_of.insert(v, i as NodeId);
+            assert!(prev.is_none(), "duplicate node {} in induced set", v);
+        }
+        let mut b = GraphBuilder::new(nodes.len());
+        for (lu, &u) in nodes.iter().enumerate() {
+            for &v in g.neighbors(u) {
+                if let Some(&lv) = local_of.get(&v) {
+                    b.add_edge(lu as NodeId, lv);
+                }
+            }
+        }
+        InducedSubgraph { graph: b.build(), global_ids: nodes.to_vec() }
+    }
+
+    /// Number of nodes in the subgraph.
+    pub fn num_nodes(&self) -> usize {
+        self.global_ids.len()
+    }
+}
+
+/// All nodes within `k` hops of `root` (including `root`), in BFS order.
+pub fn khop_neighborhood(g: &Csr, root: NodeId, k: usize) -> Vec<NodeId> {
+    let mut dist = std::collections::HashMap::new();
+    let mut order = vec![root];
+    let mut queue = VecDeque::new();
+    dist.insert(root, 0usize);
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[&u];
+        if du == k {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if !dist.contains_key(&v) {
+                dist.insert(v, du + 1);
+                order.push(v);
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Csr {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_undirected(i as NodeId, (i + 1) as NodeId);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn khop_on_path() {
+        let g = path(7);
+        let mut hood = khop_neighborhood(&g, 3, 2);
+        hood.sort_unstable();
+        assert_eq!(hood, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn khop_zero_is_self() {
+        let g = path(4);
+        assert_eq!(khop_neighborhood(&g, 2, 0), vec![2]);
+    }
+
+    #[test]
+    fn induce_keeps_internal_edges_only() {
+        let g = path(5);
+        let sub = InducedSubgraph::induce(&g, &[1, 2, 4]);
+        assert_eq!(sub.num_nodes(), 3);
+        // locals: 0=global1, 1=global2, 2=global4
+        assert!(sub.graph.has_edge(0, 1));
+        assert!(!sub.graph.has_edge(1, 2), "2-4 not adjacent in path");
+        assert_eq!(sub.graph.num_edges(), 2); // 1<->2 both directions
+    }
+
+    #[test]
+    fn induce_preserves_global_ids() {
+        let g = path(5);
+        let sub = InducedSubgraph::induce(&g, &[4, 0]);
+        assert_eq!(sub.global_ids, vec![4, 0]);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn induce_rejects_duplicates() {
+        let g = path(3);
+        InducedSubgraph::induce(&g, &[1, 1]);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the graph substrate.
+
+use bgl_graph::generate::{self, RmatConfig};
+use bgl_graph::traversal::{bfs_full_order, connected_components, multi_source_bfs};
+use bgl_graph::{Csr, GraphBuilder, InducedSubgraph, NodeId};
+use proptest::prelude::*;
+
+/// Arbitrary small graph as (node count, arc list).
+fn arb_graph() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..40).prop_flat_map(|n| {
+        let arcs = proptest::collection::vec(
+            (0..n as NodeId, 0..n as NodeId),
+            0..200,
+        );
+        (Just(n), arcs)
+    })
+}
+
+proptest! {
+    #[test]
+    fn builder_output_is_sorted_unique_in_range((n, arcs) in arb_graph()) {
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(&arcs);
+        let g = b.build();
+        prop_assert_eq!(g.num_nodes(), n);
+        for v in 0..n as NodeId {
+            let nbrs = g.neighbors(v);
+            for w in nbrs.windows(2) {
+                prop_assert!(w[0] < w[1], "neighbors not sorted/unique");
+            }
+            for &t in nbrs {
+                prop_assert!((t as usize) < n);
+                prop_assert_ne!(t, v, "self-loop survived");
+            }
+        }
+    }
+
+    #[test]
+    fn builder_preserves_every_non_loop_arc((n, arcs) in arb_graph()) {
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(&arcs);
+        let g = b.build();
+        for &(u, v) in &arcs {
+            if u != v {
+                prop_assert!(g.has_edge(u, v), "lost arc {}->{}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_twice_is_identity((n, arcs) in arb_graph()) {
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(&arcs);
+        let g = b.build();
+        let rr = g.reversed().reversed();
+        prop_assert_eq!(g.offsets(), rr.offsets());
+        prop_assert_eq!(g.targets(), rr.targets());
+    }
+
+    #[test]
+    fn bfs_full_order_is_a_permutation((n, arcs) in arb_graph()) {
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(&arcs);
+        let g = b.build();
+        let order = bfs_full_order(&g, 0);
+        prop_assert_eq!(order.len(), n);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), n, "order has duplicates");
+    }
+
+    #[test]
+    fn multi_source_bfs_partitions_reached_nodes(
+        (n, arcs) in arb_graph(),
+        k in 1usize..5,
+    ) {
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(&arcs);
+        let g = b.build();
+        let sources: Vec<NodeId> =
+            (0..k.min(n)).map(|i| (i * n / k.min(n)) as NodeId).collect();
+        let res = multi_source_bfs(&g, &sources, usize::MAX);
+        // Every reached node carries a valid source index and sizes add up.
+        let reached = res.assignment.iter().filter(|&&a| a != u32::MAX).count();
+        prop_assert_eq!(res.block_sizes.iter().sum::<usize>(), reached);
+        for &a in &res.assignment {
+            prop_assert!(a == u32::MAX || (a as usize) < sources.len());
+        }
+        // Sources that appear first claim themselves.
+        prop_assert!(res.assignment[sources[0] as usize] != u32::MAX);
+    }
+
+    #[test]
+    fn components_agree_with_reachability((n, arcs) in arb_graph()) {
+        // Components are computed on the *symmetrized* graph so that
+        // component ID equality matches undirected reachability.
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &arcs {
+            b.add_undirected(u, v);
+        }
+        let g = b.build();
+        let (comp, count) = connected_components(&g);
+        prop_assert!(count >= 1 && count <= n);
+        for (u, v) in g.edges() {
+            prop_assert_eq!(comp[u as usize], comp[v as usize]);
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_edges_exist_in_parent((n, arcs) in arb_graph()) {
+        let mut b = GraphBuilder::new(n);
+        b.extend_edges(&arcs);
+        let g = b.build();
+        let nodes: Vec<NodeId> = (0..n as NodeId).step_by(2).collect();
+        let sub = InducedSubgraph::induce(&g, &nodes);
+        for (lu, lv) in sub.graph.edges() {
+            let gu = sub.global_ids[lu as usize];
+            let gv = sub.global_ids[lv as usize];
+            prop_assert!(g.has_edge(gu, gv));
+        }
+    }
+
+    #[test]
+    fn rmat_edge_count_bounded(scale in 4u32..9, ef in 1usize..8) {
+        let g = generate::rmat(
+            RmatConfig { scale, edge_factor: ef, ..Default::default() },
+            scale as u64 * 31 + ef as u64,
+        );
+        let n = 1usize << scale;
+        prop_assert_eq!(g.num_nodes(), n);
+        // Undirected insertion: at most 2 arcs per drawn edge.
+        prop_assert!(g.num_edges() <= 2 * ef * n);
+    }
+
+    #[test]
+    fn gather_matches_rows(dim in 1usize..8, n in 1usize..20) {
+        let mut f = bgl_graph::FeatureStore::zeros(n, dim);
+        for v in 0..n as NodeId {
+            for (j, x) in f.row_mut(v).iter_mut().enumerate() {
+                *x = (v as usize * dim + j) as f32;
+            }
+        }
+        let ids: Vec<NodeId> = (0..n as NodeId).rev().collect();
+        let gathered = f.gather(&ids);
+        for (i, &v) in ids.iter().enumerate() {
+            prop_assert_eq!(&gathered[i * dim..(i + 1) * dim], f.row(v));
+        }
+    }
+}
+
+#[test]
+fn degree_gini_bounds() {
+    let g = generate::barabasi_albert(500, 3, 5);
+    let gini = generate::degree_gini(&g);
+    assert!((0.0..=1.0).contains(&gini), "gini {} out of bounds", gini);
+}

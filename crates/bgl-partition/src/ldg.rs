@@ -1,0 +1,93 @@
+//! Linear Deterministic Greedy (LDG) streaming partitioner.
+//!
+//! One of the streaming schemes the related-work section cites (Abbas et
+//! al., VLDB'18) for distributed GNN stores. Nodes arrive in a stream; each
+//! is placed on the partition holding most of its already-placed neighbors,
+//! discounted by a fullness penalty `1 - |P(i)|/C`. One-hop only, no
+//! training-node awareness — a useful mid-point between random and BGL.
+
+use crate::{Partition, Partitioner};
+use bgl_graph::{Csr, NodeId};
+use rand::prelude::*;
+
+/// LDG streaming partitioner with a seeded random stream order.
+#[derive(Clone, Copy, Debug)]
+pub struct LdgPartitioner {
+    pub seed: u64,
+}
+
+impl LdgPartitioner {
+    pub fn new(seed: u64) -> Self {
+        LdgPartitioner { seed }
+    }
+}
+
+impl Partitioner for LdgPartitioner {
+    fn name(&self) -> &'static str {
+        "ldg"
+    }
+
+    fn partition(&self, g: &Csr, _train: &[NodeId], k: usize) -> Partition {
+        let n = g.num_nodes();
+        let cap = (n as f64 / k as f64).max(1.0);
+        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(self.seed));
+
+        let mut assignment = vec![u32::MAX; n];
+        let mut sizes = vec![0usize; k];
+        for &v in &order {
+            let mut hits = vec![0usize; k];
+            for &u in g.neighbors(v) {
+                let p = assignment[u as usize];
+                if p != u32::MAX {
+                    hits[p as usize] += 1;
+                }
+            }
+            let mut best = 0usize;
+            let mut best_score = f64::NEG_INFINITY;
+            for i in 0..k {
+                let score = (1.0 + hits[i] as f64) * (1.0 - sizes[i] as f64 / cap).max(0.0);
+                if score > best_score {
+                    best_score = score;
+                    best = i;
+                }
+            }
+            assignment[v as usize] = best as u32;
+            sizes[best] += 1;
+        }
+        Partition::new(k, assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use crate::random::RandomPartitioner;
+    use bgl_graph::generate::{self, CommunityConfig};
+
+    #[test]
+    fn valid_balanced_and_local() {
+        let g = generate::community_graph(
+            CommunityConfig { n: 2000, communities: 8, intra: 8, inter: 1 },
+            3,
+        );
+        let p = LdgPartitioner::new(1).partition(&g, &[], 4);
+        assert!(p.assignment.iter().all(|&a| a < 4));
+        assert!(metrics::balance_ratio(&p.sizes()) < 1.3);
+        let rnd = RandomPartitioner::new(1).partition(&g, &[], 4);
+        assert!(
+            metrics::edge_cut_fraction(&g, &p) < metrics::edge_cut_fraction(&g, &rnd)
+        );
+    }
+
+    #[test]
+    fn never_exceeds_capacity_by_much() {
+        let g = generate::erdos_renyi(1000, 3000, 2);
+        let p = LdgPartitioner::new(9).partition(&g, &[], 3);
+        // Hard cap: the fullness penalty zeroes out at C, so no partition
+        // can exceed ceil(C) + 1.
+        let cap: f64 = 1000.0 / 3.0;
+        assert!(p.sizes().iter().all(|&s| (s as f64) <= cap.ceil() + 1.0));
+    }
+}

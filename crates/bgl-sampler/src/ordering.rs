@@ -1,0 +1,336 @@
+//! Training-node orderings (paper §3.2.2).
+//!
+//! The order in which training nodes form mini-batches decides the temporal
+//! locality the feature cache can exploit:
+//!
+//! * [`RandomShuffle`] — what DGL/PyG/Euler do. i.i.d.-friendly, zero
+//!   locality.
+//! * [`BfsOrder`] — one full BFS traversal. Maximal locality, but batches
+//!   inherit the label skew of graph regions, which breaks SGD's i.i.d.
+//!   assumption and hurts convergence.
+//! * [`ProximityAware`] — the paper's co-design: several BFS sequences from
+//!   random roots, each randomly rotated, interleaved round-robin. Locality
+//!   close to BFS, label mixing close to random.
+//!
+//! All orderings emit one epoch at a time: a permutation of the training
+//! nodes, reshuffled (re-rooted / re-shifted) per epoch.
+
+use bgl_graph::traversal::bfs_full_order;
+use bgl_graph::{Csr, NodeId};
+use rand::prelude::*;
+
+/// An epoch-order generator over training nodes.
+pub trait TrainOrdering {
+    /// Name for reports.
+    fn name(&self) -> &'static str;
+
+    /// A permutation of `train_nodes` for epoch `epoch`.
+    fn epoch_order(&self, g: &Csr, train_nodes: &[NodeId], epoch: usize) -> Vec<NodeId>;
+
+    /// Convenience: split an epoch order into batches of `batch_size`
+    /// (last batch may be short).
+    fn epoch_batches(
+        &self,
+        g: &Csr,
+        train_nodes: &[NodeId],
+        batch_size: usize,
+        epoch: usize,
+    ) -> Vec<Vec<NodeId>> {
+        self.epoch_order(g, train_nodes, epoch)
+            .chunks(batch_size.max(1))
+            .map(|c| c.to_vec())
+            .collect()
+    }
+}
+
+/// Uniform random shuffle per epoch — the i.i.d. baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomShuffle {
+    pub seed: u64,
+}
+
+impl RandomShuffle {
+    pub fn new(seed: u64) -> Self {
+        RandomShuffle { seed }
+    }
+}
+
+impl TrainOrdering for RandomShuffle {
+    fn name(&self) -> &'static str {
+        "random-shuffle"
+    }
+
+    fn epoch_order(&self, _g: &Csr, train_nodes: &[NodeId], epoch: usize) -> Vec<NodeId> {
+        let mut order = train_nodes.to_vec();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0x9E37));
+        order.shuffle(&mut rng);
+        order
+    }
+}
+
+/// One full-graph BFS from a random root, filtered to training nodes —
+/// maximal temporal locality, worst label mixing.
+#[derive(Clone, Copy, Debug)]
+pub struct BfsOrder {
+    pub seed: u64,
+}
+
+impl BfsOrder {
+    pub fn new(seed: u64) -> Self {
+        BfsOrder { seed }
+    }
+}
+
+impl TrainOrdering for BfsOrder {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn epoch_order(&self, g: &Csr, train_nodes: &[NodeId], epoch: usize) -> Vec<NodeId> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0x51));
+        let root = if g.num_nodes() == 0 {
+            0
+        } else {
+            rng.random_range(0..g.num_nodes()) as NodeId
+        };
+        let is_train = train_mask(g.num_nodes(), train_nodes);
+        bfs_full_order(g, root)
+            .into_iter()
+            .filter(|&v| is_train[v as usize])
+            .collect()
+    }
+}
+
+/// The paper's proximity-aware ordering.
+#[derive(Clone, Copy, Debug)]
+pub struct ProximityAware {
+    /// Number of parallel BFS sequences (paper: chosen by the shuffling-
+    /// error tuner, e.g. 5).
+    pub num_sequences: usize,
+    /// Length of the consecutive run taken from one sequence before moving
+    /// to the next. In the paper's Figure 7 each batch draws
+    /// `batch_size / num_sequences` consecutive nodes from every sequence;
+    /// use [`ProximityAware::for_batch`] to get exactly that.
+    pub chunk: usize,
+    pub seed: u64,
+}
+
+impl ProximityAware {
+    pub fn new(num_sequences: usize, seed: u64) -> Self {
+        assert!(num_sequences >= 1);
+        ProximityAware { num_sequences, chunk: 32, seed }
+    }
+
+    /// Configure the interleave so each mini-batch of `batch_size` is
+    /// composed of one run from each sequence, matching the paper's
+    /// batch-formation diagram (Fig. 7).
+    pub fn for_batch(num_sequences: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(num_sequences >= 1);
+        let chunk = (batch_size / num_sequences).max(1);
+        ProximityAware { num_sequences, chunk, seed }
+    }
+}
+
+impl TrainOrdering for ProximityAware {
+    fn name(&self) -> &'static str {
+        "proximity-aware"
+    }
+
+    fn epoch_order(&self, g: &Csr, train_nodes: &[NodeId], epoch: usize) -> Vec<NodeId> {
+        if train_nodes.is_empty() {
+            return Vec::new();
+        }
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (epoch as u64).wrapping_mul(0xA5A5));
+        let is_train = train_mask(g.num_nodes(), train_nodes);
+
+        // ① Several BFS sequences from random roots, filtered to train
+        // nodes. Each sequence is a complete order over all training nodes.
+        let mut sequences: Vec<Vec<NodeId>> = (0..self.num_sequences)
+            .map(|_| {
+                let root = rng.random_range(0..g.num_nodes()) as NodeId;
+                bfs_full_order(g, root)
+                    .into_iter()
+                    .filter(|&v| is_train[v as usize])
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        // ② Random shift: rotate each sequence by a random offset. This
+        // randomizes where each epoch starts in the traversal and keeps the
+        // small-components tail (which BFS appends last) from always
+        // landing in the final batches.
+        for seq in sequences.iter_mut() {
+            let shift = rng.random_range(0..seq.len().max(1));
+            seq.rotate_left(shift);
+        }
+
+        // ③ Round-robin interleave in runs of `chunk` consecutive nodes per
+        // sequence (Fig. 7), skipping nodes already emitted this epoch, so
+        // the result is a permutation of the training set that keeps
+        // BFS-adjacent nodes adjacent within each run.
+        let n = train_nodes.len();
+        let mut emitted = vec![false; g.num_nodes()];
+        let mut cursors = vec![0usize; self.num_sequences];
+        let mut order = Vec::with_capacity(n);
+        let mut s = 0usize;
+        while order.len() < n {
+            let seq = &sequences[s % self.num_sequences];
+            let cur = &mut cursors[s % self.num_sequences];
+            let mut taken = 0usize;
+            while taken < self.chunk.max(1) && *cur < seq.len() {
+                let v = seq[*cur];
+                *cur += 1;
+                if !emitted[v as usize] {
+                    emitted[v as usize] = true;
+                    order.push(v);
+                    taken += 1;
+                }
+            }
+            s += 1;
+            // All cursors exhausted -> done (order must already hold all n).
+            if s % self.num_sequences == 0
+                && cursors
+                    .iter()
+                    .zip(&sequences)
+                    .all(|(&c, seq)| c >= seq.len())
+            {
+                break;
+            }
+        }
+        order
+    }
+}
+
+fn train_mask(n: usize, train_nodes: &[NodeId]) -> Vec<bool> {
+    let mut mask = vec![false; n];
+    for &t in train_nodes {
+        mask[t as usize] = true;
+    }
+    mask
+}
+
+/// Locality proxy: mean BFS-hop adjacency of consecutive order entries,
+/// measured as the fraction of consecutive pairs within `k` hops. Higher is
+/// more cache-friendly. Used by tests and the cache experiments.
+pub fn consecutive_locality(g: &Csr, order: &[NodeId], k: usize, sample: usize) -> f64 {
+    use bgl_graph::khop_neighborhood;
+    if order.len() < 2 {
+        return 1.0;
+    }
+    let stride = (order.len() / sample.max(1)).max(1);
+    let mut close = 0usize;
+    let mut total = 0usize;
+    let mut i = 0;
+    while i + 1 < order.len() {
+        let hood = khop_neighborhood(g, order[i], k);
+        if hood.contains(&order[i + 1]) {
+            close += 1;
+        }
+        total += 1;
+        i += stride;
+    }
+    close as f64 / total.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgl_graph::generate::{self, CommunityConfig};
+
+    fn setup() -> (Csr, Vec<NodeId>) {
+        let g = generate::community_graph(
+            CommunityConfig { n: 2000, communities: 10, intra: 8, inter: 1 },
+            21,
+        );
+        let train: Vec<NodeId> = (0..2000).step_by(4).map(|v| v as NodeId).collect();
+        (g, train)
+    }
+
+    fn assert_permutation(order: &[NodeId], train: &[NodeId]) {
+        assert_eq!(order.len(), train.len());
+        let mut a = order.to_vec();
+        let mut b = train.to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_orderings_are_permutations() {
+        let (g, train) = setup();
+        for ord in [
+            &RandomShuffle::new(1) as &dyn TrainOrdering,
+            &BfsOrder::new(1),
+            &ProximityAware::new(5, 1),
+        ] {
+            for epoch in 0..3 {
+                let order = ord.epoch_order(&g, &train, epoch);
+                assert_permutation(&order, &train);
+            }
+        }
+    }
+
+    #[test]
+    fn epochs_differ() {
+        let (g, train) = setup();
+        for ord in [
+            &RandomShuffle::new(1) as &dyn TrainOrdering,
+            &ProximityAware::new(5, 1),
+        ] {
+            let a = ord.epoch_order(&g, &train, 0);
+            let b = ord.epoch_order(&g, &train, 1);
+            assert_ne!(a, b, "{} repeated epoch order", ord.name());
+        }
+    }
+
+    #[test]
+    fn proximity_beats_random_on_locality() {
+        let (g, train) = setup();
+        let po = ProximityAware::new(4, 3).epoch_order(&g, &train, 0);
+        let rs = RandomShuffle::new(3).epoch_order(&g, &train, 0);
+        let lp = consecutive_locality(&g, &po, 2, 200);
+        let lr = consecutive_locality(&g, &rs, 2, 200);
+        assert!(
+            lp > lr * 1.5,
+            "proximity locality {:.3} should beat random {:.3}",
+            lp,
+            lr
+        );
+    }
+
+    #[test]
+    fn bfs_has_highest_locality() {
+        let (g, train) = setup();
+        let bfs = BfsOrder::new(3).epoch_order(&g, &train, 0);
+        let po = ProximityAware::new(4, 3).epoch_order(&g, &train, 0);
+        let lb = consecutive_locality(&g, &bfs, 2, 200);
+        let lp = consecutive_locality(&g, &po, 2, 200);
+        assert!(lb >= lp * 0.9, "bfs {:.3} vs po {:.3}", lb, lp);
+    }
+
+    #[test]
+    fn batches_cover_epoch() {
+        let (g, train) = setup();
+        let batches = ProximityAware::new(3, 7).epoch_batches(&g, &train, 64, 0);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, train.len());
+        assert!(batches[..batches.len() - 1].iter().all(|b| b.len() == 64));
+    }
+
+    #[test]
+    fn single_sequence_proximity_is_shifted_bfs() {
+        let (g, train) = setup();
+        let order = ProximityAware::new(1, 5).epoch_order(&g, &train, 0);
+        assert_permutation(&order, &train);
+        let loc = consecutive_locality(&g, &order, 2, 200);
+        assert!(loc > 0.3, "single-seq locality {:.3} too low", loc);
+    }
+
+    #[test]
+    fn empty_train_set() {
+        let (g, _) = setup();
+        let order = ProximityAware::new(3, 1).epoch_order(&g, &[], 0);
+        assert!(order.is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Alternative vertex-centric samplers (paper footnote 5): random-walk
+//! sampling (PinSAGE-style) and layer-wise sampling (FastGCN-style).
+//!
+//! BGL's cache and partitioning apply to any vertex-centric sampler; these
+//! two let the examples and ablation benches demonstrate that generality.
+
+use crate::neighbor::{LayerBlock, MiniBatch};
+use bgl_graph::{Csr, NodeId};
+use rand::prelude::*;
+use std::collections::HashMap;
+
+/// Random-walk neighborhood sampler: for each seed, run `num_walks` walks
+/// of length `walk_len` and keep the `top_t` most-visited nodes as the
+/// seed's aggregation neighborhood (PinSAGE's importance pooling).
+#[derive(Clone, Copy, Debug)]
+pub struct RandomWalkSampler {
+    pub num_walks: usize,
+    pub walk_len: usize,
+    pub top_t: usize,
+}
+
+impl RandomWalkSampler {
+    pub fn new(num_walks: usize, walk_len: usize, top_t: usize) -> Self {
+        assert!(num_walks >= 1 && walk_len >= 1 && top_t >= 1);
+        RandomWalkSampler { num_walks, walk_len, top_t }
+    }
+
+    /// Produce a single-block [`MiniBatch`] whose neighborhoods are the
+    /// top visited nodes per seed.
+    pub fn sample(&self, g: &Csr, seeds: &[NodeId], rng: &mut StdRng) -> MiniBatch {
+        let mut src_nodes: Vec<NodeId> = seeds.to_vec();
+        let mut local_of: HashMap<NodeId, u32> =
+            seeds.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+        let mut offsets = vec![0usize];
+        let mut srcs = Vec::new();
+        for &seed in seeds {
+            let mut visits: HashMap<NodeId, usize> = HashMap::new();
+            for _ in 0..self.num_walks {
+                let mut cur = seed;
+                for _ in 0..self.walk_len {
+                    let nbrs = g.neighbors(cur);
+                    if nbrs.is_empty() {
+                        break;
+                    }
+                    cur = nbrs[rng.random_range(0..nbrs.len())];
+                    *visits.entry(cur).or_insert(0) += 1;
+                }
+            }
+            let mut ranked: Vec<(NodeId, usize)> = visits.into_iter().collect();
+            ranked.sort_by_key(|&(v, c)| (std::cmp::Reverse(c), v));
+            for &(v, _) in ranked.iter().take(self.top_t) {
+                let next_id = src_nodes.len() as u32;
+                let id = *local_of.entry(v).or_insert_with(|| {
+                    src_nodes.push(v);
+                    next_id
+                });
+                srcs.push(id);
+            }
+            offsets.push(srcs.len());
+        }
+        let block = LayerBlock { dst_nodes: seeds.to_vec(), src_nodes, offsets, srcs };
+        MiniBatch { seeds: seeds.to_vec(), blocks: vec![block] }
+    }
+}
+
+/// Layer-wise sampler (FastGCN-style): per hop, sample a fixed-size node
+/// set for the whole layer (importance ∝ degree) instead of per-node
+/// fanouts, then connect each dst to its sampled in-neighbors within the
+/// chosen layer set.
+#[derive(Clone, Debug)]
+pub struct LayerWiseSampler {
+    /// Per-hop layer sizes, seed-nearest first.
+    pub layer_sizes: Vec<usize>,
+}
+
+impl LayerWiseSampler {
+    pub fn new(layer_sizes: Vec<usize>) -> Self {
+        assert!(!layer_sizes.is_empty());
+        LayerWiseSampler { layer_sizes }
+    }
+
+    pub fn sample(&self, g: &Csr, seeds: &[NodeId], rng: &mut StdRng) -> MiniBatch {
+        let mut blocks_rev = Vec::new();
+        let mut dst: Vec<NodeId> = seeds.to_vec();
+        for &layer_size in &self.layer_sizes {
+            // Candidate pool: union of dst neighbors.
+            let mut pool: Vec<NodeId> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for &v in &dst {
+                for &u in g.neighbors(v) {
+                    if seen.insert(u) {
+                        pool.push(u);
+                    }
+                }
+            }
+            // Degree-proportional sampling without replacement (weighted
+            // reservoir via exponential keys).
+            let mut keyed: Vec<(f64, NodeId)> = pool
+                .iter()
+                .map(|&u| {
+                    let w = (g.degree(u) as f64).max(1.0);
+                    let r: f64 = rng.random::<f64>().max(1e-12);
+                    (r.powf(1.0 / w), u)
+                })
+                .collect();
+            keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            let chosen: std::collections::HashSet<NodeId> =
+                keyed.iter().take(layer_size).map(|&(_, u)| u).collect();
+
+            let mut src_nodes: Vec<NodeId> = dst.clone();
+            let mut local_of: HashMap<NodeId, u32> =
+                dst.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+            let mut offsets = vec![0usize];
+            let mut srcs = Vec::new();
+            for &v in &dst {
+                for &u in g.neighbors(v) {
+                    if chosen.contains(&u) {
+                        let next_id = src_nodes.len() as u32;
+                        let id = *local_of.entry(u).or_insert_with(|| {
+                            src_nodes.push(u);
+                            next_id
+                        });
+                        srcs.push(id);
+                    }
+                }
+                offsets.push(srcs.len());
+            }
+            let block = LayerBlock { dst_nodes: dst.clone(), src_nodes, offsets, srcs };
+            dst = block.src_nodes.clone();
+            blocks_rev.push(block);
+        }
+        blocks_rev.reverse();
+        MiniBatch { seeds: seeds.to_vec(), blocks: blocks_rev }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgl_graph::generate;
+
+    #[test]
+    fn random_walk_neighborhoods_bounded() {
+        let g = generate::barabasi_albert(500, 4, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = RandomWalkSampler::new(10, 3, 5);
+        let mb = s.sample(&g, &[1, 2, 3], &mut rng);
+        let b = &mb.blocks[0];
+        for d in 0..b.num_dst() {
+            assert!(b.neighbors_of(d).len() <= 5);
+        }
+        assert_eq!(&b.src_nodes[..3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn random_walk_on_isolated_node() {
+        let g = bgl_graph::GraphBuilder::new(3).build();
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = RandomWalkSampler::new(5, 3, 4);
+        let mb = s.sample(&g, &[0], &mut rng);
+        assert_eq!(mb.blocks[0].neighbors_of(0).len(), 0);
+    }
+
+    #[test]
+    fn layer_wise_respects_layer_budget() {
+        let g = generate::barabasi_albert(500, 4, 9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = LayerWiseSampler::new(vec![20, 10]);
+        let mb = s.sample(&g, &[0, 1, 2, 3], &mut rng);
+        assert_eq!(mb.blocks.len(), 2);
+        // src set of each block ≤ dst + layer budget.
+        let inner = &mb.blocks[1]; // seed-nearest (layer_sizes[0] = 20)
+        assert!(inner.num_src() <= inner.num_dst() + 20);
+    }
+
+    #[test]
+    fn layer_wise_edges_exist() {
+        let g = generate::barabasi_albert(300, 3, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = LayerWiseSampler::new(vec![30]);
+        let mb = s.sample(&g, &[5, 6], &mut rng);
+        let b = &mb.blocks[0];
+        for d in 0..b.num_dst() {
+            for &sl in b.neighbors_of(d) {
+                assert!(g.has_edge(b.dst_nodes[d], b.src_nodes[sl as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn walk_sampler_prefers_close_nodes() {
+        // On a path graph, walks from an end reach only nearby nodes.
+        let mut builder = bgl_graph::GraphBuilder::new(50);
+        for i in 0..49u32 {
+            builder.add_undirected(i, i + 1);
+        }
+        let g = builder.build();
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = RandomWalkSampler::new(20, 4, 8);
+        let mb = s.sample(&g, &[0], &mut rng);
+        let b = &mb.blocks[0];
+        for &sl in b.neighbors_of(0) {
+            assert!(b.src_nodes[sl as usize] <= 4, "walk escaped radius");
+        }
+    }
+}

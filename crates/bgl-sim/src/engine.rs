@@ -1,0 +1,181 @@
+//! Generic discrete-event engine.
+//!
+//! Events are closures scheduled at absolute virtual times; ties are broken
+//! by scheduling order, so runs are fully deterministic. The engine is
+//! deliberately minimal (the smoltcp guide's "simplicity over type tricks"):
+//! components that need richer state machines (the tandem pipeline, the
+//! store cluster) keep their own state and use the engine only as a clock
+//! and ordered dispatcher.
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// An event callback. Receives the simulator so it can schedule follow-ups.
+pub type EventFn = Box<dyn FnOnce(&mut Simulator)>;
+
+/// Discrete-event simulator: a virtual clock plus an event heap.
+#[derive(Default)]
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    events: HashMap<u64, EventFn>,
+    executed: u64,
+}
+
+impl Simulator {
+    /// A simulator at time zero with no pending events.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `f` to run `delay` after the current time. Returns the event
+    /// id, which can be passed to [`Simulator::cancel`].
+    pub fn schedule(&mut self, delay: SimTime, f: impl FnOnce(&mut Simulator) + 'static) -> u64 {
+        self.schedule_at(self.now.saturating_add(delay), f)
+    }
+
+    /// Schedule `f` at the absolute time `at` (clamped to `now` if earlier).
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut Simulator) + 'static) -> u64 {
+        let at = at.max(self.now);
+        let id = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, id)));
+        self.events.insert(id, Box::new(f));
+        id
+    }
+
+    /// Cancel a scheduled event. Returns true if it had not yet fired.
+    pub fn cancel(&mut self, id: u64) -> bool {
+        self.events.remove(&id).is_some()
+    }
+
+    /// Execute the next pending event, advancing the clock. Returns false
+    /// when no events remain.
+    pub fn step(&mut self) -> bool {
+        while let Some(Reverse((at, id))) = self.heap.pop() {
+            if let Some(f) = self.events.remove(&id) {
+                self.now = at;
+                self.executed += 1;
+                f(self);
+                return true;
+            }
+            // Cancelled event: skip without advancing the clock.
+        }
+        false
+    }
+
+    /// Run until the event queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the clock would pass `deadline` (events at exactly
+    /// `deadline` still run). Pending later events are left queued.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.heap.peek() {
+                Some(&Reverse((at, _))) if at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &(delay, tag) in &[(30u64, 'c'), (10, 'a'), (20, 'b')] {
+            let log = log.clone();
+            sim.schedule(delay, move |_| log.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec!['a', 'b', 'c']);
+        assert_eq!(sim.now(), 30);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..5 {
+            let log = log.clone();
+            sim.schedule(7, move |_| log.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Simulator::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        // A self-rescheduling ticker that stops after 5 ticks.
+        fn tick(sim: &mut Simulator, hits: Rc<RefCell<u32>>) {
+            *hits.borrow_mut() += 1;
+            if *hits.borrow() < 5 {
+                let h = hits.clone();
+                sim.schedule(100, move |s| tick(s, h));
+            }
+        }
+        let h = hits.clone();
+        sim.schedule(0, move |s| tick(s, h));
+        sim.run();
+        assert_eq!(*hits.borrow(), 5);
+        assert_eq!(sim.now(), 400);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        let id = sim.schedule(10, move |_| *f.borrow_mut() = true);
+        assert!(sim.cancel(id));
+        assert!(!sim.cancel(id), "double cancel reports false");
+        sim.run();
+        assert!(!*fired.borrow());
+    }
+
+    #[test]
+    fn run_until_leaves_later_events_pending() {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &d in &[5u64, 15, 25] {
+            let log = log.clone();
+            sim.schedule(d, move |_| log.borrow_mut().push(d));
+        }
+        sim.run_until(15);
+        assert_eq!(*log.borrow(), vec![5, 15]);
+        assert_eq!(sim.now(), 15);
+        assert_eq!(sim.pending(), 1);
+        sim.run();
+        assert_eq!(*log.borrow(), vec![5, 15, 25]);
+    }
+}

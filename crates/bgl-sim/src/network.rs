@@ -1,0 +1,146 @@
+//! Network accounting for the distributed graph store.
+//!
+//! `bgl-store` executes RPCs for real (actual neighbor lists and feature
+//! bytes move between partition servers and workers); this module converts
+//! those message sizes into *simulated wire time* and keeps per-flow traffic
+//! statistics — the quantities behind Table 3 (sampling time per epoch) and
+//! Fig. 14 (feature retrieving time).
+
+use crate::devices::LinkSpec;
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative traffic counters for one direction of one flow.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct TrafficStats {
+    pub messages: u64,
+    pub bytes: u64,
+    /// Total simulated wire time spent by these messages.
+    pub wire_time: SimTime,
+}
+
+impl TrafficStats {
+    /// Fold another counter into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.wire_time += other.wire_time;
+    }
+}
+
+/// A network model: one link spec per locality class.
+///
+/// * `local` — sampler colocated with the store server (intra-process);
+/// * `remote` — cross-server traffic over the NIC.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NetworkModel {
+    pub local: LinkSpec,
+    pub remote: LinkSpec,
+}
+
+impl NetworkModel {
+    /// The paper's fabric: colocated samplers talk through shared memory,
+    /// cross-server traffic rides the 100 Gbps NIC.
+    pub fn paper_fabric() -> Self {
+        NetworkModel { local: LinkSpec::loopback(), remote: LinkSpec::nic_100g() }
+    }
+
+    /// Cost of a message of `bytes` between `src` and `dst` servers.
+    pub fn message_time(&self, src: usize, dst: usize, bytes: usize) -> SimTime {
+        if src == dst {
+            self.local.transfer_time(bytes)
+        } else {
+            self.remote.transfer_time(bytes)
+        }
+    }
+
+    /// Cost of a request/response pair (request `req` bytes, response
+    /// `resp` bytes).
+    pub fn rpc_time(&self, src: usize, dst: usize, req: usize, resp: usize) -> SimTime {
+        self.message_time(src, dst, req) + self.message_time(dst, src, resp)
+    }
+}
+
+/// Mutable traffic ledger, separating local and remote flows.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrafficLedger {
+    pub local: TrafficStats,
+    pub remote: TrafficStats,
+}
+
+impl TrafficLedger {
+    /// Record one message and return its simulated wire time.
+    pub fn record(
+        &mut self,
+        model: &NetworkModel,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+    ) -> SimTime {
+        let t = model.message_time(src, dst, bytes);
+        let stats = if src == dst { &mut self.local } else { &mut self.remote };
+        stats.messages += 1;
+        stats.bytes += bytes as u64;
+        stats.wire_time += t;
+        t
+    }
+
+    /// Total bytes moved across both classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.local.bytes + self.remote.bytes
+    }
+
+    /// Fraction of bytes that crossed servers.
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.remote.bytes as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_is_cheaper_than_remote() {
+        let net = NetworkModel::paper_fabric();
+        let bytes = 10 << 20;
+        assert!(net.message_time(0, 0, bytes) < net.message_time(0, 1, bytes));
+    }
+
+    #[test]
+    fn rpc_is_two_messages() {
+        let net = NetworkModel::paper_fabric();
+        let rpc = net.rpc_time(0, 1, 100, 1 << 20);
+        assert_eq!(
+            rpc,
+            net.message_time(0, 1, 100) + net.message_time(1, 0, 1 << 20)
+        );
+    }
+
+    #[test]
+    fn ledger_classifies_flows() {
+        let net = NetworkModel::paper_fabric();
+        let mut ledger = TrafficLedger::default();
+        ledger.record(&net, 0, 0, 1000);
+        ledger.record(&net, 0, 1, 3000);
+        assert_eq!(ledger.local.messages, 1);
+        assert_eq!(ledger.remote.messages, 1);
+        assert_eq!(ledger.total_bytes(), 4000);
+        assert!((ledger.remote_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TrafficStats { messages: 1, bytes: 10, wire_time: 5 };
+        let b = TrafficStats { messages: 2, bytes: 20, wire_time: 7 };
+        a.merge(&b);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.bytes, 30);
+        assert_eq!(a.wire_time, 12);
+    }
+}

@@ -1,0 +1,320 @@
+//! The store cluster: partition map + servers + traffic accounting, with
+//! distributed multi-hop sampling and batched feature fetch.
+
+use crate::server::GraphStoreServer;
+use crate::wire::Message;
+use crate::StoreError;
+use bgl_graph::{Csr, FeatureStore, NodeId};
+use bgl_partition::Partition;
+use bgl_sampler::neighbor::{LayerBlock, MiniBatch};
+use bgl_sim::network::{NetworkModel, TrafficLedger};
+use bgl_sim::SimTime;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Timing of one distributed sampling call.
+#[derive(Clone, Debug, Default)]
+pub struct SampleTiming {
+    /// Simulated elapsed time: per hop, concurrent RPCs overlap, so each
+    /// hop costs the *max* over contacted servers; hops are sequential.
+    pub elapsed: SimTime,
+    /// Per-hop elapsed breakdown.
+    pub per_hop: Vec<SimTime>,
+    /// Messages that stayed on the sampler's own server.
+    pub local_requests: u64,
+    /// Messages that crossed servers.
+    pub remote_requests: u64,
+}
+
+/// A distributed graph store: one server per partition.
+pub struct StoreCluster {
+    servers: Vec<GraphStoreServer>,
+    owner: Arc<Vec<u32>>,
+    net: NetworkModel,
+    /// Cumulative traffic across all operations.
+    pub ledger: TrafficLedger,
+}
+
+impl StoreCluster {
+    /// Stand up one server per partition.
+    pub fn new(
+        graph: Arc<Csr>,
+        features: Arc<FeatureStore>,
+        partition: &Partition,
+        net: NetworkModel,
+        seed: u64,
+    ) -> Self {
+        let owner = Arc::new(partition.assignment.clone());
+        let servers = (0..partition.k)
+            .map(|i| {
+                GraphStoreServer::new(i, graph.clone(), features.clone(), owner.clone(), seed)
+            })
+            .collect();
+        StoreCluster { servers, owner, net, ledger: TrafficLedger::default() }
+    }
+
+    /// Number of servers (= partitions).
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// The server owning node `v`.
+    pub fn owner_of(&self, v: NodeId) -> usize {
+        self.owner[v as usize] as usize
+    }
+
+    /// The location id used for a worker machine (never equal to a server
+    /// id, so worker traffic is always remote).
+    pub fn worker_location(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Failure injection: take a server down / bring it back.
+    pub fn set_server_down(&mut self, server: usize, down: bool) {
+        self.servers[server].set_down(down);
+    }
+
+    /// Per-server request counts (sampling load balance, Table 3's cause).
+    pub fn requests_per_server(&self) -> Vec<u64> {
+        self.servers.iter().map(|s| s.requests_served).collect()
+    }
+
+    /// One RPC from location `from` to server `to`: both frames cross the
+    /// network model; returns the decoded response and the simulated time.
+    fn rpc(
+        &mut self,
+        from: usize,
+        to: usize,
+        req: Message,
+    ) -> Result<(Message, SimTime), StoreError> {
+        let req_frame = req.encode();
+        let t_req = self.ledger.record(&self.net, from, to, req_frame.len());
+        let resp_frame = self.servers[to].handle(req_frame)?;
+        let t_resp = self.ledger.record(&self.net, to, from, resp_frame.len());
+        let resp = Message::decode(resp_frame)?;
+        Ok((resp, t_req + t_resp))
+    }
+
+    /// Distributed multi-hop neighbor sampling (paper Fig. 1 stage 1).
+    ///
+    /// The sampler is colocated with server `home`: requests for nodes
+    /// owned by `home` are intra-server (shared memory), requests to any
+    /// other server cross the network. Per hop, requests to distinct
+    /// servers proceed in parallel, so the hop's elapsed time is the
+    /// maximum RPC time.
+    pub fn sample_batch(
+        &mut self,
+        fanouts: &[usize],
+        seeds: &[NodeId],
+        home: usize,
+    ) -> Result<(MiniBatch, SampleTiming), StoreError> {
+        let mut timing = SampleTiming::default();
+        let mut blocks_rev: Vec<LayerBlock> = Vec::with_capacity(fanouts.len());
+        let mut dst: Vec<NodeId> = seeds.to_vec();
+        for &fanout in fanouts {
+            // Group dst nodes by owning server, preserving positions.
+            let mut groups: HashMap<usize, (Vec<usize>, Vec<NodeId>)> = HashMap::new();
+            for (i, &v) in dst.iter().enumerate() {
+                let o = self.owner_of(v);
+                let entry = groups.entry(o).or_default();
+                entry.0.push(i);
+                entry.1.push(v);
+            }
+            let mut lists: Vec<Vec<NodeId>> = vec![Vec::new(); dst.len()];
+            let mut hop_elapsed: SimTime = 0;
+            for (server, (positions, nodes)) in groups {
+                if server == home {
+                    timing.local_requests += 1;
+                } else {
+                    timing.remote_requests += 1;
+                }
+                let (resp, t) = self.rpc(
+                    home,
+                    server,
+                    Message::NeighborReq { fanout: fanout as u32, nodes: nodes.clone() },
+                )?;
+                hop_elapsed = hop_elapsed.max(t);
+                match resp {
+                    Message::NeighborResp { lists: got } => {
+                        if got.len() != positions.len() {
+                            return Err(StoreError::Malformed("wrong list count"));
+                        }
+                        for (list, &pos) in got.into_iter().zip(&positions) {
+                            lists[pos] = list;
+                        }
+                    }
+                    _ => return Err(StoreError::Malformed("unexpected response")),
+                }
+            }
+            timing.per_hop.push(hop_elapsed);
+            timing.elapsed += hop_elapsed;
+            blocks_rev.push(build_block(&dst, &lists));
+            dst = blocks_rev.last().unwrap().src_nodes.clone();
+        }
+        blocks_rev.reverse();
+        Ok((
+            MiniBatch { seeds: seeds.to_vec(), blocks: blocks_rev },
+            timing,
+        ))
+    }
+
+    /// Fetch feature rows for `nodes` on behalf of a requester at location
+    /// `from` (use [`StoreCluster::worker_location`] for a worker machine).
+    /// Rows come back in `nodes` order; elapsed is the max over the
+    /// parallel per-server RPCs.
+    pub fn fetch_features(
+        &mut self,
+        nodes: &[NodeId],
+        from: usize,
+    ) -> Result<(Vec<f32>, SimTime), StoreError> {
+        if nodes.is_empty() {
+            return Ok((Vec::new(), 0));
+        }
+        let dim = {
+            // All servers share the feature store; ask server 0's view.
+            self.servers[0].features_dim()
+        };
+        let mut out = vec![0.0f32; nodes.len() * dim];
+        let mut groups: HashMap<usize, (Vec<usize>, Vec<NodeId>)> = HashMap::new();
+        for (i, &v) in nodes.iter().enumerate() {
+            let o = self.owner_of(v);
+            let entry = groups.entry(o).or_default();
+            entry.0.push(i);
+            entry.1.push(v);
+        }
+        let mut elapsed: SimTime = 0;
+        for (server, (positions, ids)) in groups {
+            let (resp, t) = self.rpc(from, server, Message::FeatureReq { nodes: ids })?;
+            elapsed = elapsed.max(t);
+            match resp {
+                Message::FeatureResp { dim: d, rows } => {
+                    if d as usize != dim || rows.len() != positions.len() * dim {
+                        return Err(StoreError::Malformed("bad feature payload"));
+                    }
+                    for (j, &pos) in positions.iter().enumerate() {
+                        out[pos * dim..(pos + 1) * dim]
+                            .copy_from_slice(&rows[j * dim..(j + 1) * dim]);
+                    }
+                }
+                _ => return Err(StoreError::Malformed("unexpected response")),
+            }
+        }
+        Ok((out, elapsed))
+    }
+}
+
+/// Assemble a [`LayerBlock`] from per-dst sampled neighbor lists.
+fn build_block(dst: &[NodeId], lists: &[Vec<NodeId>]) -> LayerBlock {
+    let mut src_nodes: Vec<NodeId> = dst.to_vec();
+    let mut local_of: HashMap<NodeId, u32> =
+        dst.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+    let mut offsets = Vec::with_capacity(dst.len() + 1);
+    offsets.push(0usize);
+    let mut srcs: Vec<u32> = Vec::new();
+    for list in lists {
+        for &u in list {
+            let next_id = src_nodes.len() as u32;
+            let id = *local_of.entry(u).or_insert_with(|| {
+                src_nodes.push(u);
+                next_id
+            });
+            srcs.push(id);
+        }
+        offsets.push(srcs.len());
+    }
+    LayerBlock { dst_nodes: dst.to_vec(), src_nodes, offsets, srcs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgl_partition::{Partitioner, RoundRobinPartitioner};
+
+    fn setup(k: usize) -> (Arc<Csr>, StoreCluster) {
+        let g = Arc::new(bgl_graph::generate::barabasi_albert(200, 4, 3));
+        let f = Arc::new(FeatureStore::zeros(200, 4));
+        let p = RoundRobinPartitioner.partition(&g, &[], k);
+        let cluster =
+            StoreCluster::new(g.clone(), f, &p, NetworkModel::paper_fabric(), 11);
+        (g, cluster)
+    }
+
+    #[test]
+    fn sampled_batch_is_valid() {
+        let (g, mut cluster) = setup(4);
+        let (mb, timing) = cluster.sample_batch(&[3, 2], &[0, 1, 2], 0).unwrap();
+        assert_eq!(mb.blocks.len(), 2);
+        assert_eq!(mb.blocks.last().unwrap().dst_nodes, vec![0, 1, 2]);
+        for b in &mb.blocks {
+            assert_eq!(&b.src_nodes[..b.num_dst()], &b.dst_nodes[..]);
+            for d in 0..b.num_dst() {
+                for &sl in b.neighbors_of(d) {
+                    assert!(g.has_edge(b.dst_nodes[d], b.src_nodes[sl as usize]));
+                }
+            }
+        }
+        assert!(timing.elapsed > 0);
+        assert_eq!(timing.per_hop.len(), 2);
+    }
+
+    #[test]
+    fn local_partition_avoids_remote_traffic() {
+        // Single partition: everything is local.
+        let (_, mut cluster) = setup(1);
+        let (_, timing) = cluster.sample_batch(&[3], &[5, 6], 0).unwrap();
+        assert_eq!(timing.remote_requests, 0);
+        assert!(timing.local_requests > 0);
+        assert_eq!(cluster.ledger.remote.messages, 0);
+    }
+
+    #[test]
+    fn round_robin_partition_forces_remote_traffic() {
+        let (_, mut cluster) = setup(4);
+        // Round-robin scatters every neighborhood: expect remote requests.
+        let (_, timing) = cluster.sample_batch(&[5, 5], &[0, 1, 2, 3], 0).unwrap();
+        assert!(timing.remote_requests > 0);
+        assert!(cluster.ledger.remote.bytes > 0);
+    }
+
+    #[test]
+    fn features_in_order_from_worker() {
+        let g = Arc::new(bgl_graph::generate::barabasi_albert(50, 3, 5));
+        let mut f = FeatureStore::zeros(50, 2);
+        for v in 0..50u32 {
+            f.row_mut(v).copy_from_slice(&[v as f32, v as f32 + 0.5]);
+        }
+        let p = RoundRobinPartitioner.partition(&g, &[], 2);
+        let mut cluster = StoreCluster::new(
+            g,
+            Arc::new(f),
+            &p,
+            NetworkModel::paper_fabric(),
+            1,
+        );
+        let w = cluster.worker_location();
+        let (rows, elapsed) = cluster.fetch_features(&[7, 3, 10], w).unwrap();
+        assert_eq!(rows, vec![7.0, 7.5, 3.0, 3.5, 10.0, 10.5]);
+        assert!(elapsed > 0);
+        // Worker traffic is always remote.
+        assert_eq!(cluster.ledger.local.messages, 0);
+    }
+
+    #[test]
+    fn down_server_surfaces_error() {
+        let (_, mut cluster) = setup(2);
+        cluster.set_server_down(1, true);
+        let err = cluster.sample_batch(&[3], &[1], 0).unwrap_err();
+        assert_eq!(err, StoreError::ServerDown(1));
+        cluster.set_server_down(1, false);
+        assert!(cluster.sample_batch(&[3], &[1], 0).is_ok());
+    }
+
+    #[test]
+    fn request_load_is_tracked() {
+        let (_, mut cluster) = setup(2);
+        cluster.sample_batch(&[2], &[0, 1, 2, 3], 0).unwrap();
+        let reqs = cluster.requests_per_server();
+        assert_eq!(reqs.len(), 2);
+        assert!(reqs.iter().sum::<u64>() > 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! On-disk persistence for graphs and partitions.
+//!
+//! The paper stores graph data and partition results in HDFS (§3.1,
+//! "Graph partitioning is a one-time cost, and the results are saved in the
+//! distributed storage system"). Here the distributed filesystem is the
+//! local filesystem; the format is a small length-prefixed binary layout
+//! with a magic header and version byte, so stale or foreign files fail
+//! loudly instead of deserializing garbage.
+
+use bgl_graph::{Csr, NodeId};
+use bgl_partition::Partition;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const GRAPH_MAGIC: &[u8; 8] = b"BGLGRPH1";
+const PART_MAGIC: &[u8; 8] = b"BGLPART1";
+const FEAT_MAGIC: &[u8; 8] = b"BGLFEAT1";
+
+/// Save a graph's CSR arrays.
+pub fn save_graph(g: &Csr, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(GRAPH_MAGIC)?;
+    w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for &o in g.offsets() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &t in g.targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Load a graph saved by [`save_graph`].
+pub fn load_graph(path: &Path) -> io::Result<Csr> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != GRAPH_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad graph magic"));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)?);
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        targets.push(read_u32(&mut r)?);
+    }
+    Ok(Csr::from_parts(offsets, targets))
+}
+
+/// Save a partition (k + per-node assignment).
+pub fn save_partition(p: &Partition, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(PART_MAGIC)?;
+    w.write_all(&(p.k as u64).to_le_bytes())?;
+    w.write_all(&(p.assignment.len() as u64).to_le_bytes())?;
+    for &a in &p.assignment {
+        w.write_all(&a.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Load a partition saved by [`save_partition`].
+pub fn load_partition(path: &Path) -> io::Result<Partition> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != PART_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad partition magic"));
+    }
+    let k = read_u64(&mut r)? as usize;
+    let n = read_u64(&mut r)? as usize;
+    let mut assignment = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a = read_u32(&mut r)?;
+        if a as usize >= k {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "assignment out of range",
+            ));
+        }
+        assignment.push(a);
+    }
+    Ok(Partition::new(k, assignment))
+}
+
+/// Save a feature store (dim + row-major f32 rows).
+pub fn save_features(f: &bgl_graph::FeatureStore, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(FEAT_MAGIC)?;
+    w.write_all(&(f.num_nodes() as u64).to_le_bytes())?;
+    w.write_all(&(f.dim() as u64).to_le_bytes())?;
+    for &x in f.raw() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Load a feature store saved by [`save_features`].
+pub fn load_features(path: &Path) -> io::Result<bgl_graph::FeatureStore> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != FEAT_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad feature magic"));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let dim = read_u64(&mut r)? as usize;
+    if dim == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero feature dim"));
+    }
+    let mut data = Vec::with_capacity(n * dim);
+    let mut buf = [0u8; 4];
+    for _ in 0..n * dim {
+        r.read_exact(&mut buf)?;
+        data.push(f32::from_le_bytes(buf));
+    }
+    Ok(bgl_graph::FeatureStore::from_raw(dim, data))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<NodeId> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgl_graph::generate;
+    use bgl_partition::{Partitioner, RandomPartitioner};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bgl-disk-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = generate::barabasi_albert(100, 3, 1);
+        let path = tmp("graph");
+        save_graph(&g, &path).unwrap();
+        let loaded = load_graph(&path).unwrap();
+        assert_eq!(loaded.offsets(), g.offsets());
+        assert_eq!(loaded.targets(), g.targets());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn partition_roundtrip() {
+        let g = generate::barabasi_albert(100, 3, 2);
+        let p = RandomPartitioner::new(3).partition(&g, &[], 4);
+        let path = tmp("part");
+        save_partition(&p, &path).unwrap();
+        let loaded = load_partition(&path).unwrap();
+        assert_eq!(loaded.k, 4);
+        assert_eq!(loaded.assignment, p.assignment);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn features_roundtrip() {
+        let mut f = bgl_graph::FeatureStore::zeros(10, 3);
+        for v in 0..10u32 {
+            f.row_mut(v).copy_from_slice(&[v as f32, -(v as f32), 0.5]);
+        }
+        let path = tmp("feat");
+        save_features(&f, &path).unwrap();
+        let loaded = load_features(&path).unwrap();
+        assert_eq!(loaded.dim(), 3);
+        assert_eq!(loaded.raw(), f.raw());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = tmp("wrong");
+        std::fs::write(&path, b"NOTMAGIC________").unwrap();
+        assert!(load_graph(&path).is_err());
+        assert!(load_partition(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_cross_loading() {
+        let g = generate::barabasi_albert(50, 3, 7);
+        let path = tmp("cross");
+        save_graph(&g, &path).unwrap();
+        assert!(load_partition(&path).is_err(), "partition loader must reject graph file");
+        std::fs::remove_file(path).ok();
+    }
+}

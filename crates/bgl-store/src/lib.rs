@@ -1,0 +1,58 @@
+//! # bgl-store — distributed graph store with simulated fabric
+//!
+//! The substrate under both BGL and every baseline (paper Fig. 1 / Fig. 4):
+//! the graph structure and node features live partitioned across graph
+//! store servers; samplers are colocated with the servers; workers pull
+//! sampled subgraphs and features over the network.
+//!
+//! In this reproduction the servers are in-process, but the data path is
+//! real: every request and response is encoded through the binary [`wire`]
+//! codec, byte-for-byte, and each message's size is charged to a
+//! [`bgl_sim::network::NetworkModel`] to produce simulated wire time — so
+//! cross-partition traffic (what the partitioner minimizes, Table 3) and
+//! feature-retrieval traffic (what the cache minimizes, Fig. 14) are
+//! measured on actual bytes.
+//!
+//! * [`wire`] — length-prefixed binary codec over `bytes`;
+//! * [`server`] — [`server::GraphStoreServer`], owning one partition and
+//!   serving neighbor-sampling and feature RPCs;
+//! * [`cluster`] — [`StoreCluster`]: the server set + partition map +
+//!   traffic ledger, with distributed multi-hop sampling and batched
+//!   feature fetch;
+//! * [`disk`] — on-disk persistence of graphs and partitions (the paper's
+//!   "one-time cost, saved to HDFS" step, §3.1).
+
+pub mod cluster;
+pub mod disk;
+pub mod server;
+pub mod wire;
+
+pub use cluster::{SampleTiming, StoreCluster};
+pub use server::GraphStoreServer;
+
+use std::fmt;
+
+/// Errors surfaced by the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The target server is marked down (failure injection).
+    ServerDown(usize),
+    /// A request named a node the server does not own.
+    NotOwned { node: u32, server: usize },
+    /// A frame failed to decode.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::ServerDown(s) => write!(f, "graph store server {} is down", s),
+            StoreError::NotOwned { node, server } => {
+                write!(f, "node {} is not owned by server {}", node, server)
+            }
+            StoreError::Malformed(what) => write!(f, "malformed frame: {}", what),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

@@ -1,0 +1,211 @@
+//! One graph store server: owns a partition, serves neighbor-sampling and
+//! feature RPCs through the wire codec.
+//!
+//! Samplers run on the CPUs of the graph store servers (paper §3.1), which
+//! is why the *server* performs the fanout sampling: a request for a node's
+//! neighbors returns an already-sampled list, not the full adjacency.
+
+use crate::wire::Message;
+use crate::StoreError;
+use bgl_graph::{Csr, FeatureStore, NodeId};
+use bytes::Bytes;
+use rand::prelude::*;
+use std::sync::Arc;
+
+/// A graph store server owning one partition.
+pub struct GraphStoreServer {
+    id: usize,
+    graph: Arc<Csr>,
+    features: Arc<FeatureStore>,
+    /// `owner[v]` is the server owning node `v` (shared partition map).
+    owner: Arc<Vec<u32>>,
+    rng: StdRng,
+    /// Failure injection: a down server rejects every request.
+    down: bool,
+    /// Requests served (for load-balance accounting, Table 3's imbalance).
+    pub requests_served: u64,
+    /// Nodes sampled locally by this server's colocated sampler.
+    pub nodes_sampled: u64,
+}
+
+impl GraphStoreServer {
+    pub fn new(
+        id: usize,
+        graph: Arc<Csr>,
+        features: Arc<FeatureStore>,
+        owner: Arc<Vec<u32>>,
+        seed: u64,
+    ) -> Self {
+        GraphStoreServer {
+            id,
+            graph,
+            features,
+            owner,
+            rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B9)),
+            down: false,
+            requests_served: 0,
+            nodes_sampled: 0,
+        }
+    }
+
+    /// Server index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Mark the server down/up (failure injection).
+    pub fn set_down(&mut self, down: bool) {
+        self.down = down;
+    }
+
+    /// Whether this server owns `v`.
+    pub fn owns(&self, v: NodeId) -> bool {
+        self.owner[v as usize] as usize == self.id
+    }
+
+    /// Feature dimensionality of the store this server fronts.
+    pub fn features_dim(&self) -> usize {
+        self.features.dim()
+    }
+
+    /// Handle an encoded request frame, producing an encoded response.
+    /// This is the server's entire external surface — everything crosses
+    /// the codec.
+    pub fn handle(&mut self, frame: Bytes) -> Result<Bytes, StoreError> {
+        if self.down {
+            return Err(StoreError::ServerDown(self.id));
+        }
+        self.requests_served += 1;
+        match Message::decode(frame)? {
+            Message::NeighborReq { fanout, nodes } => {
+                let mut lists = Vec::with_capacity(nodes.len());
+                for &v in &nodes {
+                    if !self.owns(v) {
+                        return Err(StoreError::NotOwned { node: v, server: self.id });
+                    }
+                    lists.push(self.sample_neighbors(v, fanout as usize));
+                }
+                Ok(Message::NeighborResp { lists }.encode())
+            }
+            Message::FeatureReq { nodes } => {
+                let dim = self.features.dim() as u32;
+                let mut rows = Vec::with_capacity(nodes.len() * dim as usize);
+                for &v in &nodes {
+                    if !self.owns(v) {
+                        return Err(StoreError::NotOwned { node: v, server: self.id });
+                    }
+                    rows.extend_from_slice(self.features.row(v));
+                }
+                Ok(Message::FeatureResp { dim, rows }.encode())
+            }
+            Message::NeighborResp { .. } | Message::FeatureResp { .. } => {
+                Err(StoreError::Malformed("response sent to server"))
+            }
+        }
+    }
+
+    /// Fanout-sample `v`'s neighbors (all of them when degree ≤ fanout).
+    fn sample_neighbors(&mut self, v: NodeId, fanout: usize) -> Vec<NodeId> {
+        self.nodes_sampled += 1;
+        let nbrs = self.graph.neighbors(v);
+        if nbrs.len() <= fanout {
+            return nbrs.to_vec();
+        }
+        // Floyd's algorithm: fanout distinct picks.
+        let mut chosen = std::collections::HashSet::with_capacity(fanout);
+        let mut out = Vec::with_capacity(fanout);
+        for j in (nbrs.len() - fanout)..nbrs.len() {
+            let t = self.rng.random_range(0..=j);
+            let pick = if chosen.insert(t) { t } else { j };
+            if pick != t {
+                chosen.insert(pick);
+            }
+            out.push(nbrs[pick]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgl_graph::generate;
+
+    fn setup(k: usize) -> (Arc<Csr>, Arc<FeatureStore>, Arc<Vec<u32>>) {
+        let g = Arc::new(generate::barabasi_albert(100, 4, 1));
+        let f = Arc::new(FeatureStore::zeros(100, 4));
+        let owner = Arc::new((0..100u32).map(|v| v % k as u32).collect());
+        (g, f, owner)
+    }
+
+    #[test]
+    fn serves_owned_neighbors() {
+        let (g, f, owner) = setup(2);
+        let mut s = GraphStoreServer::new(0, g.clone(), f, owner, 7);
+        let req = Message::NeighborReq { fanout: 3, nodes: vec![2, 4] }.encode();
+        let resp = Message::decode(s.handle(req).unwrap()).unwrap();
+        match resp {
+            Message::NeighborResp { lists } => {
+                assert_eq!(lists.len(), 2);
+                for (i, list) in lists.iter().enumerate() {
+                    let v = [2u32, 4][i];
+                    assert!(list.len() <= 3);
+                    for &u in list {
+                        assert!(g.has_edge(v, u));
+                    }
+                }
+            }
+            other => panic!("unexpected response {:?}", other),
+        }
+        assert_eq!(s.requests_served, 1);
+        assert_eq!(s.nodes_sampled, 2);
+    }
+
+    #[test]
+    fn rejects_foreign_nodes() {
+        let (g, f, owner) = setup(2);
+        let mut s = GraphStoreServer::new(0, g, f, owner, 7);
+        let req = Message::NeighborReq { fanout: 3, nodes: vec![1] }.encode(); // odd -> server 1
+        assert_eq!(
+            s.handle(req),
+            Err(StoreError::NotOwned { node: 1, server: 0 })
+        );
+    }
+
+    #[test]
+    fn down_server_rejects() {
+        let (g, f, owner) = setup(2);
+        let mut s = GraphStoreServer::new(0, g, f, owner, 7);
+        s.set_down(true);
+        let req = Message::FeatureReq { nodes: vec![2] }.encode();
+        assert_eq!(s.handle(req), Err(StoreError::ServerDown(0)));
+        s.set_down(false);
+        assert!(s.handle(Message::FeatureReq { nodes: vec![2] }.encode()).is_ok());
+    }
+
+    #[test]
+    fn feature_rows_in_request_order() {
+        let (g, _, owner) = setup(2);
+        let mut fs = FeatureStore::zeros(100, 2);
+        for v in 0..100u32 {
+            fs.row_mut(v).copy_from_slice(&[v as f32, -(v as f32)]);
+        }
+        let mut s = GraphStoreServer::new(0, g, Arc::new(fs), owner, 7);
+        let req = Message::FeatureReq { nodes: vec![6, 2] }.encode();
+        match Message::decode(s.handle(req).unwrap()).unwrap() {
+            Message::FeatureResp { dim, rows } => {
+                assert_eq!(dim, 2);
+                assert_eq!(rows, vec![6.0, -6.0, 2.0, -2.0]);
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn rejects_response_frames() {
+        let (g, f, owner) = setup(1);
+        let mut s = GraphStoreServer::new(0, g, f, owner, 7);
+        let bogus = Message::NeighborResp { lists: vec![] }.encode();
+        assert!(matches!(s.handle(bogus), Err(StoreError::Malformed(_))));
+    }
+}

@@ -1,0 +1,205 @@
+//! Length-prefixed binary wire codec.
+//!
+//! Every store RPC crosses this codec in both directions, so message sizes
+//! (the quantity the network model charges) are the real encoded sizes.
+//! Format: one type byte, then type-specific little-endian payload. The
+//! decoder is defensive — truncated or corrupt frames return
+//! [`StoreError::Malformed`] instead of panicking (failure-injection tests
+//! feed it garbage).
+
+use crate::StoreError;
+use bgl_graph::NodeId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const TAG_NEIGHBOR_REQ: u8 = 1;
+const TAG_NEIGHBOR_RESP: u8 = 2;
+const TAG_FEATURE_REQ: u8 = 3;
+const TAG_FEATURE_RESP: u8 = 4;
+
+/// A decoded store message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Sample up to `fanout` neighbors for each node.
+    NeighborReq { fanout: u32, nodes: Vec<NodeId> },
+    /// Per-node sampled neighbor lists, in request order.
+    NeighborResp { lists: Vec<Vec<NodeId>> },
+    /// Fetch feature rows for `nodes`.
+    FeatureReq { nodes: Vec<NodeId> },
+    /// Feature rows (`nodes.len() × dim`), in request order.
+    FeatureResp { dim: u32, rows: Vec<f32> },
+}
+
+impl Message {
+    /// Encode into a frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        match self {
+            Message::NeighborReq { fanout, nodes } => {
+                buf.put_u8(TAG_NEIGHBOR_REQ);
+                buf.put_u32_le(*fanout);
+                buf.put_u32_le(nodes.len() as u32);
+                for &v in nodes {
+                    buf.put_u32_le(v);
+                }
+            }
+            Message::NeighborResp { lists } => {
+                buf.put_u8(TAG_NEIGHBOR_RESP);
+                buf.put_u32_le(lists.len() as u32);
+                for list in lists {
+                    buf.put_u32_le(list.len() as u32);
+                    for &v in list {
+                        buf.put_u32_le(v);
+                    }
+                }
+            }
+            Message::FeatureReq { nodes } => {
+                buf.put_u8(TAG_FEATURE_REQ);
+                buf.put_u32_le(nodes.len() as u32);
+                for &v in nodes {
+                    buf.put_u32_le(v);
+                }
+            }
+            Message::FeatureResp { dim, rows } => {
+                buf.put_u8(TAG_FEATURE_RESP);
+                buf.put_u32_le(*dim);
+                buf.put_u32_le(rows.len() as u32);
+                for &x in rows {
+                    buf.put_f32_le(x);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Exact encoded size in bytes — used for network-time accounting
+    /// without re-walking the buffer.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Message::NeighborReq { nodes, .. } => 1 + 4 + 4 + 4 * nodes.len(),
+            Message::NeighborResp { lists } => {
+                1 + 4 + lists.iter().map(|l| 4 + 4 * l.len()).sum::<usize>()
+            }
+            Message::FeatureReq { nodes } => 1 + 4 + 4 * nodes.len(),
+            Message::FeatureResp { rows, .. } => 1 + 4 + 4 + 4 * rows.len(),
+        }
+    }
+
+    /// Decode a frame.
+    pub fn decode(mut buf: Bytes) -> Result<Message, StoreError> {
+        if buf.remaining() < 1 {
+            return Err(StoreError::Malformed("empty frame"));
+        }
+        let tag = buf.get_u8();
+        match tag {
+            TAG_NEIGHBOR_REQ => {
+                let fanout = get_u32(&mut buf, "fanout")?;
+                let n = get_u32(&mut buf, "count")? as usize;
+                let nodes = get_ids(&mut buf, n)?;
+                Ok(Message::NeighborReq { fanout, nodes })
+            }
+            TAG_NEIGHBOR_RESP => {
+                let n = get_u32(&mut buf, "count")? as usize;
+                let mut lists = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let len = get_u32(&mut buf, "list len")? as usize;
+                    lists.push(get_ids(&mut buf, len)?);
+                }
+                Ok(Message::NeighborResp { lists })
+            }
+            TAG_FEATURE_REQ => {
+                let n = get_u32(&mut buf, "count")? as usize;
+                let nodes = get_ids(&mut buf, n)?;
+                Ok(Message::FeatureReq { nodes })
+            }
+            TAG_FEATURE_RESP => {
+                let dim = get_u32(&mut buf, "dim")?;
+                let n = get_u32(&mut buf, "row len")? as usize;
+                if buf.remaining() < n * 4 {
+                    return Err(StoreError::Malformed("truncated feature rows"));
+                }
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rows.push(buf.get_f32_le());
+                }
+                Ok(Message::FeatureResp { dim, rows })
+            }
+            _ => Err(StoreError::Malformed("unknown tag")),
+        }
+    }
+}
+
+fn get_u32(buf: &mut Bytes, what: &'static str) -> Result<u32, StoreError> {
+    if buf.remaining() < 4 {
+        return Err(StoreError::Malformed(what));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_ids(buf: &mut Bytes, n: usize) -> Result<Vec<NodeId>, StoreError> {
+    if buf.remaining() < n * 4 {
+        return Err(StoreError::Malformed("truncated id list"));
+    }
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(buf.get_u32_le());
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_req_roundtrip() {
+        let m = Message::NeighborReq { fanout: 15, nodes: vec![1, 2, 99] };
+        let encoded = m.encode();
+        assert_eq!(encoded.len(), m.encoded_len());
+        assert_eq!(Message::decode(encoded).unwrap(), m);
+    }
+
+    #[test]
+    fn neighbor_resp_roundtrip() {
+        let m = Message::NeighborResp {
+            lists: vec![vec![5, 6], vec![], vec![7]],
+        };
+        let encoded = m.encode();
+        assert_eq!(encoded.len(), m.encoded_len());
+        assert_eq!(Message::decode(encoded).unwrap(), m);
+    }
+
+    #[test]
+    fn feature_roundtrip() {
+        let req = Message::FeatureReq { nodes: vec![3] };
+        assert_eq!(Message::decode(req.encode()).unwrap(), req);
+        let resp = Message::FeatureResp { dim: 2, rows: vec![1.5, -2.5] };
+        let enc = resp.encode();
+        assert_eq!(enc.len(), resp.encoded_len());
+        assert_eq!(Message::decode(enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Message::decode(Bytes::new()).is_err());
+        assert!(Message::decode(Bytes::from_static(&[99])).is_err());
+        // Truncated count.
+        assert!(Message::decode(Bytes::from_static(&[TAG_FEATURE_REQ, 1])).is_err());
+        // Count promises more ids than present.
+        let mut bad = BytesMut::new();
+        bad.put_u8(TAG_FEATURE_REQ);
+        bad.put_u32_le(100);
+        bad.put_u32_le(1);
+        assert_eq!(
+            Message::decode(bad.freeze()),
+            Err(StoreError::Malformed("truncated id list"))
+        );
+    }
+
+    #[test]
+    fn empty_payloads_are_valid() {
+        let m = Message::NeighborReq { fanout: 0, nodes: vec![] };
+        assert_eq!(Message::decode(m.encode()).unwrap(), m);
+        let m = Message::FeatureResp { dim: 4, rows: vec![] };
+        assert_eq!(Message::decode(m.encode()).unwrap(), m);
+    }
+}

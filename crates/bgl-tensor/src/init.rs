@@ -1,0 +1,46 @@
+//! Weight initialization.
+
+use crate::Matrix;
+use rand::prelude::*;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+/// The default for the GCN/GAT weight matrices.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    let data = (0..rows * cols)
+        .map(|_| (rng.random::<f64>() * 2.0 * a - a) as f32)
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// He/Kaiming uniform: `U(-a, a)` with `a = sqrt(6 / fan_in)`, suited to
+/// ReLU layers (GraphSAGE).
+pub fn he_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let a = (6.0 / rows as f64).sqrt();
+    let data = (0..rows * cols)
+        .map(|_| (rng.random::<f64>() * 2.0 * a - a) as f32)
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bound_and_centered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = xavier_uniform(64, 64, &mut rng);
+        let a = (6.0f64 / 128.0).sqrt() as f32;
+        assert!(w.raw().iter().all(|&x| x.abs() <= a));
+        let mean: f32 = w.raw().iter().sum::<f32>() / w.raw().len() as f32;
+        assert!(mean.abs() < 0.02, "mean {} not centered", mean);
+    }
+
+    #[test]
+    fn he_deterministic_per_seed() {
+        let a = he_uniform(8, 8, &mut StdRng::seed_from_u64(7));
+        let b = he_uniform(8, 8, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,19 @@
+//! # bgl-tensor — minimal dense tensor math for GNN training
+//!
+//! The paper runs its accuracy experiments (Table 5, Fig. 16) on CUDA via
+//! DGL's GPU backend. This workspace has no GPU, so `bgl-gnn` trains the
+//! same models on CPU with the `f32` matrix kernels in this crate: matmul,
+//! row-wise broadcasting, activations, softmax/cross-entropy, dropout, and
+//! the SGD/Adam optimizers. No external BLAS — the matmul is a simple
+//! blocked triple loop, plenty for the scaled-down graphs we train.
+//!
+//! Gradients are written explicitly (no autograd); every kernel with a
+//! backward pass has a finite-difference test.
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod optim;
+
+pub use matrix::Matrix;
+pub use optim::{Adam, Optimizer, Sgd};

@@ -1,0 +1,329 @@
+//! Row-major dense `f32` matrix and its kernels.
+
+/// Row-major dense matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix of shape `rows x cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/buffer mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// The raw row-major buffer.
+    pub fn raw(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The raw row-major buffer, mutably.
+    pub fn raw_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `self @ other` — (m,k) x (k,n) -> (m,n). i-k-j loop order keeps the
+    /// inner loop streaming over contiguous rows of `other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(p);
+                for j in 0..n {
+                    out_row[j] += a * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ @ other` — (k,m)ᵀ x (k,n) -> (m,n), used for weight gradients.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..k {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate().take(m) {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for j in 0..n {
+                    out_row[j] += a * b_row[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ otherᵀ` — (m,k) x (n,k)ᵀ -> (m,n), used for input gradients.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for j in 0..n {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a_row[p] * b_row[p];
+                }
+                out_row[j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place `self += other`.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += scale * other`.
+    pub fn add_scaled(&mut self, other: &Matrix, scale: f32) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Broadcast-add a row vector to every row (bias add).
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols);
+        for i in 0..self.rows {
+            for (x, &b) in self.row_mut(i).iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+    }
+
+    /// Multiply all elements by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for x in self.data.iter_mut() {
+            *x *= s;
+        }
+    }
+
+    /// Column sums — the bias gradient of a bias add.
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols];
+        for i in 0..self.rows {
+            for (s, &x) in sums.iter_mut().zip(self.row(i)) {
+                *s += x;
+            }
+        }
+        sums
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Map every element through `f`, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise product (Hadamard), returning a new matrix.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect(),
+        }
+    }
+
+    /// L2-normalize each row in place (used by GraphSAGE).
+    pub fn l2_normalize_rows(&mut self) {
+        for i in 0..self.rows {
+            let row = self.row_mut(i);
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if norm > 1e-12 {
+                for x in row.iter_mut() {
+                    *x /= norm;
+                }
+            }
+        }
+    }
+
+    /// Concatenate two matrices horizontally: (m,a) ++ (m,b) -> (m,a+b).
+    pub fn hconcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hconcat row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        out
+    }
+
+    /// Split a horizontally concatenated matrix back into (m,a) and (m,b).
+    pub fn hsplit(&self, a: usize) -> (Matrix, Matrix) {
+        assert!(a <= self.cols);
+        let b = self.cols - a;
+        let mut left = Matrix::zeros(self.rows, a);
+        let mut right = Matrix::zeros(self.rows, b);
+        for i in 0..self.rows {
+            left.row_mut(i).copy_from_slice(&self.row(i)[..a]);
+            right.row_mut(i).copy_from_slice(&self.row(i)[a..]);
+        }
+        (left, right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.raw(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[1., 0., 0., 1., 1., 1.]);
+        let via_tn = a.matmul_tn(&b);
+        let explicit = a.transposed().matmul(&b);
+        assert_eq!(via_tn, explicit);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(4, 3, &[1., 0., 0., 0., 1., 0., 0., 0., 1., 1., 1., 1.]);
+        let via_nt = a.matmul_nt(&b);
+        let explicit = a.matmul(&b.transposed());
+        assert_eq!(via_nt, explicit);
+    }
+
+    #[test]
+    fn broadcast_and_colsums_are_adjoint() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_broadcast(&[1.0, 2.0]);
+        assert_eq!(a.col_sums(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn hconcat_hsplit_roundtrip() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        let b = m(2, 1, &[5., 6.]);
+        let c = a.hconcat(&b);
+        assert_eq!(c.cols(), 3);
+        let (l, r) = c.hsplit(2);
+        assert_eq!(l, a);
+        assert_eq!(r, b);
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let mut a = m(2, 2, &[3., 4., 0., 0.]);
+        a.l2_normalize_rows();
+        assert!((a.get(0, 0) - 0.6).abs() < 1e-6);
+        assert!((a.get(0, 1) - 0.8).abs() < 1e-6);
+        assert_eq!(a.row(1), &[0.0, 0.0], "zero row untouched");
+    }
+
+    #[test]
+    fn scale_and_add_scaled() {
+        let mut a = m(1, 3, &[1., 2., 3.]);
+        let b = m(1, 3, &[1., 1., 1.]);
+        a.scale(2.0);
+        a.add_scaled(&b, -1.0);
+        assert_eq!(a.raw(), &[1., 3., 5.]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        a.matmul(&b);
+    }
+}

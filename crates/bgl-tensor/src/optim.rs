@@ -1,0 +1,201 @@
+//! Optimizers: SGD (with optional momentum) and Adam — the two the paper's
+//! training stage mentions (§2.1, stage 3).
+
+use crate::Matrix;
+
+/// A parameter-update rule. `step` consumes one gradient for one parameter
+/// tensor, identified by `slot` so the optimizer can keep per-parameter
+/// state (momentum / Adam moments).
+pub trait Optimizer {
+    /// Apply one update to `param` given `grad`. `slot` must be stable and
+    /// unique per parameter tensor across calls.
+    fn step(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix);
+
+    /// Advance the optimizer's global step counter (call once per batch,
+    /// after all `step` calls for that batch).
+    fn next_batch(&mut self) {}
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    pub lr: f32,
+    pub momentum: f32,
+    pub weight_decay: f32,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    /// Plain SGD with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    fn slot_mut(&mut self, slot: usize) -> &mut Option<Matrix> {
+        if self.velocity.len() <= slot {
+            self.velocity.resize(slot + 1, None);
+        }
+        &mut self.velocity[slot]
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix) {
+        let (lr, momentum, wd) = (self.lr, self.momentum, self.weight_decay);
+        let mut update = grad.clone();
+        if wd != 0.0 {
+            update.add_scaled(param, wd);
+        }
+        if momentum != 0.0 {
+            let v = self.slot_mut(slot);
+            match v {
+                Some(vel) => {
+                    vel.scale(momentum);
+                    vel.add_assign(&update);
+                    update = vel.clone();
+                }
+                None => {
+                    *v = Some(update.clone());
+                }
+            }
+        }
+        param.add_scaled(&update, -lr);
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    pub lr: f32,
+    pub beta1: f32,
+    pub beta2: f32,
+    pub eps: f32,
+    t: i32,
+    moments: Vec<Option<(Matrix, Matrix)>>,
+}
+
+impl Adam {
+    /// Adam with the standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: Vec::new() }
+    }
+
+    fn slot_mut(&mut self, slot: usize) -> &mut Option<(Matrix, Matrix)> {
+        if self.moments.len() <= slot {
+            self.moments.resize(slot + 1, None);
+        }
+        &mut self.moments[slot]
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, slot: usize, param: &mut Matrix, grad: &Matrix) {
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let t = (self.t + 1) as f32; // next_batch() may lag; use at-least-1
+        let entry = self.slot_mut(slot);
+        if entry.is_none() {
+            *entry = Some((
+                Matrix::zeros(param.rows(), param.cols()),
+                Matrix::zeros(param.rows(), param.cols()),
+            ));
+        }
+        let (m, v) = entry.as_mut().unwrap();
+        for ((mi, vi), &g) in m
+            .raw_mut()
+            .iter_mut()
+            .zip(v.raw_mut().iter_mut())
+            .map(|(a, b)| (a, b))
+            .zip(grad.raw())
+        {
+            *mi = b1 * *mi + (1.0 - b1) * g;
+            *vi = b2 * *vi + (1.0 - b2) * g * g;
+        }
+        let bc1 = 1.0 - b1.powf(t);
+        let bc2 = 1.0 - b2.powf(t);
+        for ((p, &mi), &vi) in param
+            .raw_mut()
+            .iter_mut()
+            .zip(m.raw())
+            .zip(v.raw())
+        {
+            let m_hat = mi / bc1;
+            let v_hat = vi / bc2;
+            *p -= lr * m_hat / (v_hat.sqrt() + eps);
+        }
+    }
+
+    fn next_batch(&mut self) {
+        self.t += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)^2 elementwise; gradient 2(x-3).
+    fn quad_grad(x: &Matrix) -> Matrix {
+        x.map(|v| 2.0 * (v - 3.0))
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut x = Matrix::from_vec(1, 2, vec![0.0, 10.0]);
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let g = quad_grad(&x);
+            opt.step(0, &mut x, &g);
+            opt.next_batch();
+        }
+        assert!(x.raw().iter().all(|&v| (v - 3.0).abs() < 1e-3), "{:?}", x);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |mut opt: Sgd| {
+            let mut x = Matrix::from_vec(1, 1, vec![10.0]);
+            for _ in 0..20 {
+                let g = quad_grad(&x);
+                opt.step(0, &mut x, &g);
+            }
+            (x.get(0, 0) - 3.0).abs()
+        };
+        let plain = run(Sgd::new(0.02));
+        let momentum = run(Sgd::with_momentum(0.02, 0.9));
+        assert!(momentum < plain, "momentum {} !< plain {}", momentum, plain);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut x = Matrix::from_vec(1, 3, vec![-5.0, 0.0, 8.0]);
+        let mut opt = Adam::new(0.3);
+        for _ in 0..300 {
+            let g = quad_grad(&x);
+            opt.step(0, &mut x, &g);
+            opt.next_batch();
+        }
+        assert!(
+            x.raw().iter().all(|&v| (v - 3.0).abs() < 1e-2),
+            "adam did not converge: {:?}",
+            x
+        );
+    }
+
+    #[test]
+    fn independent_slots_have_independent_state() {
+        let mut a = Matrix::from_vec(1, 1, vec![10.0]);
+        let mut b = Matrix::from_vec(1, 1, vec![10.0]);
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        // Update slot 0 twice, slot 1 once — velocities must differ.
+        let g = Matrix::from_vec(1, 1, vec![1.0]);
+        opt.step(0, &mut a, &g);
+        opt.step(0, &mut a, &g);
+        opt.step(1, &mut b, &g);
+        assert!(a.get(0, 0) < b.get(0, 0));
+    }
+}

