@@ -34,7 +34,7 @@ fn bench_breakdown(c: &mut Criterion) {
                 },
                 |mut cluster| {
                     let seeds = &batches[0];
-                    let home = cluster.owner_of(seeds[0]);
+                    let home = cluster.owner_of(seeds[0]).expect("seed in map");
                     cluster
                         .sample_batch(&ctx.fanouts, seeds, home)
                         .expect("sampling succeeds")

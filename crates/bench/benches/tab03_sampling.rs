@@ -35,7 +35,7 @@ fn bench_sampling(c: &mut Criterion) {
                     )
                 },
                 |mut cluster| {
-                    let home = cluster.owner_of(seeds[0]);
+                    let home = cluster.owner_of(seeds[0]).expect("seed in map");
                     let (_, timing) = cluster
                         .sample_batch(&ctx.fanouts, &seeds, home)
                         .expect("sampling succeeds");

@@ -6,8 +6,9 @@
 //! ```
 //!
 //! Flags: `--fig2 --fig3 --fig5a --fig5b --fig11 --fig12 --fig13 --tab3
-//! --tab4 --fig14 --fig15 --tab5 --fig16 --all`, plus `--small` (test-scale
-//! datasets) and `--out <dir>` (JSON output directory, default `results/`).
+//! --tab4 --fig14 --fig15 --recovery --tab5 --fig16 --all`, plus `--small`
+//! (test-scale datasets) and `--out <dir>` (JSON output directory, default
+//! `results/`).
 
 use bench::*;
 use bgl::config::GnnModelKind;
@@ -163,6 +164,14 @@ fn main() {
             println!("{}", t.render());
         }
         save("ablate_jhop", &to_json(&rows));
+    }
+
+    if want("recovery") {
+        section("Recovery — epoch under a mid-epoch primary crash (r=1 vs r=2)");
+        let mut rows = ctx.recovery_figure(DatasetId::Products);
+        rows.extend(ctx.recovery_figure(DatasetId::Papers));
+        println!("{}", render_recovery(&rows));
+        save("recovery_under_faults", &to_json(&rows));
     }
 
     if want("tab5") || want("fig16") {

@@ -3,7 +3,8 @@
 //! criterion benches reference.
 
 use bgl::experiments::{
-    AccuracyRow, BreakdownRow, CacheRow, FeatureTimeRow, PartitionRow, ThroughputRow,
+    AccuracyRow, BreakdownRow, CacheRow, FeatureTimeRow, PartitionRow, RecoveryRow,
+    ThroughputRow,
 };
 use bgl::report::TextTable;
 
@@ -96,6 +97,35 @@ pub fn render_feature_time(rows: &[FeatureTimeRow]) -> String {
             r.num_gpus.to_string(),
             format!("{:.2}", r.feature_ms_per_batch),
             format!("{:.2}", r.hit_ratio),
+        ]);
+    }
+    t.render()
+}
+
+/// Render recovery-under-faults rows.
+pub fn render_recovery(rows: &[RecoveryRow]) -> String {
+    let mut t = TextTable::new(&[
+        "dataset",
+        "replicas",
+        "batches",
+        "completed",
+        "failed",
+        "retries",
+        "failovers",
+        "backoff-ms",
+        "recovery-ms",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.dataset.to_string(),
+            r.replication.to_string(),
+            r.batches_total.to_string(),
+            r.batches_completed.to_string(),
+            r.batches_failed.to_string(),
+            r.robustness.retries.to_string(),
+            r.robustness.failovers.to_string(),
+            format!("{:.2}", r.backoff_ms),
+            format!("{:.2}", r.recovery_ms),
         ]);
     }
     t.render()

@@ -11,6 +11,9 @@ use bgl_cache::{FeatureCacheEngine, PolicyKind};
 use bgl_graph::{Dataset, DatasetSpec, NodeId};
 use bgl_sampler::{NeighborSampler, ProximityAware, RandomShuffle, TrainOrdering};
 use bgl_sim::devices::MachineSpec;
+use bgl_sim::network::{NetworkModel, RobustnessStats};
+use bgl_sim::MILLISECOND;
+use bgl_store::{FaultPlan, RetryPolicy, StoreCluster};
 use rand::prelude::*;
 use serde::Serialize;
 use std::cell::RefCell;
@@ -44,6 +47,9 @@ impl DatasetId {
     }
 }
 
+/// One epoch's sampled input-node stream, shared between cache configs.
+type SharedStream = Arc<Vec<Vec<NodeId>>>;
+
 /// Shared experiment context: scales, machine model, caches.
 pub struct ExperimentCtx {
     pub products_nodes: usize,
@@ -67,7 +73,7 @@ pub struct ExperimentCtx {
     /// Sampled input-node streams per (dataset, proximity-ordering?),
     /// shared across cache configurations: the stream depends only on the
     /// ordering, so Fig. 5's 20+ cache points reuse two sampling passes.
-    streams: RefCell<HashMap<(DatasetId, bool), Arc<Vec<Vec<NodeId>>>>>,
+    streams: RefCell<HashMap<(DatasetId, bool), SharedStream>>,
     /// Single-machine memory budget for the OOM rule, scaled to the
     /// synthetic datasets (papers/User-Item stand-ins exceed it, products
     /// does not — mirroring §5.1).
@@ -609,6 +615,95 @@ impl ExperimentCtx {
 }
 
 // ---------------------------------------------------------------------
+// Recovery under faults — the robustness experiment
+// ---------------------------------------------------------------------
+
+/// Outcome of one epoch of the data path under an injected mid-epoch
+/// primary crash (plus background request drops).
+#[derive(Clone, Debug, Serialize)]
+pub struct RecoveryRow {
+    pub dataset: &'static str,
+    pub replication: usize,
+    pub batches_total: usize,
+    pub batches_completed: usize,
+    pub batches_failed: usize,
+    pub epoch_completed: bool,
+    /// Full reliability counters from the cluster.
+    pub robustness: RobustnessStats,
+    /// Simulated time spent in retry backoff, in milliseconds.
+    pub backoff_ms: f64,
+    /// Simulated breaker-outage (open -> closed) span, in milliseconds.
+    pub recovery_ms: f64,
+}
+
+impl ExperimentCtx {
+    /// Run one epoch of distributed sampling + feature fetch while a
+    /// seeded [`FaultPlan`] kills server 0 mid-epoch (long enough to cover
+    /// the rest of the epoch) and drops 1% of requests in flight. With
+    /// `replication >= 2` the epoch must complete via replica failover;
+    /// with `replication == 1` the same plan visibly fails batches —
+    /// that contrast is the experiment.
+    pub fn recovery_experiment(&self, id: DatasetId, replication: usize) -> RecoveryRow {
+        use bgl_partition::Partitioner;
+        let ds = self.dataset(id);
+        let k = id.partitions();
+        let partition =
+            bgl_partition::RoundRobinPartitioner.partition(&ds.graph, &ds.split.train, k);
+        // Crash the first server ten requests in, for far longer than the
+        // epoch's simulated span: recovery must come from failover, not
+        // from the fault conveniently expiring.
+        let plan = FaultPlan::new(self.seed).crash(0, 10, 500 * MILLISECOND).drops(0.01);
+        let mut cluster = StoreCluster::new(
+            ds.graph.clone(),
+            ds.features.clone(),
+            &partition,
+            NetworkModel::paper_fabric(),
+            self.seed,
+        )
+        .with_replication(replication)
+        .with_retry_policy(RetryPolicy::default())
+        .with_fault_plan(plan);
+        let ordering = RandomShuffle::new(self.seed);
+        let batches =
+            ordering.epoch_batches(&ds.graph, &ds.split.train, self.batch_size, 0);
+        let w = cluster.worker_location();
+        let mut completed = 0usize;
+        let mut failed = 0usize;
+        let mut total = 0usize;
+        for seeds in batches.iter().take(self.num_batches) {
+            total += 1;
+            let home = cluster.owner_of(seeds[0]).unwrap_or(0);
+            let ok = match cluster.sample_batch(&self.fanouts, seeds, home) {
+                Ok((mb, _)) => cluster.fetch_features(mb.input_nodes(), w).is_ok(),
+                Err(_) => false,
+            };
+            if ok {
+                completed += 1;
+            } else {
+                failed += 1;
+            }
+        }
+        RecoveryRow {
+            dataset: id.name(),
+            replication: cluster.replication(),
+            batches_total: total,
+            batches_completed: completed,
+            batches_failed: failed,
+            epoch_completed: failed == 0,
+            robustness: cluster.robustness,
+            backoff_ms: cluster.robustness.backoff_time as f64 / 1e6,
+            recovery_ms: cluster.robustness.recovery_time as f64 / 1e6,
+        }
+    }
+
+    /// The recovery figure: the same fault plan against replication 1
+    /// (fails visibly) and replication 2 (survives), per dataset.
+    pub fn recovery_figure(&self, id: DatasetId) -> Vec<RecoveryRow> {
+        vec![self.recovery_experiment(id, 1), self.recovery_experiment(id, 2)]
+    }
+}
+
+// ---------------------------------------------------------------------
 // Table 5 & Fig. 16 — accuracy / convergence (real training)
 // ---------------------------------------------------------------------
 
@@ -789,6 +884,27 @@ mod tests {
             assert!((0.0..=1.0).contains(&r.edge_cut));
             assert!((0.0..=1.0).contains(&r.khop_locality));
         }
+    }
+
+    #[test]
+    fn recovery_epoch_survives_primary_crash_with_replication() {
+        let ctx = ExperimentCtx::small();
+        let rows = ctx.recovery_figure(DatasetId::Products);
+        let (unreplicated, replicated) = (&rows[0], &rows[1]);
+        // Without replicas the mid-epoch crash visibly fails batches.
+        assert!(
+            unreplicated.batches_failed > 0,
+            "replication 1 should fail batches under a primary crash"
+        );
+        // With r = 2 the whole epoch completes via failover — zero panics,
+        // zero failed batches.
+        assert!(replicated.epoch_completed, "{:?}", replicated);
+        assert_eq!(replicated.batches_completed, replicated.batches_total);
+        assert!(replicated.robustness.failovers > 0);
+        assert!(replicated.robustness.any_faults());
+        // Same seed, same plan -> identical recovery outcome.
+        let again = ctx.recovery_experiment(DatasetId::Products, 2);
+        assert_eq!(again.robustness, replicated.robustness);
     }
 
     #[test]

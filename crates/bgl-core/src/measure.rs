@@ -125,9 +125,7 @@ pub fn measure_data_path(
 
     let hidden = 128usize;
     let mut dims = vec![ds.features.dim()];
-    for _ in 0..fanouts.len() - 1 {
-        dims.push(hidden);
-    }
+    dims.extend(std::iter::repeat_n(hidden, fanouts.len() - 1));
     dims.push(ds.num_classes);
 
     let mut batches = Vec::with_capacity(num_batches);
@@ -138,10 +136,14 @@ pub fn measure_data_path(
         // per-owner sub-batches proceed in parallel. This is where
         // partition locality pays — a seed whose multi-hop neighborhood
         // stays on its own server samples without touching the network.
-        let mut by_owner: std::collections::HashMap<usize, Vec<NodeId>> =
-            std::collections::HashMap::new();
+        // BTreeMap keeps the per-owner issue order deterministic, so the
+        // servers' sampling RNG streams (and thus the measured batches)
+        // reproduce run to run.
+        let mut by_owner: std::collections::BTreeMap<usize, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
         for &v in seeds.iter() {
-            by_owner.entry(cluster.owner_of(v)).or_default().push(v);
+            let home = cluster.owner_of(v).expect("seed inside partition map");
+            by_owner.entry(home).or_default().push(v);
         }
         let mut input_nodes: Vec<NodeId> = Vec::new();
         let mut seen: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
@@ -355,7 +357,7 @@ impl MeasuredSystem {
             cache_knee: 40,
             cache_degrade: overhead_per_batch_s * 2e-3,
             d_ii,
-            t_gpu: as_secs(gpu.kernel_time(avg_flops * gpu_factor as f64, activation_bytes)),
+            t_gpu: as_secs(gpu.kernel_time(avg_flops * gpu_factor, activation_bytes)),
         };
 
         // --- Isolation vs free contention. ---

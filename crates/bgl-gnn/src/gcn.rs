@@ -148,6 +148,7 @@ pub(crate) mod gradcheck {
 
     /// Check d(loss)/d(weights[l][i][j]) for a sample of entries against
     /// finite differences. `get_w`/`set_w` expose one weight matrix.
+    #[allow(clippy::too_many_arguments)]
     pub fn check_model<M: GnnModel>(
         make: impl Fn() -> M,
         batch: &MiniBatch,

@@ -55,8 +55,8 @@ pub fn khop_neighborhood(g: &Csr, root: NodeId, k: usize) -> Vec<NodeId> {
             continue;
         }
         for &v in g.neighbors(u) {
-            if !dist.contains_key(&v) {
-                dist.insert(v, du + 1);
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                e.insert(du + 1);
                 order.push(v);
                 queue.push_back(v);
             }

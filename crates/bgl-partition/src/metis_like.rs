@@ -224,7 +224,8 @@ impl Partitioner for MetisLikePartitioner {
         let mut rng = StdRng::seed_from_u64(self.seed);
         // graphs[i] is level i's weighted graph (level 0 = original);
         // maps[i] sends level-i node ids to level-(i+1) ids.
-        let mut graphs: Vec<(Vec<Vec<(u32, u64)>>, Vec<u64>)> = vec![to_weighted(g)];
+        type WeightedLevel = (Vec<Vec<(u32, u64)>>, Vec<u64>);
+        let mut graphs: Vec<WeightedLevel> = vec![to_weighted(g)];
         let mut maps: Vec<Vec<u32>> = Vec::new();
         while graphs.last().unwrap().0.len() > self.coarsest.max(4 * k) {
             let (adj, weights) = graphs.last().unwrap();

@@ -189,7 +189,7 @@ impl TrainOrdering for ProximityAware {
             }
             s += 1;
             // All cursors exhausted -> done (order must already hold all n).
-            if s % self.num_sequences == 0
+            if s.is_multiple_of(self.num_sequences)
                 && cursors
                     .iter()
                     .zip(&sequences)

@@ -78,6 +78,7 @@ pub struct TunerResult {
 /// shuffling error is within `slack` of the random-shuffle floor or below
 /// the theoretical bound, whichever is laxer (paper: "use the minimum
 /// number of sequences" that keeps convergence).
+#[allow(clippy::too_many_arguments)]
 pub fn choose_num_sequences(
     g: &Csr,
     train_nodes: &[NodeId],

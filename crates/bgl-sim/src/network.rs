@@ -61,6 +61,65 @@ impl NetworkModel {
     }
 }
 
+/// Reliability counters for a fault-tolerant data path: retries, failovers,
+/// circuit-breaker activity, degraded deliveries, and recovery time. Kept
+/// next to [`TrafficLedger`] so robustness rides the same report path as
+/// traffic accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RobustnessStats {
+    /// Request attempts repeated after a transient failure.
+    pub retries: u64,
+    /// Requests rerouted from a primary server to a replica.
+    pub failovers: u64,
+    /// Requests dropped in flight (fault injection).
+    pub drops: u64,
+    /// Response frames that failed their integrity check.
+    pub corrupt_frames: u64,
+    /// Per-request retry budgets exhausted within the batch deadline.
+    pub deadline_misses: u64,
+    /// Circuit-breaker open transitions.
+    pub breaker_opens: u64,
+    /// Half-open probes sent through a cooling-down breaker.
+    pub breaker_probes: u64,
+    /// Feature batches that fell back to zero rows (graceful degradation).
+    pub degraded_batches: u64,
+    /// Individual feature rows served as zeros.
+    pub degraded_rows: u64,
+    /// Simulated time spent waiting in retry backoff.
+    pub backoff_time: SimTime,
+    /// Simulated time from a breaker opening until it closed again.
+    pub recovery_time: SimTime,
+}
+
+impl RobustnessStats {
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: &RobustnessStats) {
+        self.retries += other.retries;
+        self.failovers += other.failovers;
+        self.drops += other.drops;
+        self.corrupt_frames += other.corrupt_frames;
+        self.deadline_misses += other.deadline_misses;
+        self.breaker_opens += other.breaker_opens;
+        self.breaker_probes += other.breaker_probes;
+        self.degraded_batches += other.degraded_batches;
+        self.degraded_rows += other.degraded_rows;
+        self.backoff_time += other.backoff_time;
+        self.recovery_time += other.recovery_time;
+    }
+
+    /// Whether any fault was observed at all.
+    pub fn any_faults(&self) -> bool {
+        *self != RobustnessStats::default()
+    }
+}
+
+/// Exponential backoff for attempt `attempt` (0-based): `base << attempt`,
+/// saturating, capped at `cap`. Charged to the simulated clock so retries
+/// cost virtual time exactly like wire traffic does.
+pub fn exponential_backoff(base: SimTime, cap: SimTime, attempt: u32) -> SimTime {
+    base.saturating_mul(1u64.checked_shl(attempt).unwrap_or(SimTime::MAX)).min(cap)
+}
+
 /// Mutable traffic ledger, separating local and remote flows.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct TrafficLedger {
@@ -77,7 +136,22 @@ impl TrafficLedger {
         dst: usize,
         bytes: usize,
     ) -> SimTime {
-        let t = model.message_time(src, dst, bytes);
+        self.record_scaled(model, src, dst, bytes, 1.0)
+    }
+
+    /// Record one message whose wire time is stretched by `latency_mult`
+    /// (slow-server fault injection): the bytes on the wire are unchanged,
+    /// but the time charged to the clock grows.
+    pub fn record_scaled(
+        &mut self,
+        model: &NetworkModel,
+        src: usize,
+        dst: usize,
+        bytes: usize,
+        latency_mult: f64,
+    ) -> SimTime {
+        let base = model.message_time(src, dst, bytes);
+        let t = (base as f64 * latency_mult.max(0.0)).round() as SimTime;
         let stats = if src == dst { &mut self.local } else { &mut self.remote };
         stats.messages += 1;
         stats.bytes += bytes as u64;
@@ -132,6 +206,44 @@ mod tests {
         assert_eq!(ledger.remote.messages, 1);
         assert_eq!(ledger.total_bytes(), 4000);
         assert!((ledger.remote_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_record_stretches_time_not_bytes() {
+        let net = NetworkModel::paper_fabric();
+        let mut a = TrafficLedger::default();
+        let mut b = TrafficLedger::default();
+        let t1 = a.record(&net, 0, 1, 4096);
+        let t4 = b.record_scaled(&net, 0, 1, 4096, 4.0);
+        assert_eq!(t4, t1 * 4);
+        assert_eq!(a.remote.bytes, b.remote.bytes);
+        assert_eq!(b.remote.wire_time, t4);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let b0 = exponential_backoff(50_000, 5_000_000, 0);
+        let b1 = exponential_backoff(50_000, 5_000_000, 1);
+        let b2 = exponential_backoff(50_000, 5_000_000, 2);
+        assert_eq!(b0, 50_000);
+        assert_eq!(b1, 100_000);
+        assert_eq!(b2, 200_000);
+        assert_eq!(exponential_backoff(50_000, 5_000_000, 20), 5_000_000);
+        // Saturation, not overflow, at absurd attempt counts.
+        assert_eq!(exponential_backoff(50_000, SimTime::MAX, 90), SimTime::MAX);
+    }
+
+    #[test]
+    fn robustness_stats_merge_and_default() {
+        let mut a = RobustnessStats::default();
+        assert!(!a.any_faults());
+        let b = RobustnessStats { retries: 2, failovers: 1, backoff_time: 100, ..Default::default() };
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.retries, 4);
+        assert_eq!(a.failovers, 2);
+        assert_eq!(a.backoff_time, 200);
+        assert!(a.any_faults());
     }
 
     #[test]

@@ -1,15 +1,44 @@
 //! The store cluster: partition map + servers + traffic accounting, with
-//! distributed multi-hop sampling and batched feature fetch.
+//! distributed multi-hop sampling, batched feature fetch, and a
+//! fault-tolerance layer (replication, retry/backoff, circuit breaking).
+//!
+//! ## Fault model
+//!
+//! A default cluster is fail-fast: the first error surfaces to the caller,
+//! exactly the pre-replication behaviour. Robustness is opt-in through the
+//! builder methods:
+//!
+//! * [`StoreCluster::with_replication`] — r-replica placement: node `v`'s
+//!   partition is also served by the `r − 1` ring successors of its primary,
+//!   and requests fail over along that chain;
+//! * [`StoreCluster::with_retry_policy`] — bounded retries with exponential
+//!   backoff charged to the simulated clock, under a per-request deadline;
+//! * [`StoreCluster::with_fault_plan`] — deterministic fault injection
+//!   (crashes, drops, corruption, slow servers) from a seeded
+//!   [`FaultPlan`];
+//! * [`StoreCluster::with_degraded_features`] — graceful degradation: a
+//!   feature group whose every replica fails falls back to zero rows
+//!   instead of failing the batch.
+//!
+//! Two clocks coexist. [`SampleTiming`] keeps the *parallel* view (per hop,
+//! concurrent RPCs overlap, so a hop costs the max over servers) used for
+//! throughput accounting. [`StoreCluster::clock`] is a *sequential*
+//! accounting of every attempt, backoff and failover in issue order — the
+//! timeline fault windows, breaker cooldowns and deadlines are evaluated
+//! against, which is what makes recovery traces deterministic.
 
+use crate::fault::{FaultAction, FaultInjector, FaultPlan, RobustEvent};
+use crate::health::{BreakerState, CircuitBreaker};
+use crate::retry::RetryPolicy;
 use crate::server::GraphStoreServer;
 use crate::wire::Message;
 use crate::StoreError;
 use bgl_graph::{Csr, FeatureStore, NodeId};
 use bgl_partition::Partition;
 use bgl_sampler::neighbor::{LayerBlock, MiniBatch};
-use bgl_sim::network::{NetworkModel, TrafficLedger};
+use bgl_sim::network::{NetworkModel, RobustnessStats, TrafficLedger};
 use bgl_sim::SimTime;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Timing of one distributed sampling call.
@@ -33,10 +62,25 @@ pub struct StoreCluster {
     net: NetworkModel,
     /// Cumulative traffic across all operations.
     pub ledger: TrafficLedger,
+    /// Replicas per partition (1 = primary only).
+    replication: usize,
+    injector: Option<FaultInjector>,
+    retry: RetryPolicy,
+    breakers: Vec<CircuitBreaker>,
+    degrade_features: bool,
+    /// Sequential simulated clock: every attempt's wire time and every
+    /// backoff wait advances it, in issue order. Fault windows, breaker
+    /// cooldowns and retry deadlines are all evaluated against this clock.
+    pub clock: SimTime,
+    /// Reliability counters accumulated across all operations.
+    pub robustness: RobustnessStats,
+    /// Deterministic recovery trace: crash, retry, failover and breaker
+    /// transitions in the order they happened.
+    pub events: Vec<RobustEvent>,
 }
 
 impl StoreCluster {
-    /// Stand up one server per partition.
+    /// Stand up one server per partition (fail-fast, no replication).
     pub fn new(
         graph: Arc<Csr>,
         features: Arc<FeatureStore>,
@@ -45,12 +89,63 @@ impl StoreCluster {
         seed: u64,
     ) -> Self {
         let owner = Arc::new(partition.assignment.clone());
-        let servers = (0..partition.k)
+        let servers: Vec<GraphStoreServer> = (0..partition.k)
             .map(|i| {
                 GraphStoreServer::new(i, graph.clone(), features.clone(), owner.clone(), seed)
             })
             .collect();
-        StoreCluster { servers, owner, net, ledger: TrafficLedger::default() }
+        let breakers = vec![CircuitBreaker::default(); servers.len()];
+        StoreCluster {
+            servers,
+            owner,
+            net,
+            ledger: TrafficLedger::default(),
+            replication: 1,
+            injector: None,
+            retry: RetryPolicy::none(),
+            breakers,
+            degrade_features: false,
+            clock: 0,
+            robustness: RobustnessStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Serve each partition from its primary plus the `r − 1` ring
+    /// successors, and fail requests over along that chain.
+    pub fn with_replication(mut self, r: usize) -> Self {
+        let k = self.servers.len();
+        self.replication = r.clamp(1, k.max(1));
+        for s in &mut self.servers {
+            s.set_replication(self.replication, k);
+        }
+        self
+    }
+
+    /// Retry transient failures under `policy` (default is fail-fast).
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Inject faults from a seeded deterministic [`FaultPlan`].
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.injector = Some(FaultInjector::new(plan, self.servers.len()));
+        self
+    }
+
+    /// Replace every server's circuit breaker with `breaker`'s
+    /// configuration (threshold and cooldown).
+    pub fn with_breaker(mut self, breaker: CircuitBreaker) -> Self {
+        self.breakers = vec![breaker; self.servers.len()];
+        self
+    }
+
+    /// Graceful degradation: feature groups whose every replica fails fall
+    /// back to zero rows instead of failing the whole batch.
+    pub fn with_degraded_features(mut self, on: bool) -> Self {
+        self.degrade_features = on;
+        self
     }
 
     /// Number of servers (= partitions).
@@ -58,9 +153,32 @@ impl StoreCluster {
         self.servers.len()
     }
 
-    /// The server owning node `v`.
-    pub fn owner_of(&self, v: NodeId) -> usize {
-        self.owner[v as usize] as usize
+    /// Replication factor in effect.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The server owning node `v` (its primary).
+    pub fn owner_of(&self, v: NodeId) -> Result<usize, StoreError> {
+        self.owner
+            .get(v as usize)
+            .map(|&o| o as usize)
+            .ok_or(StoreError::InvalidNode(v))
+    }
+
+    /// All servers that can answer for node `v`: its primary first, then
+    /// the `replication − 1` ring successors.
+    pub fn replicas_of(&self, v: NodeId) -> Result<Vec<usize>, StoreError> {
+        let primary = self.owner_of(v)?;
+        Ok(self.replica_chain(primary))
+    }
+
+    fn replica_chain(&self, primary: usize) -> Vec<usize> {
+        let k = self.servers.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        (0..self.replication.min(k)).map(|i| (primary + i) % k).collect()
     }
 
     /// The location id used for a worker machine (never equal to a server
@@ -70,8 +188,12 @@ impl StoreCluster {
     }
 
     /// Failure injection: take a server down / bring it back.
-    pub fn set_server_down(&mut self, server: usize, down: bool) {
-        self.servers[server].set_down(down);
+    pub fn set_server_down(&mut self, server: usize, down: bool) -> Result<(), StoreError> {
+        self.servers
+            .get_mut(server)
+            .ok_or(StoreError::InvalidServer(server))?
+            .set_down(down);
+        Ok(())
     }
 
     /// Per-server request counts (sampling load balance, Table 3's cause).
@@ -79,20 +201,147 @@ impl StoreCluster {
         self.servers.iter().map(|s| s.requests_served).collect()
     }
 
-    /// One RPC from location `from` to server `to`: both frames cross the
-    /// network model; returns the decoded response and the simulated time.
-    fn rpc(
+    /// One request attempt from location `from` to server `to`: the fault
+    /// injector decides its fate, every byte that moves is charged to the
+    /// ledger *and* to the sequential clock. Returns the decoded response
+    /// and the attempt's simulated wire time.
+    fn rpc_attempt(
         &mut self,
         from: usize,
         to: usize,
-        req: Message,
+        req: &Message,
     ) -> Result<(Message, SimTime), StoreError> {
+        if to >= self.servers.len() {
+            return Err(StoreError::InvalidServer(to));
+        }
         let req_frame = req.encode();
-        let t_req = self.ledger.record(&self.net, from, to, req_frame.len());
+        let clock = self.clock;
+        let mut action = FaultAction::Deliver { latency_mult: 1.0 };
+        let mut injected_down = false;
+        let mut fired = Vec::new();
+        if let Some(inj) = self.injector.as_mut() {
+            action = inj.on_request(to, clock);
+            fired = inj.take_fired();
+            injected_down = inj.is_down(to, clock);
+        }
+        for c in fired {
+            self.events.push(RobustEvent::Crashed { server: c.server, at_request: c.at_request });
+        }
+        if let FaultAction::Drop = action {
+            // The request leaves the wire and vanishes: the caller pays the
+            // request's transfer time to find out nothing came back.
+            let t = self.ledger.record(&self.net, from, to, req_frame.len());
+            self.clock += t;
+            self.robustness.drops += 1;
+            return Err(StoreError::RequestDropped(to));
+        }
+        let latency_mult = match action {
+            FaultAction::Deliver { latency_mult }
+            | FaultAction::CorruptResponse { latency_mult } => latency_mult,
+            FaultAction::Drop => unreachable!(),
+        };
+        if injected_down {
+            // Dead host inside an injected crash window: the request still
+            // crosses the wire before the failure is observed.
+            let t = self.ledger.record_scaled(&self.net, from, to, req_frame.len(), latency_mult);
+            self.clock += t;
+            return Err(StoreError::ServerDown(to));
+        }
+        let t_req = self.ledger.record_scaled(&self.net, from, to, req_frame.len(), latency_mult);
+        self.clock += t_req;
         let resp_frame = self.servers[to].handle(req_frame)?;
-        let t_resp = self.ledger.record(&self.net, to, from, resp_frame.len());
+        let t_resp =
+            self.ledger.record_scaled(&self.net, to, from, resp_frame.len(), latency_mult);
+        self.clock += t_resp;
+        if let FaultAction::CorruptResponse { .. } = action {
+            // Modeled as an integrity-check failure: the bytes crossed the
+            // wire (both directions are charged) but the frame is unusable.
+            self.robustness.corrupt_frames += 1;
+            return Err(StoreError::CorruptFrame(to));
+        }
         let resp = Message::decode(resp_frame)?;
         Ok((resp, t_req + t_resp))
+    }
+
+    /// One *logical* request to the partition owned by `primary`: a retry
+    /// ladder per replica, failover along the replica chain, circuit
+    /// breakers gating each server, all under the retry deadline. Returns
+    /// the response and the total simulated time this logical request
+    /// consumed (wire + backoff across every attempt).
+    fn rpc_robust(
+        &mut self,
+        from: usize,
+        primary: usize,
+        req: &Message,
+    ) -> Result<(Message, SimTime), StoreError> {
+        if self.servers.is_empty() {
+            return Err(StoreError::EmptyCluster);
+        }
+        let start = self.clock;
+        let chain = self.replica_chain(primary);
+        let mut last_err = StoreError::ServerDown(primary);
+        for (ci, &srv) in chain.iter().enumerate() {
+            if ci > 0 {
+                self.robustness.failovers += 1;
+                self.events.push(RobustEvent::FailedOver { from: chain[ci - 1], to: srv });
+            }
+            let was_open = self.breakers[srv].state() == BreakerState::Open;
+            if !self.breakers[srv].allows(self.clock) {
+                // Breaker open: route around this replica without paying a
+                // doomed attempt's wire time.
+                last_err = StoreError::ServerDown(srv);
+                continue;
+            }
+            if was_open {
+                self.robustness.breaker_probes += 1;
+                self.events.push(RobustEvent::BreakerProbed { server: srv });
+            }
+            let mut attempt = 0u32;
+            loop {
+                match self.rpc_attempt(from, srv, req) {
+                    Ok((resp, _)) => {
+                        if let Some(outage) = self.breakers[srv].on_success(self.clock) {
+                            self.robustness.recovery_time += outage;
+                            self.events.push(RobustEvent::BreakerClosed { server: srv });
+                        }
+                        return Ok((resp, self.clock - start));
+                    }
+                    Err(e) => {
+                        let transient = e.is_transient();
+                        if transient && self.breakers[srv].on_failure(self.clock) {
+                            self.robustness.breaker_opens += 1;
+                            self.events.push(RobustEvent::BreakerOpened { server: srv });
+                        }
+                        if !transient {
+                            // Protocol misuse or bad arguments: retrying
+                            // repeats the same failure.
+                            return Err(e);
+                        }
+                        last_err = e;
+                        if self.retry.deadline_exceeded(self.clock - start) {
+                            self.robustness.deadline_misses += 1;
+                            return Err(StoreError::DeadlineExceeded);
+                        }
+                        if attempt >= self.retry.max_retries
+                            || !self.breakers[srv].allows(self.clock)
+                        {
+                            break; // fail over to the next replica
+                        }
+                        let wait = self.retry.backoff(attempt);
+                        self.clock += wait;
+                        self.robustness.backoff_time += wait;
+                        self.robustness.retries += 1;
+                        self.events.push(RobustEvent::Retried { server: srv, attempt });
+                        attempt += 1;
+                    }
+                }
+            }
+        }
+        if chain.len() > 1 {
+            Err(StoreError::AllReplicasFailed { node_owner: primary })
+        } else {
+            Err(last_err)
+        }
     }
 
     /// Distributed multi-hop neighbor sampling (paper Fig. 1 stage 1).
@@ -101,21 +350,29 @@ impl StoreCluster {
     /// owned by `home` are intra-server (shared memory), requests to any
     /// other server cross the network. Per hop, requests to distinct
     /// servers proceed in parallel, so the hop's elapsed time is the
-    /// maximum RPC time.
+    /// maximum RPC time. Groups are keyed by *primary* owner; failover to
+    /// a replica keeps the group intact because the whole group shares one
+    /// primary.
     pub fn sample_batch(
         &mut self,
         fanouts: &[usize],
         seeds: &[NodeId],
         home: usize,
     ) -> Result<(MiniBatch, SampleTiming), StoreError> {
+        if self.servers.is_empty() {
+            return Err(StoreError::EmptyCluster);
+        }
         let mut timing = SampleTiming::default();
         let mut blocks_rev: Vec<LayerBlock> = Vec::with_capacity(fanouts.len());
         let mut dst: Vec<NodeId> = seeds.to_vec();
         for &fanout in fanouts {
             // Group dst nodes by owning server, preserving positions.
-            let mut groups: HashMap<usize, (Vec<usize>, Vec<NodeId>)> = HashMap::new();
+            // BTreeMap: requests must issue in a deterministic order or the
+            // fault injector's per-request decisions (and thus the recovery
+            // trace) would vary run to run.
+            let mut groups: BTreeMap<usize, (Vec<usize>, Vec<NodeId>)> = BTreeMap::new();
             for (i, &v) in dst.iter().enumerate() {
-                let o = self.owner_of(v);
+                let o = self.owner_of(v)?;
                 let entry = groups.entry(o).or_default();
                 entry.0.push(i);
                 entry.1.push(v);
@@ -128,11 +385,8 @@ impl StoreCluster {
                 } else {
                     timing.remote_requests += 1;
                 }
-                let (resp, t) = self.rpc(
-                    home,
-                    server,
-                    Message::NeighborReq { fanout: fanout as u32, nodes: nodes.clone() },
-                )?;
+                let req = Message::NeighborReq { fanout: fanout as u32, nodes };
+                let (resp, t) = self.rpc_robust(home, server, &req)?;
                 hop_elapsed = hop_elapsed.max(t);
                 match resp {
                     Message::NeighborResp { lists: got } => {
@@ -162,29 +416,49 @@ impl StoreCluster {
     /// `from` (use [`StoreCluster::worker_location`] for a worker machine).
     /// Rows come back in `nodes` order; elapsed is the max over the
     /// parallel per-server RPCs.
+    ///
+    /// With [`StoreCluster::with_degraded_features`] on, a group whose
+    /// every replica fails transiently (or whose budget ran out) is served
+    /// as zero rows and counted in
+    /// [`RobustnessStats::degraded_rows`] instead of failing the batch.
     pub fn fetch_features(
         &mut self,
         nodes: &[NodeId],
         from: usize,
     ) -> Result<(Vec<f32>, SimTime), StoreError> {
+        let dim = self
+            .servers
+            .first()
+            .map(|s| s.features_dim())
+            .ok_or(StoreError::EmptyCluster)?;
         if nodes.is_empty() {
             return Ok((Vec::new(), 0));
         }
-        let dim = {
-            // All servers share the feature store; ask server 0's view.
-            self.servers[0].features_dim()
-        };
         let mut out = vec![0.0f32; nodes.len() * dim];
-        let mut groups: HashMap<usize, (Vec<usize>, Vec<NodeId>)> = HashMap::new();
+        let mut groups: BTreeMap<usize, (Vec<usize>, Vec<NodeId>)> = BTreeMap::new();
         for (i, &v) in nodes.iter().enumerate() {
-            let o = self.owner_of(v);
+            let o = self.owner_of(v)?;
             let entry = groups.entry(o).or_default();
             entry.0.push(i);
             entry.1.push(v);
         }
         let mut elapsed: SimTime = 0;
+        let mut batch_degraded = false;
         for (server, (positions, ids)) in groups {
-            let (resp, t) = self.rpc(from, server, Message::FeatureReq { nodes: ids })?;
+            let req = Message::FeatureReq { nodes: ids };
+            let (resp, t) = match self.rpc_robust(from, server, &req) {
+                Ok(ok) => ok,
+                Err(e) if self.degrade_features && degradable(&e) => {
+                    // Every replica failed within budget: deliver zeros for
+                    // this group rather than stalling the training step.
+                    let rows = positions.len() as u64;
+                    self.robustness.degraded_rows += rows;
+                    batch_degraded = true;
+                    self.events.push(RobustEvent::Degraded { server, rows });
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             elapsed = elapsed.max(t);
             match resp {
                 Message::FeatureResp { dim: d, rows } => {
@@ -199,8 +473,22 @@ impl StoreCluster {
                 _ => return Err(StoreError::Malformed("unexpected response")),
             }
         }
+        if batch_degraded {
+            self.robustness.degraded_batches += 1;
+        }
         Ok((out, elapsed))
     }
+}
+
+/// Whether an exhausted-retry error may be absorbed by graceful
+/// degradation: transient failures and spent budgets qualify; protocol
+/// misuse and bad arguments never do.
+fn degradable(e: &StoreError) -> bool {
+    e.is_transient()
+        || matches!(
+            e,
+            StoreError::DeadlineExceeded | StoreError::AllReplicasFailed { .. }
+        )
 }
 
 /// Assemble a [`LayerBlock`] from per-dst sampled neighbor lists.
@@ -229,6 +517,7 @@ fn build_block(dst: &[NodeId], lists: &[Vec<NodeId>]) -> LayerBlock {
 mod tests {
     use super::*;
     use bgl_partition::{Partitioner, RoundRobinPartitioner};
+    use bgl_sim::MILLISECOND;
 
     fn setup(k: usize) -> (Arc<Csr>, StoreCluster) {
         let g = Arc::new(bgl_graph::generate::barabasi_albert(200, 4, 3));
@@ -255,6 +544,7 @@ mod tests {
         }
         assert!(timing.elapsed > 0);
         assert_eq!(timing.per_hop.len(), 2);
+        assert!(!cluster.robustness.any_faults());
     }
 
     #[test]
@@ -302,10 +592,10 @@ mod tests {
     #[test]
     fn down_server_surfaces_error() {
         let (_, mut cluster) = setup(2);
-        cluster.set_server_down(1, true);
+        cluster.set_server_down(1, true).unwrap();
         let err = cluster.sample_batch(&[3], &[1], 0).unwrap_err();
         assert_eq!(err, StoreError::ServerDown(1));
-        cluster.set_server_down(1, false);
+        cluster.set_server_down(1, false).unwrap();
         assert!(cluster.sample_batch(&[3], &[1], 0).is_ok());
     }
 
@@ -316,5 +606,181 @@ mod tests {
         let reqs = cluster.requests_per_server();
         assert_eq!(reqs.len(), 2);
         assert!(reqs.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn out_of_range_indices_error_instead_of_panicking() {
+        let (_, mut cluster) = setup(2);
+        assert_eq!(cluster.owner_of(100_000), Err(StoreError::InvalidNode(100_000)));
+        assert_eq!(
+            cluster.set_server_down(9, true),
+            Err(StoreError::InvalidServer(9))
+        );
+        assert_eq!(
+            cluster.sample_batch(&[2], &[100_000], 0).unwrap_err(),
+            StoreError::InvalidNode(100_000)
+        );
+        let w = cluster.worker_location();
+        assert_eq!(
+            cluster.fetch_features(&[100_000], w).unwrap_err(),
+            StoreError::InvalidNode(100_000)
+        );
+    }
+
+    #[test]
+    fn empty_cluster_errors_instead_of_panicking() {
+        let g = Arc::new(bgl_graph::generate::barabasi_albert(10, 2, 1));
+        let f = Arc::new(FeatureStore::zeros(10, 2));
+        let p = Partition { k: 0, assignment: vec![] };
+        let mut cluster =
+            StoreCluster::new(g, f, &p, NetworkModel::paper_fabric(), 1);
+        assert_eq!(cluster.fetch_features(&[0], 0).unwrap_err(), StoreError::EmptyCluster);
+        assert_eq!(
+            cluster.sample_batch(&[2], &[0], 0).unwrap_err(),
+            StoreError::EmptyCluster
+        );
+    }
+
+    #[test]
+    fn replicas_of_walks_the_successor_chain() {
+        let (_, cluster) = setup(4);
+        let cluster = cluster.with_replication(2);
+        // Node 1 is primary-owned by server 1 (round-robin).
+        assert_eq!(cluster.replicas_of(1).unwrap(), vec![1, 2]);
+        // The chain wraps the ring.
+        assert_eq!(cluster.replicas_of(3).unwrap(), vec![3, 0]);
+        assert!(cluster.replicas_of(100_000).is_err());
+    }
+
+    #[test]
+    fn failover_to_replica_when_primary_is_down() {
+        let (_, mut cluster) = setup(2);
+        cluster = cluster.with_replication(2);
+        cluster.set_server_down(1, true).unwrap();
+        // Node 1's primary (server 1) is down; its replica (server 0)
+        // serves the request.
+        let (mb, _) = cluster.sample_batch(&[3], &[1], 0).unwrap();
+        assert_eq!(mb.seeds, vec![1]);
+        assert!(cluster.robustness.failovers > 0);
+        assert!(cluster
+            .events
+            .iter()
+            .any(|e| matches!(e, RobustEvent::FailedOver { from: 1, to: 0 })));
+        let w = cluster.worker_location();
+        assert!(cluster.fetch_features(&[1, 2], w).is_ok());
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_drops() {
+        // Drop probability below 1 with retries on: the batch eventually
+        // lands, and the retry accounting shows the recovered attempts.
+        let (_, cluster) = setup(2);
+        let mut cluster = cluster
+            .with_fault_plan(FaultPlan::new(5).drops(0.3))
+            .with_retry_policy(RetryPolicy {
+                max_retries: 16,
+                deadline: None,
+                ..RetryPolicy::default()
+            })
+            // A high threshold keeps the breaker out of the way so the
+            // ladder alone absorbs the drops.
+            .with_breaker(CircuitBreaker::new(1_000, MILLISECOND));
+        for s in 0..8u32 {
+            cluster.sample_batch(&[3, 2], &[s, s + 1], 0).unwrap();
+        }
+        assert!(cluster.robustness.drops > 0);
+        assert!(cluster.robustness.retries > 0);
+        assert!(cluster.robustness.backoff_time > 0);
+    }
+
+    #[test]
+    fn degraded_features_fall_back_to_zeros() {
+        let (_, mut cluster) = setup(2);
+        cluster = cluster.with_degraded_features(true);
+        cluster.set_server_down(1, true).unwrap();
+        let w = cluster.worker_location();
+        // Nodes 1 and 3 live on the downed server: their rows degrade to
+        // zeros; nodes on server 0 are served normally.
+        let (rows, _) = cluster.fetch_features(&[0, 1, 3], w).unwrap();
+        assert_eq!(rows.len(), 3 * 4);
+        assert_eq!(cluster.robustness.degraded_rows, 2);
+        assert_eq!(cluster.robustness.degraded_batches, 1);
+        assert!(cluster
+            .events
+            .iter()
+            .any(|e| matches!(e, RobustEvent::Degraded { server: 1, rows: 2 })));
+        // Sampling still fails hard — degradation is a feature-path policy.
+        assert!(cluster.sample_batch(&[2], &[1], 0).is_err());
+    }
+
+    #[test]
+    fn breaker_opens_after_repeated_failures_and_recovers() {
+        let (_, mut cluster) = setup(2);
+        cluster = cluster.with_retry_policy(RetryPolicy {
+            max_retries: 5,
+            deadline: None,
+            ..RetryPolicy::default()
+        });
+        cluster.set_server_down(1, true).unwrap();
+        assert!(cluster.sample_batch(&[2], &[1], 0).is_err());
+        assert!(cluster.robustness.breaker_opens > 0);
+        assert!(cluster
+            .events
+            .iter()
+            .any(|e| matches!(e, RobustEvent::BreakerOpened { server: 1 })));
+        // Bring the server back; advance past the cooldown so the breaker
+        // admits a half-open probe, which closes it.
+        cluster.set_server_down(1, false).unwrap();
+        cluster.clock += 10 * MILLISECOND;
+        assert!(cluster.sample_batch(&[2], &[1], 0).is_ok());
+        assert!(cluster.robustness.breaker_probes > 0);
+        assert!(cluster.robustness.recovery_time > 0);
+        assert!(cluster
+            .events
+            .iter()
+            .any(|e| matches!(e, RobustEvent::BreakerClosed { server: 1 })));
+    }
+
+    #[test]
+    fn deadline_bounds_the_retry_ladder() {
+        let (_, mut cluster) = setup(2);
+        cluster = cluster
+            .with_retry_policy(RetryPolicy {
+                max_retries: 1_000,
+                deadline: Some(MILLISECOND),
+                ..RetryPolicy::default()
+            })
+            .with_breaker(CircuitBreaker::new(1_000, MILLISECOND));
+        cluster.set_server_down(1, true).unwrap();
+        let err = cluster.sample_batch(&[2], &[1], 0).unwrap_err();
+        assert_eq!(err, StoreError::DeadlineExceeded);
+        assert_eq!(cluster.robustness.deadline_misses, 1);
+    }
+
+    #[test]
+    fn all_replicas_failed_when_chain_is_exhausted() {
+        let (_, mut cluster) = setup(2);
+        cluster = cluster.with_replication(2);
+        cluster.set_server_down(0, true).unwrap();
+        cluster.set_server_down(1, true).unwrap();
+        let err = cluster.sample_batch(&[2], &[1], 0).unwrap_err();
+        assert_eq!(err, StoreError::AllReplicasFailed { node_owner: 1 });
+    }
+
+    #[test]
+    fn injected_crash_window_heals_with_time() {
+        let (_, cluster) = setup(2);
+        // Server 1 crashes at the very first request, for 1 ms of
+        // simulated time; retries with backoff outlast the window.
+        let mut cluster = cluster
+            .with_fault_plan(FaultPlan::new(9).crash(1, 1, MILLISECOND))
+            .with_retry_policy(RetryPolicy { deadline: None, ..RetryPolicy::default() })
+            .with_replication(2);
+        let (mb, _) = cluster.sample_batch(&[3, 3], &[1, 2, 3], 0).unwrap();
+        assert_eq!(mb.seeds, vec![1, 2, 3]);
+        assert!(cluster
+            .events
+            .iter()
+            .any(|e| matches!(e, RobustEvent::Crashed { server: 1, .. })));
     }
 }

@@ -1,0 +1,174 @@
+//! Per-server circuit breaking.
+//!
+//! A server that keeps failing should stop being asked: after
+//! `failure_threshold` consecutive failures the breaker *opens* and the
+//! cluster routes straight to a replica without paying the failed attempt's
+//! wire time and backoff. After `cooldown` of simulated time the breaker
+//! goes *half-open* and admits a single probe; success closes it, failure
+//! re-opens it for another cooldown. This is the standard three-state
+//! breaker, driven entirely by the cluster's deterministic simulated clock.
+
+use bgl_sim::{SimTime, MILLISECOND};
+
+/// Breaker state (the classic three-state machine).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are rerouted until the cooldown expires.
+    Open,
+    /// Cooldown expired: one probe is in flight.
+    HalfOpen,
+}
+
+/// One server's circuit breaker.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    /// Consecutive failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// Simulated time an open breaker blocks requests before probing.
+    pub cooldown: SimTime,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// When an open breaker may admit a half-open probe.
+    open_until: SimTime,
+    /// When the breaker first opened in the current outage (for recovery
+    /// accounting); cleared on close.
+    opened_at: Option<SimTime>,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(3, 2 * MILLISECOND)
+    }
+}
+
+impl CircuitBreaker {
+    pub fn new(failure_threshold: u32, cooldown: SimTime) -> Self {
+        CircuitBreaker {
+            failure_threshold: failure_threshold.max(1),
+            cooldown,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until: 0,
+            opened_at: None,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether a request may be sent at `clock`. An open breaker whose
+    /// cooldown has expired transitions to half-open and admits the call as
+    /// its probe (returns `true` and records the transition).
+    pub fn allows(&mut self, clock: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if clock >= self.open_until {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful exchange. Returns the outage span when this
+    /// success closed an open/half-open breaker (recovery time), else
+    /// `None`.
+    pub fn on_success(&mut self, clock: SimTime) -> Option<SimTime> {
+        self.consecutive_failures = 0;
+        let was_open = self.state != BreakerState::Closed;
+        self.state = BreakerState::Closed;
+        if was_open {
+            self.opened_at.take().map(|t| clock.saturating_sub(t))
+        } else {
+            self.opened_at = None;
+            None
+        }
+    }
+
+    /// Record a failed exchange at `clock`. Returns `true` when this
+    /// failure *opened* the breaker (a new open transition, not a re-open
+    /// extension of a half-open probe failure — those also return `true`
+    /// since the circuit transitions back to open).
+    pub fn on_failure(&mut self, clock: SimTime) -> bool {
+        match self.state {
+            BreakerState::HalfOpen => {
+                // Failed probe: straight back to open for another cooldown.
+                self.state = BreakerState::Open;
+                self.open_until = clock + self.cooldown;
+                true
+            }
+            BreakerState::Open => false,
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.open_until = clock + self.cooldown;
+                    if self.opened_at.is_none() {
+                        self.opened_at = Some(clock);
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, 1_000);
+        assert!(!b.on_failure(0));
+        assert!(!b.on_failure(10));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.on_failure(20));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows(20));
+        assert!(!b.allows(1_019));
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut b = CircuitBreaker::new(3, 1_000);
+        b.on_failure(0);
+        b.on_failure(1);
+        assert_eq!(b.on_success(2), None);
+        b.on_failure(3);
+        b.on_failure(4);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success_with_recovery_time() {
+        let mut b = CircuitBreaker::new(1, 1_000);
+        assert!(b.on_failure(500));
+        assert!(!b.allows(1_000));
+        assert!(b.allows(1_500)); // cooldown expired -> probe admitted
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.on_success(1_600), Some(1_100)); // outage 500 -> 1600
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_without_restarting_outage() {
+        let mut b = CircuitBreaker::new(1, 1_000);
+        b.on_failure(0);
+        assert!(b.allows(1_000));
+        assert!(b.on_failure(1_000)); // probe fails -> open again
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows(1_999));
+        assert!(b.allows(2_000));
+        // Recovery time spans the whole outage, both cooldowns.
+        assert_eq!(b.on_success(2_100), Some(2_100));
+    }
+}

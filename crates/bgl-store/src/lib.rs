@@ -19,15 +19,33 @@
 //! * [`cluster`] — [`StoreCluster`]: the server set + partition map +
 //!   traffic ledger, with distributed multi-hop sampling and batched
 //!   feature fetch;
+//! * [`fault`] — deterministic fault injection: seeded [`fault::FaultPlan`]s
+//!   schedule server crashes, request drops, corrupted responses and
+//!   slow-server windows;
+//! * [`retry`] — [`retry::RetryPolicy`]: bounded retries with exponential
+//!   backoff charged to simulated time, plus a per-batch deadline budget;
+//! * [`health`] — [`health::CircuitBreaker`]: per-server failure tracking
+//!   that routes around persistently failing primaries;
 //! * [`disk`] — on-disk persistence of graphs and partitions (the paper's
 //!   "one-time cost, saved to HDFS" step, §3.1).
+//!
+//! Multi-hour training runs survive partition-server failures through
+//! r-replica placement ([`StoreCluster::with_replication`]): each node's
+//! rows are served by its primary and the `r − 1` successor servers, and
+//! the cluster fails over automatically when the primary is down.
 
 pub mod cluster;
 pub mod disk;
+pub mod fault;
+pub mod health;
+pub mod retry;
 pub mod server;
 pub mod wire;
 
 pub use cluster::{SampleTiming, StoreCluster};
+pub use fault::{FaultInjector, FaultPlan, RobustEvent};
+pub use health::{BreakerState, CircuitBreaker};
+pub use retry::RetryPolicy;
 pub use server::GraphStoreServer;
 
 use std::fmt;
@@ -37,22 +55,89 @@ use std::fmt;
 pub enum StoreError {
     /// The target server is marked down (failure injection).
     ServerDown(usize),
-    /// A request named a node the server does not own.
+    /// A request was dropped in flight (transient fault injection).
+    RequestDropped(usize),
+    /// A response frame failed its integrity check (transient corruption).
+    CorruptFrame(usize),
+    /// A request named a node the server does not own (or replicate).
     NotOwned { node: u32, server: usize },
-    /// A frame failed to decode.
+    /// A frame failed to decode (protocol-level corruption or misuse).
     Malformed(&'static str),
+    /// A node id outside the partition map was named.
+    InvalidNode(u32),
+    /// A server index outside the cluster was named.
+    InvalidServer(usize),
+    /// The cluster has no servers at all.
+    EmptyCluster,
+    /// The retry/failover budget ran out before the batch deadline.
+    DeadlineExceeded,
+    /// Every replica of the owning server failed.
+    AllReplicasFailed { node_owner: usize },
+}
+
+impl StoreError {
+    /// Whether retrying (or failing over to a replica) can plausibly
+    /// succeed. Transient: a down server, a dropped request, a corrupted
+    /// response. Permanent: protocol misuse, bad arguments, and exhausted
+    /// budgets — retrying those repeats the same failure.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            StoreError::ServerDown(_)
+                | StoreError::RequestDropped(_)
+                | StoreError::CorruptFrame(_)
+        )
+    }
 }
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::ServerDown(s) => write!(f, "graph store server {} is down", s),
+            StoreError::RequestDropped(s) => {
+                write!(f, "request to server {} dropped in flight", s)
+            }
+            StoreError::CorruptFrame(s) => {
+                write!(f, "response from server {} failed integrity check", s)
+            }
             StoreError::NotOwned { node, server } => {
                 write!(f, "node {} is not owned by server {}", node, server)
             }
             StoreError::Malformed(what) => write!(f, "malformed frame: {}", what),
+            StoreError::InvalidNode(v) => {
+                write!(f, "node {} is outside the partition map", v)
+            }
+            StoreError::InvalidServer(s) => {
+                write!(f, "server index {} is outside the cluster", s)
+            }
+            StoreError::EmptyCluster => write!(f, "store cluster has no servers"),
+            StoreError::DeadlineExceeded => {
+                write!(f, "retry budget exhausted before the batch deadline")
+            }
+            StoreError::AllReplicasFailed { node_owner } => {
+                write!(f, "all replicas of server {} failed", node_owner)
+            }
         }
     }
 }
 
 impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_taxonomy_split() {
+        assert!(StoreError::ServerDown(0).is_transient());
+        assert!(StoreError::RequestDropped(1).is_transient());
+        assert!(StoreError::CorruptFrame(2).is_transient());
+        assert!(!StoreError::NotOwned { node: 3, server: 0 }.is_transient());
+        assert!(!StoreError::Malformed("x").is_transient());
+        assert!(!StoreError::InvalidNode(9).is_transient());
+        assert!(!StoreError::InvalidServer(9).is_transient());
+        assert!(!StoreError::EmptyCluster.is_transient());
+        assert!(!StoreError::DeadlineExceeded.is_transient());
+        assert!(!StoreError::AllReplicasFailed { node_owner: 0 }.is_transient());
+    }
+}

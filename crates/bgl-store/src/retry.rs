@@ -1,0 +1,87 @@
+//! Bounded retry with exponential backoff, charged to simulated time.
+//!
+//! Every failed attempt costs real (simulated) wall clock: the attempt's
+//! wire time plus a backoff wait. The per-batch deadline bounds how much
+//! simulated time one logical request may burn across retries and failovers
+//! before the caller gives up — keeping one flaky server from stalling the
+//! whole training pipeline (the paper's GPUs are fed or they idle, §2.2).
+
+use bgl_sim::network::exponential_backoff;
+use bgl_sim::{SimTime, MICROSECOND, MILLISECOND};
+
+/// Retry/backoff configuration for one logical store request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt, per candidate server.
+    pub max_retries: u32,
+    /// Backoff before retry `i` is `base_backoff << i`, capped below.
+    pub base_backoff: SimTime,
+    /// Upper bound on a single backoff wait.
+    pub max_backoff: SimTime,
+    /// Total simulated-time budget for one logical request, including
+    /// failover attempts; `None` = unbounded.
+    pub deadline: Option<SimTime>,
+}
+
+impl Default for RetryPolicy {
+    /// Calibrated to the paper fabric: an NIC RPC costs ~20 µs, so backoff
+    /// starts at 50 µs and a deadline of 50 ms allows a full retry ladder
+    /// across replicas without stalling the epoch.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: 50 * MICROSECOND,
+            max_backoff: 5 * MILLISECOND,
+            deadline: Some(50 * MILLISECOND),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (fail-fast, the pre-fault-tolerance
+    /// behaviour).
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, base_backoff: 0, max_backoff: 0, deadline: None }
+    }
+
+    /// Backoff before the `attempt`-th retry (0-based).
+    pub fn backoff(&self, attempt: u32) -> SimTime {
+        exponential_backoff(self.base_backoff, self.max_backoff, attempt)
+    }
+
+    /// Whether `elapsed` has exhausted the deadline budget.
+    pub fn deadline_exceeded(&self, elapsed: SimTime) -> bool {
+        matches!(self.deadline, Some(d) if elapsed >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_until_cap() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), 50 * MICROSECOND);
+        assert_eq!(p.backoff(1), 100 * MICROSECOND);
+        assert_eq!(p.backoff(2), 200 * MICROSECOND);
+        assert_eq!(p.backoff(30), p.max_backoff);
+    }
+
+    #[test]
+    fn deadline_budget() {
+        let p = RetryPolicy::default();
+        assert!(!p.deadline_exceeded(0));
+        assert!(p.deadline_exceeded(50 * MILLISECOND));
+        let unbounded = RetryPolicy { deadline: None, ..p };
+        assert!(!unbounded.deadline_exceeded(SimTime::MAX));
+    }
+
+    #[test]
+    fn fail_fast_policy() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_retries, 0);
+        assert_eq!(p.backoff(0), 0);
+        assert!(!p.deadline_exceeded(1 << 40));
+    }
+}

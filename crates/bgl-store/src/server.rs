@@ -12,13 +12,19 @@ use bytes::Bytes;
 use rand::prelude::*;
 use std::sync::Arc;
 
-/// A graph store server owning one partition.
+/// A graph store server owning one partition (and, with replication on,
+/// holding replicas of its predecessor partitions).
 pub struct GraphStoreServer {
     id: usize,
     graph: Arc<Csr>,
     features: Arc<FeatureStore>,
     /// `owner[v]` is the server owning node `v` (shared partition map).
     owner: Arc<Vec<u32>>,
+    /// Replication factor: this server also serves nodes whose primary is
+    /// one of its `replication − 1` predecessors (successor-chain layout).
+    replication: usize,
+    /// Cluster size, needed to wrap the successor chain.
+    num_servers: usize,
     rng: StdRng,
     /// Failure injection: a down server rejects every request.
     down: bool,
@@ -41,11 +47,21 @@ impl GraphStoreServer {
             graph,
             features,
             owner,
+            replication: 1,
+            num_servers: 0,
             rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B9)),
             down: false,
             requests_served: 0,
             nodes_sampled: 0,
         }
+    }
+
+    /// Enable r-replica serving: this server also answers for nodes whose
+    /// primary is one of its `r − 1` predecessors in the ring of
+    /// `num_servers` servers.
+    pub fn set_replication(&mut self, replication: usize, num_servers: usize) {
+        self.replication = replication.max(1);
+        self.num_servers = num_servers;
     }
 
     /// Server index.
@@ -58,9 +74,27 @@ impl GraphStoreServer {
         self.down = down;
     }
 
-    /// Whether this server owns `v`.
+    /// Whether this server is the primary owner of `v`.
     pub fn owns(&self, v: NodeId) -> bool {
-        self.owner[v as usize] as usize == self.id
+        matches!(self.owner.get(v as usize), Some(&o) if o as usize == self.id)
+    }
+
+    /// Whether this server serves `v` — as its primary, or as one of the
+    /// `replication − 1` successor replicas of `v`'s primary.
+    pub fn serves(&self, v: NodeId) -> bool {
+        let Some(&primary) = self.owner.get(v as usize) else {
+            return false;
+        };
+        let primary = primary as usize;
+        if primary == self.id {
+            return true;
+        }
+        if self.replication <= 1 || self.num_servers == 0 {
+            return false;
+        }
+        // id ∈ {primary + 1, …, primary + r − 1} (mod n)?
+        let offset = (self.id + self.num_servers - primary) % self.num_servers;
+        offset < self.replication
     }
 
     /// Feature dimensionality of the store this server fronts.
@@ -80,7 +114,7 @@ impl GraphStoreServer {
             Message::NeighborReq { fanout, nodes } => {
                 let mut lists = Vec::with_capacity(nodes.len());
                 for &v in &nodes {
-                    if !self.owns(v) {
+                    if !self.serves(v) {
                         return Err(StoreError::NotOwned { node: v, server: self.id });
                     }
                     lists.push(self.sample_neighbors(v, fanout as usize));
@@ -91,7 +125,7 @@ impl GraphStoreServer {
                 let dim = self.features.dim() as u32;
                 let mut rows = Vec::with_capacity(nodes.len() * dim as usize);
                 for &v in &nodes {
-                    if !self.owns(v) {
+                    if !self.serves(v) {
                         return Err(StoreError::NotOwned { node: v, server: self.id });
                     }
                     rows.extend_from_slice(self.features.row(v));
@@ -199,6 +233,44 @@ mod tests {
             }
             other => panic!("unexpected {:?}", other),
         }
+    }
+
+    #[test]
+    fn replica_serves_predecessor_nodes() {
+        let (g, f, owner) = setup(4);
+        // Server 1 replicates server 0's partition (r = 2 on 4 servers).
+        let mut s = GraphStoreServer::new(1, g, f, owner, 7);
+        s.set_replication(2, 4);
+        assert!(s.serves(1)); // own partition (1 % 4 == 1)
+        assert!(s.serves(0)); // replica of server 0's nodes
+        assert!(!s.serves(2)); // server 2's nodes: not in the chain
+        assert!(!s.owns(0)); // replica, not primary
+        let req = Message::NeighborReq { fanout: 2, nodes: vec![0, 4] }.encode();
+        assert!(s.handle(req).is_ok());
+        let foreign = Message::FeatureReq { nodes: vec![2] }.encode();
+        assert_eq!(
+            s.handle(foreign),
+            Err(StoreError::NotOwned { node: 2, server: 1 })
+        );
+    }
+
+    #[test]
+    fn replication_chain_wraps_the_ring() {
+        let (g, f, owner) = setup(4);
+        // Server 0 with r = 2: replica of server 3 (its ring predecessor).
+        let mut s = GraphStoreServer::new(0, g, f, owner, 7);
+        s.set_replication(2, 4);
+        assert!(s.serves(3)); // owner 3, successor (3+1)%4 == 0
+        assert!(!s.serves(1));
+        assert!(!s.serves(2));
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_never_served() {
+        let (g, f, owner) = setup(2);
+        let s = GraphStoreServer::new(0, g, f, owner, 7);
+        assert!(!s.owns(10_000));
+        assert!(!s.serves(10_000));
     }
 
     #[test]

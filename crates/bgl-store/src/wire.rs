@@ -114,10 +114,18 @@ impl Message {
             TAG_FEATURE_RESP => {
                 let dim = get_u32(&mut buf, "dim")?;
                 let n = get_u32(&mut buf, "row len")? as usize;
+                // Shape is validated at the codec boundary, not just by the
+                // fetch path: a payload that is not whole rows is corrupt.
+                if dim == 0 && n != 0 {
+                    return Err(StoreError::Malformed("feature rows with zero dim"));
+                }
+                if dim != 0 && !n.is_multiple_of(dim as usize) {
+                    return Err(StoreError::Malformed("feature rows not a multiple of dim"));
+                }
                 if buf.remaining() < n * 4 {
                     return Err(StoreError::Malformed("truncated feature rows"));
                 }
-                let mut rows = Vec::with_capacity(n);
+                let mut rows = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
                     rows.push(buf.get_f32_le());
                 }
@@ -139,7 +147,10 @@ fn get_ids(buf: &mut Bytes, n: usize) -> Result<Vec<NodeId>, StoreError> {
     if buf.remaining() < n * 4 {
         return Err(StoreError::Malformed("truncated id list"));
     }
-    let mut ids = Vec::with_capacity(n);
+    // Cap the preallocation the same way NeighborResp decode does: a
+    // corrupt count cannot make us reserve gigabytes before the length
+    // check above has real bytes behind it.
+    let mut ids = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         ids.push(buf.get_u32_le());
     }
@@ -189,6 +200,47 @@ mod tests {
         bad.put_u8(TAG_FEATURE_REQ);
         bad.put_u32_le(100);
         bad.put_u32_le(1);
+        assert_eq!(
+            Message::decode(bad.freeze()),
+            Err(StoreError::Malformed("truncated id list"))
+        );
+    }
+
+    #[test]
+    fn rejects_ragged_feature_rows() {
+        // 3 floats with dim 2: not whole rows -> reject at decode time.
+        let mut bad = BytesMut::new();
+        bad.put_u8(TAG_FEATURE_RESP);
+        bad.put_u32_le(2); // dim
+        bad.put_u32_le(3); // row payload length: not a multiple of dim
+        for _ in 0..3 {
+            bad.put_f32_le(1.0);
+        }
+        assert_eq!(
+            Message::decode(bad.freeze()),
+            Err(StoreError::Malformed("feature rows not a multiple of dim"))
+        );
+        // Zero dim with a nonempty payload is equally malformed.
+        let mut bad = BytesMut::new();
+        bad.put_u8(TAG_FEATURE_RESP);
+        bad.put_u32_le(0);
+        bad.put_u32_le(4);
+        for _ in 0..4 {
+            bad.put_f32_le(0.0);
+        }
+        assert_eq!(
+            Message::decode(bad.freeze()),
+            Err(StoreError::Malformed("feature rows with zero dim"))
+        );
+    }
+
+    #[test]
+    fn huge_claimed_counts_do_not_overallocate() {
+        // A frame claiming u32::MAX ids with no payload must fail fast
+        // without a giant reservation.
+        let mut bad = BytesMut::new();
+        bad.put_u8(TAG_FEATURE_REQ);
+        bad.put_u32_le(u32::MAX);
         assert_eq!(
             Message::decode(bad.freeze()),
             Err(StoreError::Malformed("truncated id list"))

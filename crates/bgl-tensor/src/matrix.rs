@@ -120,13 +120,13 @@ impl Matrix {
         for i in 0..m {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
-            for j in 0..n {
+            for (j, o) in out_row.iter_mut().enumerate().take(n) {
                 let b_row = other.row(j);
                 let mut acc = 0.0f32;
                 for p in 0..k {
                     acc += a_row[p] * b_row[p];
                 }
-                out_row[j] = acc;
+                *o = acc;
             }
         }
         out

@@ -109,7 +109,6 @@ impl Optimizer for Adam {
             .raw_mut()
             .iter_mut()
             .zip(v.raw_mut().iter_mut())
-            .map(|(a, b)| (a, b))
             .zip(grad.raw())
         {
             *mi = b1 * *mi + (1.0 - b1) * g;

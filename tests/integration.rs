@@ -40,7 +40,7 @@ fn full_data_path_produces_trainable_batches() {
 
     let mut last_loss = f32::INFINITY;
     for (i, seeds) in ds.split.train.chunks(32).take(6).enumerate() {
-        let home = cluster.owner_of(seeds[0]);
+        let home = cluster.owner_of(seeds[0]).unwrap();
         let (batch, timing) = cluster.sample_batch(&[5, 5], seeds, home).unwrap();
         assert!(timing.elapsed > 0);
         // Fetch features through the cache; misses resolve via the store.
