@@ -3,7 +3,7 @@
 //! and the queue-based vs mutex-based shard consistency designs (§3.2.3's
 //! 8x claim, qualitatively).
 
-use bgl_cache::concurrent::{MutexShardedCache, QueueShardedCache};
+use bgl_cache::concurrent::{MutexShardedCache, QueueShardedCache, ShardedCache};
 use bgl_cache::{FeatureCacheEngine, PolicyKind};
 use bgl_graph::{FeatureStore, NodeId};
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -9,6 +9,14 @@
 //! --tab4 --fig14 --fig15 --recovery --tab5 --fig16 --all`, plus `--small`
 //! (test-scale datasets) and `--out <dir>` (JSON output directory, default
 //! `results/`).
+//!
+//! `--profile` (not part of `--all`) closes the §3.4 loop: it runs the
+//! real pipeline stages under an enabled [`bgl_obs`] registry, emits a
+//! *measured* `StageProfile` (cache `a`/`d` fitted from timed replays at
+//! several shard counts), feeds it to the brute-force allocator next to
+//! the paper's running example, and writes `BENCH_profile.json` plus a
+//! chrome-trace timeline (`profile_trace.json`, loadable in Perfetto /
+//! `about:tracing`) into the output directory.
 
 use bench::*;
 use bgl::config::GnnModelKind;
@@ -164,6 +172,27 @@ fn main() {
             println!("{}", t.render());
         }
         save("ablate_jhop", &to_json(&rows));
+    }
+
+    if flags.contains("profile") {
+        section("§3.4 profile→allocate loop — measured vs paper-example (products-like)");
+        let mut pctx =
+            if small { ExperimentCtx::small() } else { ExperimentCtx::standard() };
+        pctx.obs = bgl_obs::Registry::enabled();
+        let m = pctx.profile_stages(DatasetId::Products, &[1, 2, 4, 8]);
+        println!("{}", render_profile(&m));
+        let caps = bgl_exec::allocator::Capacities::paper_testbed();
+        let measured = bgl_exec::allocator::solve(&m.profile, &caps);
+        let paper =
+            bgl_exec::allocator::solve(&bgl_exec::StageProfile::paper_example(), &caps);
+        println!("{}", render_allocations(&measured, &paper));
+        let path = out_dir.join("BENCH_profile.json");
+        std::fs::write(&path, m.to_json()).expect("write BENCH_profile.json");
+        eprintln!("[saved {}]", path.display());
+        let trace_path = out_dir.join("profile_trace.json");
+        std::fs::write(&trace_path, pctx.obs.chrome_trace_json())
+            .expect("write profile trace");
+        eprintln!("[saved {}]", trace_path.display());
     }
 
     if want("recovery") {

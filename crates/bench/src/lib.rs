@@ -6,7 +6,10 @@ use bgl::experiments::{
     AccuracyRow, BreakdownRow, CacheRow, FeatureTimeRow, PartitionRow, RecoveryRow,
     ThroughputRow,
 };
+use bgl::profiler::MeasuredProfile;
 use bgl::report::TextTable;
+use bgl_exec::allocator::Allocation;
+use bgl_exec::StageProfile;
 
 /// Render Figs. 11/12/13 rows (one table per model).
 pub fn render_throughput(rows: &[ThroughputRow]) -> String {
@@ -141,6 +144,75 @@ pub fn render_accuracy(rows: &[AccuracyRow]) -> String {
             r.ordering.to_string(),
             format!("{:.3}", r.final_test_acc),
             format!("{:.3}", r.best_test_acc),
+        ]);
+    }
+    t.render()
+}
+
+/// Render a measured stage profile (`figures --profile`): per-stage
+/// quantities plus the raw cache-scaling samples behind the fit.
+pub fn render_profile(m: &MeasuredProfile) -> String {
+    let p = &m.profile;
+    let mut t = TextTable::new(&["stage", "value", "unit"]);
+    t.row(&["t1 sample-requests".into(), format!("{:.6}", p.t1), "s/batch".into()]);
+    t.row(&["t2 construct-subgraphs".into(), format!("{:.6}", p.t2), "s/batch".into()]);
+    t.row(&["t_net network".into(), format!("{:.6}", p.t_net), "s/batch".into()]);
+    t.row(&["t3 subgraph-processing".into(), format!("{:.6}", p.t3), "s/batch".into()]);
+    t.row(&["d_i pcie-subgraph".into(), format!("{:.0}", p.d_i), "bytes/batch".into()]);
+    t.row(&["cache_a (fitted)".into(), format!("{:.6}", p.cache_a), "s/batch".into()]);
+    t.row(&["cache_d (fitted)".into(), format!("{:.6}", p.cache_d), "s/batch".into()]);
+    t.row(&["cache_knee".into(), p.cache_knee.to_string(), "cores".into()]);
+    t.row(&["d_ii pcie-features".into(), format!("{:.0}", p.d_ii), "bytes/batch".into()]);
+    t.row(&["t_gpu gpu-compute".into(), format!("{:.6}", p.t_gpu), "s/batch".into()]);
+    let mut out = format!(
+        "measured on {} ({} batches of {}, wall {:.2}s)\n{}",
+        m.dataset,
+        m.num_batches,
+        m.batch_size,
+        m.wall_seconds,
+        t.render()
+    );
+    let mut c = TextTable::new(&["cache-cores", "s/batch (measured)", "s/batch (fit)"]);
+    for s in &m.cache_samples {
+        let fitted = p.cache_a / s.cores.max(1) as f64 + p.cache_d;
+        c.row(&[
+            s.cores.to_string(),
+            format!("{:.6}", s.seconds_per_batch),
+            format!("{:.6}", fitted),
+        ]);
+    }
+    out.push_str(&format!(
+        "cache fit f(c) = a/c + d, rms residual {:.2e} s\n{}",
+        m.fit_residual,
+        c.render()
+    ));
+    out
+}
+
+/// Render the §3.4 solver's output on the measured profile next to the
+/// paper's running example, one row per allocation.
+pub fn render_allocations(measured: &Allocation, paper: &Allocation) -> String {
+    let mut t = TextTable::new(&[
+        "profile", "c1", "c2", "c3", "c4", "b_I", "b_II", "bottleneck-s", "bound-stage",
+    ]);
+    for (name, a) in [("measured", measured), ("paper-example", paper)] {
+        let bound = a
+            .stage_times
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.total_cmp(y.1))
+            .map(|(i, _)| StageProfile::stage_names()[i])
+            .unwrap_or("-");
+        t.row(&[
+            name.into(),
+            a.c1.to_string(),
+            a.c2.to_string(),
+            a.c3.to_string(),
+            a.c4.to_string(),
+            a.b_i.to_string(),
+            a.b_ii.to_string(),
+            format!("{:.6}", a.bottleneck),
+            bound.into(),
         ]);
     }
     t.render()

@@ -7,16 +7,61 @@
 //! only code that ever touches the shard's map and buffer. This module
 //! implements exactly that with crossbeam channels, plus a mutex-based
 //! variant so the benches can measure the difference on real threads.
+//!
+//! Both variants implement [`ShardedCache`] with *identical accounting*:
+//! each batch deduplicates its keys first, so every unique key counts as
+//! exactly one hit or one miss and `source` is called once per unique
+//! missing key (the §3.2.3 ablation compares like with like). The queue
+//! variant collects every shard's reply before resolving any miss, so one
+//! slow miss resolution never blocks reading the other shards'
+//! already-computed replies.
 
+use crate::metrics::{CacheMetricSet, MetricsPublisher};
 use crate::policy::PolicyKind;
-use crate::stats::CacheStats;
+use crate::stats::{AtomicCacheStats, CacheStats};
 use bgl_graph::NodeId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crate::engine::Shard;
+
+/// Common front-end of the queue and mutex sharded caches, so the §3.2.3
+/// ablation (and tests) can drive both through one interface.
+pub trait ShardedCache {
+    /// Fetch features for `nodes` (duplicates allowed); misses are resolved
+    /// through `source` — called once per unique missing key — and the
+    /// fetched rows are inserted back.
+    fn fetch_batch(
+        &self,
+        nodes: &[NodeId],
+        source: &mut dyn FnMut(&[NodeId]) -> Vec<f32>,
+    ) -> Vec<f32>;
+
+    /// Point-in-time counters (safe to call mid-run).
+    fn stats(&self) -> CacheStats;
+}
+
+/// Collapse `nodes` to unique keys, remembering every original position of
+/// each key: returns `(keys, positions)` with `positions[u]` listing the
+/// indices of `nodes` that `keys[u]` fills.
+fn dedup_keys(nodes: &[NodeId]) -> (Vec<NodeId>, Vec<Vec<usize>>) {
+    let mut keys: Vec<NodeId> = Vec::new();
+    let mut positions: Vec<Vec<usize>> = Vec::new();
+    let mut index: HashMap<NodeId, usize> = HashMap::new();
+    for (i, &v) in nodes.iter().enumerate() {
+        let u = *index.entry(v).or_insert_with(|| {
+            keys.push(v);
+            positions.push(Vec::new());
+            keys.len() - 1
+        });
+        positions[u].push(i);
+    }
+    (keys, positions)
+}
 
 /// Reply to a query op: hit rows gathered in query order, plus the indices
 /// (into the queried keys) that missed.
@@ -42,39 +87,44 @@ enum CacheOp {
 /// no locks anywhere on the data path.
 pub struct QueueShardedCache {
     senders: Vec<Sender<CacheOp>>,
-    handles: Vec<JoinHandle<CacheStats>>,
+    handles: Vec<JoinHandle<()>>,
     num_shards: usize,
     dim: usize,
+    shared: Arc<AtomicCacheStats>,
+    metrics: Mutex<MetricsPublisher>,
 }
 
 impl QueueShardedCache {
     /// Spawn `num_shards` owner threads, each with `capacity` slots.
     pub fn new(num_shards: usize, dim: usize, capacity: usize, kind: PolicyKind) -> Self {
         assert!(num_shards >= 1 && dim >= 1);
+        let shared = Arc::new(AtomicCacheStats::default());
         let mut senders = Vec::with_capacity(num_shards);
         let mut handles = Vec::with_capacity(num_shards);
         for _ in 0..num_shards {
             let (tx, rx): (Sender<CacheOp>, Receiver<CacheOp>) = unbounded();
+            let shared = Arc::clone(&shared);
             let handle = std::thread::spawn(move || {
                 let mut shard = Shard::new(kind, capacity, dim, &[]);
-                let mut stats = CacheStats::default();
                 while let Ok(op) = rx.recv() {
                     match op {
                         CacheOp::Query { keys, reply } => {
+                            let mut delta = CacheStats::default();
                             let mut hits = Vec::new();
                             let mut missing = Vec::new();
                             for (i, &k) in keys.iter().enumerate() {
                                 match shard.policy.lookup(k) {
                                     Some(slot) => {
-                                        stats.gpu_local_hits += 1;
+                                        delta.gpu_local_hits += 1;
                                         hits.push((i, shard.slot(slot).to_vec()));
                                     }
                                     None => {
-                                        stats.misses += 1;
+                                        delta.misses += 1;
                                         missing.push(i);
                                     }
                                 }
                             }
+                            shared.add(&delta);
                             let _ = reply.send(QueryReply { hits, missing });
                         }
                         CacheOp::Insert { keys, rows, done } => {
@@ -86,84 +136,142 @@ impl QueueShardedCache {
                         CacheOp::Stop => break,
                     }
                 }
-                stats
             });
             senders.push(tx);
             handles.push(handle);
         }
-        QueueShardedCache { senders, handles, num_shards, dim }
+        QueueShardedCache {
+            senders,
+            handles,
+            num_shards,
+            dim,
+            shared,
+            metrics: Mutex::new(MetricsPublisher::default()),
+        }
     }
 
-    /// Fetch features for `nodes`; misses are resolved through `source` and
-    /// inserted back. Safe to call from multiple threads concurrently.
-    pub fn fetch_batch(
-        &self,
-        nodes: &[NodeId],
-        source: &mut dyn FnMut(&[NodeId]) -> Vec<f32>,
-    ) -> Vec<f32> {
-        let dim = self.dim;
-        let mut out = vec![0.0f32; nodes.len() * dim];
-        // Split keys by owning shard, remembering original positions.
-        let mut per_shard: Vec<(Vec<usize>, Vec<NodeId>)> =
-            vec![(Vec::new(), Vec::new()); self.num_shards];
-        for (i, &v) in nodes.iter().enumerate() {
-            let s = (v as usize) % self.num_shards;
-            per_shard[s].0.push(i);
-            per_shard[s].1.push(v);
-        }
-        // Fan out queries.
-        let mut pending = Vec::new();
-        for (s, (positions, keys)) in per_shard.iter().enumerate() {
-            if keys.is_empty() {
-                continue;
-            }
-            let (rtx, rrx) = unbounded();
-            self.senders[s]
-                .send(CacheOp::Query { keys: keys.clone(), reply: rtx })
-                .expect("shard thread alive");
-            pending.push((s, positions, keys, rrx));
-        }
-        // Collect replies, resolve misses, send inserts.
-        let mut insert_acks = Vec::new();
-        for (s, positions, keys, rrx) in pending {
-            let reply = rrx.recv().expect("shard reply");
-            for (local_i, row) in reply.hits {
-                let pos = positions[local_i];
-                out[pos * dim..(pos + 1) * dim].copy_from_slice(&row);
-            }
-            if !reply.missing.is_empty() {
-                let miss_keys: Vec<NodeId> =
-                    reply.missing.iter().map(|&i| keys[i]).collect();
-                let rows = source(&miss_keys);
-                assert_eq!(rows.len(), miss_keys.len() * dim);
-                for (j, &local_i) in reply.missing.iter().enumerate() {
-                    let pos = positions[local_i];
-                    out[pos * dim..(pos + 1) * dim]
-                        .copy_from_slice(&rows[j * dim..(j + 1) * dim]);
-                }
-                let (dtx, drx) = unbounded();
-                self.senders[s]
-                    .send(CacheOp::Insert { keys: miss_keys, rows, done: dtx })
-                    .expect("shard thread alive");
-                insert_acks.push(drx);
-            }
-        }
-        for ack in insert_acks {
-            let _ = ack.recv();
-        }
-        out
+    /// Mirror this cache's counters into `reg` under `cache.queue.*`.
+    pub fn attach_metrics(&self, reg: &bgl_obs::Registry) {
+        *self.metrics.lock() = MetricsPublisher::new(CacheMetricSet::attach(reg, "cache.queue"));
     }
 
-    /// Stop the owner threads and collect their statistics.
+    fn publish_metrics(&self) {
+        self.metrics.lock().publish(&self.shared.snapshot());
+    }
+
+    /// Stop the owner threads and return the final statistics.
     pub fn shutdown(self) -> CacheStats {
         for tx in &self.senders {
             let _ = tx.send(CacheOp::Stop);
         }
-        let mut total = CacheStats::default();
         for h in self.handles {
-            total.merge(&h.join().expect("shard thread panicked"));
+            h.join().expect("shard thread panicked");
         }
+        let total = self.shared.snapshot();
+        self.metrics.lock().publish(&total);
         total
+    }
+}
+
+impl ShardedCache for QueueShardedCache {
+    /// Safe to call from multiple threads concurrently.
+    fn fetch_batch(
+        &self,
+        nodes: &[NodeId],
+        source: &mut dyn FnMut(&[NodeId]) -> Vec<f32>,
+    ) -> Vec<f32> {
+        let start = Instant::now();
+        let dim = self.dim;
+        let mut out = vec![0.0f32; nodes.len() * dim];
+        let (keys, positions) = dedup_keys(nodes);
+        // Split unique keys by owning shard, remembering unique indices.
+        let mut per_shard: Vec<(Vec<usize>, Vec<NodeId>)> =
+            vec![(Vec::new(), Vec::new()); self.num_shards];
+        for (u, &v) in keys.iter().enumerate() {
+            let s = (v as usize) % self.num_shards;
+            per_shard[s].0.push(u);
+            per_shard[s].1.push(v);
+        }
+        // Fan out queries to every shard.
+        let mut pending = Vec::new();
+        for (s, (uniques, skeys)) in per_shard.iter().enumerate() {
+            if skeys.is_empty() {
+                continue;
+            }
+            let (rtx, rrx) = unbounded();
+            self.senders[s]
+                .send(CacheOp::Query { keys: skeys.clone(), reply: rtx })
+                .expect("shard thread alive");
+            pending.push((s, uniques, skeys, rrx));
+        }
+        // Pass 1: collect *all* replies, filling hits, before touching
+        // `source` — no shard's reply waits behind another's miss
+        // resolution.
+        let mut shard_misses: Vec<(usize, Vec<NodeId>, Vec<usize>)> = Vec::new();
+        for (s, uniques, skeys, rrx) in pending {
+            let reply = rrx.recv().expect("shard reply");
+            for (local_i, row) in reply.hits {
+                for &pos in &positions[uniques[local_i]] {
+                    out[pos * dim..(pos + 1) * dim].copy_from_slice(&row);
+                }
+            }
+            if !reply.missing.is_empty() {
+                let miss_keys: Vec<NodeId> =
+                    reply.missing.iter().map(|&i| skeys[i]).collect();
+                let miss_uniques: Vec<usize> =
+                    reply.missing.iter().map(|&i| uniques[i]).collect();
+                shard_misses.push((s, miss_keys, miss_uniques));
+            }
+        }
+        // Pass 2: one source call for every missing unique key, then fan
+        // the rows back out and insert them into their owning shards.
+        if !shard_misses.is_empty() {
+            let all_missing: Vec<NodeId> = shard_misses
+                .iter()
+                .flat_map(|(_, keys, _)| keys.iter().copied())
+                .collect();
+            let rows = source(&all_missing);
+            assert_eq!(rows.len(), all_missing.len() * dim);
+            self.shared.add(&CacheStats {
+                miss_bytes: (rows.len() * std::mem::size_of::<f32>()) as u64,
+                ..Default::default()
+            });
+            let mut insert_acks = Vec::new();
+            let mut offset = 0usize;
+            for (s, miss_keys, miss_uniques) in &shard_misses {
+                let seg = &rows[offset * dim..(offset + miss_keys.len()) * dim];
+                for (j, &u) in miss_uniques.iter().enumerate() {
+                    let row = &seg[j * dim..(j + 1) * dim];
+                    for &pos in &positions[u] {
+                        out[pos * dim..(pos + 1) * dim].copy_from_slice(row);
+                    }
+                }
+                let (dtx, drx) = unbounded();
+                self.senders[*s]
+                    .send(CacheOp::Insert {
+                        keys: miss_keys.clone(),
+                        rows: seg.to_vec(),
+                        done: dtx,
+                    })
+                    .expect("shard thread alive");
+                insert_acks.push(drx);
+                offset += miss_keys.len();
+            }
+            for ack in insert_acks {
+                let _ = ack.recv();
+            }
+        }
+        self.shared.add(&CacheStats {
+            batches: 1,
+            overhead_ns: start.elapsed().as_nanos() as u64,
+            ..Default::default()
+        });
+        self.publish_metrics();
+        out
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.shared.snapshot()
     }
 }
 
@@ -172,6 +280,8 @@ impl QueueShardedCache {
 pub struct MutexShardedCache {
     shards: Vec<Arc<Mutex<Shard>>>,
     dim: usize,
+    shared: AtomicCacheStats,
+    metrics: Mutex<MetricsPublisher>,
 }
 
 impl MutexShardedCache {
@@ -179,40 +289,73 @@ impl MutexShardedCache {
         let shards = (0..num_shards)
             .map(|_| Arc::new(Mutex::new(Shard::new(kind, capacity, dim, &[]))))
             .collect();
-        MutexShardedCache { shards, dim }
+        MutexShardedCache {
+            shards,
+            dim,
+            shared: AtomicCacheStats::default(),
+            metrics: Mutex::new(MetricsPublisher::default()),
+        }
     }
 
-    /// Same semantics as [`QueueShardedCache::fetch_batch`], but every
-    /// operation takes the shard lock.
-    pub fn fetch_batch(
+    /// Mirror this cache's counters into `reg` under `cache.mutex.*`.
+    pub fn attach_metrics(&self, reg: &bgl_obs::Registry) {
+        *self.metrics.lock() = MetricsPublisher::new(CacheMetricSet::attach(reg, "cache.mutex"));
+    }
+}
+
+impl ShardedCache for MutexShardedCache {
+    /// Same semantics and accounting as [`QueueShardedCache::fetch_batch`],
+    /// but every operation takes the shard lock.
+    fn fetch_batch(
         &self,
         nodes: &[NodeId],
         source: &mut dyn FnMut(&[NodeId]) -> Vec<f32>,
     ) -> Vec<f32> {
+        let start = Instant::now();
         let dim = self.dim;
         let mut out = vec![0.0f32; nodes.len() * dim];
+        let (keys, positions) = dedup_keys(nodes);
+        let mut delta = CacheStats { batches: 1, ..Default::default() };
         let mut missing: Vec<(usize, NodeId)> = Vec::new();
-        for (i, &v) in nodes.iter().enumerate() {
+        for (u, &v) in keys.iter().enumerate() {
             let s = (v as usize) % self.shards.len();
             let mut shard = self.shards[s].lock();
             match shard.policy.lookup(v) {
                 Some(slot) => {
-                    out[i * dim..(i + 1) * dim].copy_from_slice(shard.slot(slot));
+                    delta.gpu_local_hits += 1;
+                    let row = shard.slot(slot);
+                    for &pos in &positions[u] {
+                        out[pos * dim..(pos + 1) * dim].copy_from_slice(row);
+                    }
                 }
-                None => missing.push((i, v)),
+                None => {
+                    delta.misses += 1;
+                    missing.push((u, v));
+                }
             }
         }
         if !missing.is_empty() {
-            let keys: Vec<NodeId> = missing.iter().map(|&(_, v)| v).collect();
-            let rows = source(&keys);
-            for (j, &(i, v)) in missing.iter().enumerate() {
+            let miss_keys: Vec<NodeId> = missing.iter().map(|&(_, v)| v).collect();
+            let rows = source(&miss_keys);
+            assert_eq!(rows.len(), miss_keys.len() * dim);
+            delta.miss_bytes = (rows.len() * std::mem::size_of::<f32>()) as u64;
+            for (j, &(u, v)) in missing.iter().enumerate() {
                 let row = &rows[j * dim..(j + 1) * dim];
-                out[i * dim..(i + 1) * dim].copy_from_slice(row);
+                for &pos in &positions[u] {
+                    out[pos * dim..(pos + 1) * dim].copy_from_slice(row);
+                }
                 let s = (v as usize) % self.shards.len();
                 self.shards[s].lock().admit(v, row);
             }
         }
+        delta.overhead_ns = start.elapsed().as_nanos() as u64;
+        self.shared.add(&delta);
+        self.metrics.lock().publish(&self.shared.snapshot());
         out
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.shared.snapshot()
     }
 }
 
@@ -248,9 +391,14 @@ mod tests {
         let out2 = cache.fetch_batch(&[1, 2, 3, 40], &mut counting);
         assert_eq!(out1, out2);
         assert_eq!(src_count, 0, "second fetch should be all hits");
+        let mid = cache.stats();
+        assert_eq!(mid.misses, 4);
+        assert_eq!(mid.gpu_local_hits, 4);
+        assert_eq!(mid.batches, 2);
         let stats = cache.shutdown();
         assert_eq!(stats.misses, 4);
         assert_eq!(stats.gpu_local_hits, 4);
+        assert_eq!(stats.miss_bytes, 4 * 3 * 4);
     }
 
     #[test]
@@ -275,6 +423,9 @@ mod tests {
         for j in joins {
             j.join().unwrap();
         }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 128, "each key misses exactly once");
+        assert_eq!(stats.total(), 4 * 32 * 10);
     }
 
     #[test]
@@ -286,5 +437,86 @@ mod tests {
         assert_eq!(&out[0..3], f.row(5));
         let out2 = cache.fetch_batch(&[5, 6], &mut src);
         assert_eq!(out, out2);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.gpu_local_hits, 2);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.miss_bytes, 2 * 3 * 4);
+    }
+
+    #[test]
+    fn duplicate_keys_fetch_source_once_per_unique_key() {
+        let f = features(64, 2);
+        // One front-end at a time; same batch with heavy duplication.
+        let batch: Vec<NodeId> = vec![7, 7, 9, 7, 9, 12];
+
+        let queue = QueueShardedCache::new(2, 2, 16, PolicyKind::Fifo);
+        let mutex = MutexShardedCache::new(2, 2, 16, PolicyKind::Fifo);
+        for cache in [&queue as &dyn ShardedCache, &mutex as &dyn ShardedCache] {
+            let mut fetched: Vec<NodeId> = Vec::new();
+            let mut src = |ids: &[NodeId]| {
+                fetched.extend_from_slice(ids);
+                f.gather(ids)
+            };
+            let out = cache.fetch_batch(&batch, &mut src);
+            // Every position filled with the right row, duplicates included.
+            for (i, &v) in batch.iter().enumerate() {
+                assert_eq!(&out[i * 2..(i + 1) * 2], f.row(v));
+            }
+            fetched.sort_unstable();
+            assert_eq!(fetched, vec![7, 9, 12], "one source fetch per unique key");
+            let stats = cache.stats();
+            assert_eq!(stats.misses, 3, "misses counted once per unique key");
+            assert_eq!(stats.miss_bytes, 3 * 2 * 4);
+        }
+    }
+
+    #[test]
+    fn queue_and_mutex_agree_on_identical_trace() {
+        let f = features(128, 2);
+        let queue = QueueShardedCache::new(4, 2, 8, PolicyKind::Fifo);
+        let mutex = MutexShardedCache::new(4, 2, 8, PolicyKind::Fifo);
+        // Single-threaded replay of the same batch sequence (with repeats
+        // and duplicates) through both variants.
+        let trace: Vec<Vec<NodeId>> = vec![
+            (0..32).collect(),
+            (16..48).collect(),
+            vec![1, 1, 2, 3, 5, 8, 13, 21, 34, 34],
+            (0..32).collect(),
+            (100..120).chain(100..110).collect(),
+        ];
+        for batch in &trace {
+            let mut src_q = |ids: &[NodeId]| f.gather(ids);
+            let out_q = queue.fetch_batch(batch, &mut src_q);
+            let mut src_m = |ids: &[NodeId]| f.gather(ids);
+            let out_m = mutex.fetch_batch(batch, &mut src_m);
+            assert_eq!(out_q, out_m);
+        }
+        let sq = queue.stats();
+        let sm = mutex.stats();
+        assert_eq!(sq.misses, sm.misses, "miss totals must match");
+        assert_eq!(
+            sq.gpu_local_hits, sm.gpu_local_hits,
+            "hit totals must match"
+        );
+        assert_eq!(sq.miss_bytes, sm.miss_bytes);
+        assert_eq!(sq.batches, sm.batches);
+        assert!(sq.misses > 0 && sq.gpu_local_hits > 0, "trace exercises both");
+    }
+
+    #[test]
+    fn metrics_mirror_stats() {
+        let f = features(64, 2);
+        let reg = bgl_obs::Registry::enabled();
+        let cache = QueueShardedCache::new(2, 2, 16, PolicyKind::Fifo);
+        cache.attach_metrics(&reg);
+        let mut src = |ids: &[NodeId]| f.gather(ids);
+        cache.fetch_batch(&[1, 2, 3], &mut src);
+        cache.fetch_batch(&[1, 2, 3], &mut src);
+        let stats = cache.shutdown();
+        let counters: std::collections::BTreeMap<_, _> = reg.counters().into_iter().collect();
+        assert_eq!(counters["cache.queue.misses"], stats.misses);
+        assert_eq!(counters["cache.queue.gpu_local_hits"], stats.gpu_local_hits);
+        assert_eq!(counters["cache.queue.batches"], 2);
     }
 }

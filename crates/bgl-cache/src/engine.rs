@@ -8,9 +8,11 @@
 //! sits a CPU cache running the same policy; below it, the graph store.
 
 use crate::cost::CacheCostModel;
+use crate::metrics::CacheMetricSet;
 use crate::policy::{make_policy, CachePolicy, PolicyKind};
 use crate::stats::CacheStats;
 use bgl_graph::{FeatureStore, NodeId};
+use std::collections::HashMap;
 
 /// One cache shard: a policy plus the slot buffer it indexes.
 pub(crate) struct Shard {
@@ -69,6 +71,7 @@ pub struct FeatureCacheEngine {
     gpu_cost: CacheCostModel,
     totals: CacheStats,
     kind: PolicyKind,
+    metrics: CacheMetricSet,
 }
 
 impl FeatureCacheEngine {
@@ -111,7 +114,14 @@ impl FeatureCacheEngine {
             gpu_cost: CacheCostModel::for_policy(kind),
             totals: CacheStats::default(),
             kind,
+            metrics: CacheMetricSet::default(),
         }
+    }
+
+    /// Mirror this engine's per-batch stats into `reg` under
+    /// `cache.engine.*` counters.
+    pub fn attach_metrics(&mut self, reg: &bgl_obs::Registry) {
+        self.metrics = CacheMetricSet::attach(reg, "cache.engine");
     }
 
     /// Load the features of every statically resident key (no-op for the
@@ -164,7 +174,12 @@ impl FeatureCacheEngine {
         let dim = self.dim;
         let mut out = vec![0.0f32; nodes.len() * dim];
         let mut stats = CacheStats { batches: 1, ..Default::default() };
-        let mut missing: Vec<(usize, NodeId)> = Vec::new();
+        // Sampled mini-batches contain duplicate node IDs; each unique
+        // missing key must be fetched from `source` and counted exactly
+        // once, with the one row fanned out to every position it fills.
+        let mut missing_keys: Vec<NodeId> = Vec::new();
+        let mut missing_pos: Vec<Vec<usize>> = Vec::new();
+        let mut miss_index: HashMap<NodeId, usize> = HashMap::new();
         let mut gpu_lookups = 0u64;
         let mut gpu_hits = 0u64;
         let mut gpu_inserts = 0u64;
@@ -196,22 +211,28 @@ impl FeatureCacheEngine {
                     continue;
                 }
             }
-            missing.push((i, v));
+            let idx = *miss_index.entry(v).or_insert_with(|| {
+                missing_keys.push(v);
+                missing_pos.push(Vec::new());
+                missing_keys.len() - 1
+            });
+            missing_pos[idx].push(i);
         }
 
-        if !missing.is_empty() {
-            let miss_ids: Vec<NodeId> = missing.iter().map(|&(_, v)| v).collect();
-            let rows = source(&miss_ids);
+        if !missing_keys.is_empty() {
+            let rows = source(&missing_keys);
             assert_eq!(
                 rows.len(),
-                miss_ids.len() * dim,
+                missing_keys.len() * dim,
                 "source returned wrong row count"
             );
-            stats.misses += miss_ids.len() as u64;
+            stats.misses += missing_keys.len() as u64;
             stats.miss_bytes += (rows.len() * std::mem::size_of::<f32>()) as u64;
-            for (j, &(i, v)) in missing.iter().enumerate() {
+            for (j, &v) in missing_keys.iter().enumerate() {
                 let row = &rows[j * dim..(j + 1) * dim];
-                out[i * dim..(i + 1) * dim].copy_from_slice(row);
+                for &i in &missing_pos[j] {
+                    out[i * dim..(i + 1) * dim].copy_from_slice(row);
+                }
                 let shard_id = (v as usize) % self.num_gpus;
                 if self.gpu_shards[shard_id].admit(v, row) {
                     gpu_inserts += 1;
@@ -226,6 +247,7 @@ impl FeatureCacheEngine {
             .gpu_cost
             .batch_cost_ns(gpu_lookups, gpu_hits, gpu_inserts);
         self.totals.merge(&stats);
+        self.metrics.record(&stats);
         FetchResult { features: out, stats }
     }
 }
@@ -342,6 +364,45 @@ mod tests {
         let r1 = eng.fetch_batch(0, &[1, 2, 3], &mut src);
         assert!(r1.stats.overhead_ns > 0);
         assert_eq!(eng.stats().batches, 1);
+    }
+
+    #[test]
+    fn duplicate_keys_fetch_source_once_per_unique_key() {
+        let f = features(100, 4);
+        let mut eng = FeatureCacheEngine::new(2, 4, 10, 0, PolicyKind::Fifo, &[]);
+        let mut fetched: Vec<NodeId> = Vec::new();
+        let mut src = |ids: &[NodeId]| {
+            fetched.extend_from_slice(ids);
+            f.gather(ids)
+        };
+        let batch: Vec<NodeId> = vec![3, 7, 3, 42, 7, 3];
+        let res = eng.fetch_batch(0, &batch, &mut src);
+        // Every position gets the right row, duplicates included.
+        for (i, &v) in batch.iter().enumerate() {
+            assert_eq!(&res.features[i * 4..(i + 1) * 4], f.row(v));
+        }
+        fetched.sort_unstable();
+        assert_eq!(fetched, vec![3, 7, 42], "one source fetch per unique key");
+        assert_eq!(res.stats.misses, 3, "misses counted once per unique key");
+        assert_eq!(res.stats.miss_bytes, 3 * 4 * 4);
+    }
+
+    #[test]
+    fn metrics_mirror_batch_stats() {
+        let f = features(100, 4);
+        let reg = bgl_obs::Registry::enabled();
+        let mut eng = FeatureCacheEngine::new(2, 4, 10, 0, PolicyKind::Fifo, &[]);
+        eng.attach_metrics(&reg);
+        let mut src = store_source(&f);
+        eng.fetch_batch(0, &[3, 7, 42], &mut src);
+        eng.fetch_batch(0, &[3, 7, 42], &mut src);
+        let counters: std::collections::BTreeMap<_, _> = reg.counters().into_iter().collect();
+        assert_eq!(counters["cache.engine.misses"], eng.stats().misses);
+        assert_eq!(
+            counters["cache.engine.gpu_local_hits"] + counters["cache.engine.gpu_peer_hits"],
+            eng.stats().gpu_local_hits + eng.stats().gpu_peer_hits
+        );
+        assert_eq!(counters["cache.engine.batches"], 2);
     }
 
     #[test]

@@ -24,9 +24,12 @@
 pub mod concurrent;
 pub mod cost;
 pub mod engine;
+pub mod metrics;
 pub mod policy;
 pub mod stats;
 
+pub use concurrent::{MutexShardedCache, QueueShardedCache, ShardedCache};
 pub use engine::{FeatureCacheEngine, FetchResult};
+pub use metrics::CacheMetricSet;
 pub use policy::{CachePolicy, Fifo, LfuO1, LruO1, PolicyKind, StaticDegree};
-pub use stats::CacheStats;
+pub use stats::{AtomicCacheStats, CacheStats};

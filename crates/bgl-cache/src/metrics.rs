@@ -1,0 +1,107 @@
+//! bgl-obs bindings for the cache front-ends.
+//!
+//! Each cache variant owns a [`CacheMetricSet`] — a bundle of bgl-obs
+//! counters mirroring the [`CacheStats`] fields under a per-variant prefix
+//! (`cache.engine.*`, `cache.queue.*`, `cache.mutex.*`). The default set is
+//! inert (noop counters), so unattached caches pay only an `Option` branch
+//! per batch.
+
+use crate::stats::CacheStats;
+use bgl_obs::{Counter, Registry};
+
+/// Counter bundle mirroring [`CacheStats`] into a metrics registry.
+#[derive(Clone, Debug, Default)]
+pub struct CacheMetricSet {
+    gpu_local_hits: Counter,
+    gpu_peer_hits: Counter,
+    cpu_hits: Counter,
+    misses: Counter,
+    miss_bytes: Counter,
+    overhead_ns: Counter,
+    batches: Counter,
+}
+
+impl CacheMetricSet {
+    /// Resolve the counter set under `prefix` (e.g. `cache.engine`).
+    pub fn attach(reg: &Registry, prefix: &str) -> Self {
+        let c = |field: &str| reg.counter(&format!("{prefix}.{field}"));
+        CacheMetricSet {
+            gpu_local_hits: c("gpu_local_hits"),
+            gpu_peer_hits: c("gpu_peer_hits"),
+            cpu_hits: c("cpu_hits"),
+            misses: c("misses"),
+            miss_bytes: c("miss_bytes"),
+            overhead_ns: c("overhead_ns"),
+            batches: c("batches"),
+        }
+    }
+
+    /// Add a stats *delta* (not a cumulative snapshot) to the counters.
+    pub fn record(&self, delta: &CacheStats) {
+        self.gpu_local_hits.add(delta.gpu_local_hits);
+        self.gpu_peer_hits.add(delta.gpu_peer_hits);
+        self.cpu_hits.add(delta.cpu_hits);
+        self.misses.add(delta.misses);
+        self.miss_bytes.add(delta.miss_bytes);
+        self.overhead_ns.add(delta.overhead_ns);
+        self.batches.add(delta.batches);
+    }
+}
+
+/// Publishes deltas of a monotonic [`CacheStats`] stream into a
+/// [`CacheMetricSet`], remembering the last published snapshot so repeated
+/// publishes never double-count.
+#[derive(Debug, Default)]
+pub struct MetricsPublisher {
+    set: CacheMetricSet,
+    last: CacheStats,
+}
+
+impl MetricsPublisher {
+    pub fn new(set: CacheMetricSet) -> Self {
+        MetricsPublisher { set, last: CacheStats::default() }
+    }
+
+    /// Publish whatever accumulated since the previous call.
+    pub fn publish(&mut self, now: &CacheStats) {
+        self.set.record(&now.delta_since(&self.last));
+        self.last = *now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_set_is_inert() {
+        let set = CacheMetricSet::default();
+        set.record(&CacheStats { misses: 3, ..Default::default() });
+        // Nothing to observe — just must not panic or allocate registries.
+    }
+
+    #[test]
+    fn attach_records_into_registry() {
+        let reg = Registry::enabled();
+        let set = CacheMetricSet::attach(&reg, "cache.test");
+        set.record(&CacheStats { misses: 3, gpu_local_hits: 2, ..Default::default() });
+        set.record(&CacheStats { misses: 1, ..Default::default() });
+        let counters: std::collections::BTreeMap<_, _> = reg.counters().into_iter().collect();
+        assert_eq!(counters["cache.test.misses"], 4);
+        assert_eq!(counters["cache.test.gpu_local_hits"], 2);
+        assert_eq!(counters["cache.test.cpu_hits"], 0);
+    }
+
+    #[test]
+    fn publisher_never_double_counts() {
+        let reg = Registry::enabled();
+        let mut publisher = MetricsPublisher::new(CacheMetricSet::attach(&reg, "cache.pub"));
+        let snap1 = CacheStats { misses: 5, ..Default::default() };
+        publisher.publish(&snap1);
+        publisher.publish(&snap1); // same snapshot again: no change
+        let snap2 = CacheStats { misses: 8, ..Default::default() };
+        publisher.publish(&snap2);
+        let counters: std::collections::BTreeMap<_, _> = reg.counters().into_iter().collect();
+        assert_eq!(counters["cache.pub.misses"], 8);
+    }
+}

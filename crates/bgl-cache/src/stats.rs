@@ -1,6 +1,7 @@
 //! Cache statistics: hit ratios and amortized overhead.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cumulative counters for the two-level cache engine.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
@@ -64,6 +65,62 @@ impl CacheStats {
         self.overhead_ns += other.overhead_ns;
         self.batches += other.batches;
     }
+
+    /// Field-wise `self - earlier` (saturating), for delta publication of
+    /// monotonic counters.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            gpu_local_hits: self.gpu_local_hits.saturating_sub(earlier.gpu_local_hits),
+            gpu_peer_hits: self.gpu_peer_hits.saturating_sub(earlier.gpu_peer_hits),
+            cpu_hits: self.cpu_hits.saturating_sub(earlier.cpu_hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            miss_bytes: self.miss_bytes.saturating_sub(earlier.miss_bytes),
+            overhead_ns: self.overhead_ns.saturating_sub(earlier.overhead_ns),
+            batches: self.batches.saturating_sub(earlier.batches),
+        }
+    }
+}
+
+/// Shared-memory variant of [`CacheStats`]: shard threads and concurrent
+/// callers accumulate into the same counters lock-free.
+#[derive(Debug, Default)]
+pub struct AtomicCacheStats {
+    gpu_local_hits: AtomicU64,
+    gpu_peer_hits: AtomicU64,
+    cpu_hits: AtomicU64,
+    misses: AtomicU64,
+    miss_bytes: AtomicU64,
+    overhead_ns: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl AtomicCacheStats {
+    /// Fold a counter delta into the shared totals.
+    pub fn add(&self, delta: &CacheStats) {
+        self.gpu_local_hits
+            .fetch_add(delta.gpu_local_hits, Ordering::Relaxed);
+        self.gpu_peer_hits
+            .fetch_add(delta.gpu_peer_hits, Ordering::Relaxed);
+        self.cpu_hits.fetch_add(delta.cpu_hits, Ordering::Relaxed);
+        self.misses.fetch_add(delta.misses, Ordering::Relaxed);
+        self.miss_bytes.fetch_add(delta.miss_bytes, Ordering::Relaxed);
+        self.overhead_ns
+            .fetch_add(delta.overhead_ns, Ordering::Relaxed);
+        self.batches.fetch_add(delta.batches, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the totals.
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            gpu_local_hits: self.gpu_local_hits.load(Ordering::Relaxed),
+            gpu_peer_hits: self.gpu_peer_hits.load(Ordering::Relaxed),
+            cpu_hits: self.cpu_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            miss_bytes: self.miss_bytes.load(Ordering::Relaxed),
+            overhead_ns: self.overhead_ns.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -88,6 +145,26 @@ mod tests {
         let s = CacheStats::default();
         assert_eq!(s.hit_ratio(), 0.0);
         assert_eq!(s.overhead_ms_per_batch(), 0.0);
+    }
+
+    #[test]
+    fn atomic_stats_round_trip() {
+        let shared = AtomicCacheStats::default();
+        shared.add(&CacheStats { misses: 2, batches: 1, ..Default::default() });
+        shared.add(&CacheStats { gpu_local_hits: 5, ..Default::default() });
+        let snap = shared.snapshot();
+        assert_eq!(snap.misses, 2);
+        assert_eq!(snap.gpu_local_hits, 5);
+        assert_eq!(snap.batches, 1);
+    }
+
+    #[test]
+    fn delta_since_subtracts_fieldwise() {
+        let now = CacheStats { misses: 10, gpu_local_hits: 7, ..Default::default() };
+        let earlier = CacheStats { misses: 4, gpu_local_hits: 7, ..Default::default() };
+        let d = now.delta_since(&earlier);
+        assert_eq!(d.misses, 6);
+        assert_eq!(d.gpu_local_hits, 0);
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct ExperimentCtx {
     pub cache_fanouts: Vec<usize>,
     pub machine: MachineSpec,
     pub seed: u64,
+    /// Observability sink for the whole experiment run. Disabled by
+    /// default (every counter/span degrades to a no-op); `figures
+    /// --profile` and the stage profiler swap in an enabled registry.
+    pub obs: bgl_obs::Registry,
     datasets: RefCell<HashMap<DatasetId, Dataset>>,
     traces: RefCell<HashMap<(DatasetId, SystemKind), Arc<DataPathTrace>>>,
     /// Sampled input-node streams per (dataset, proximity-ordering?),
@@ -94,6 +98,7 @@ impl ExperimentCtx {
             cache_fanouts: vec![5, 4, 3],
             machine: MachineSpec::paper_testbed(),
             seed: 0xB6,
+            obs: bgl_obs::Registry::disabled(),
             datasets: RefCell::new(HashMap::new()),
             traces: RefCell::new(HashMap::new()),
             streams: RefCell::new(HashMap::new()),
@@ -114,6 +119,7 @@ impl ExperimentCtx {
             cache_fanouts: vec![4, 3],
             machine: MachineSpec::paper_testbed(),
             seed: 0xB6,
+            obs: bgl_obs::Registry::disabled(),
             datasets: RefCell::new(HashMap::new()),
             traces: RefCell::new(HashMap::new()),
             streams: RefCell::new(HashMap::new()),
@@ -155,6 +161,7 @@ impl ExperimentCtx {
             self.batch_size,
             self.num_batches,
             self.seed,
+            &self.obs,
         ));
         self.traces.borrow_mut().insert((id, sys), t.clone());
         t
@@ -327,6 +334,7 @@ impl ExperimentCtx {
         let cap = ((ds.graph.num_nodes() as f64 * cache_frac).ceil() as usize).max(1);
         let hot = ds.graph.nodes_by_degree_desc();
         let mut engine = FeatureCacheEngine::new(1, 1, cap, 0, policy, &hot);
+        engine.attach_metrics(&self.obs);
         if policy == PolicyKind::StaticDegree {
             engine.warm(&bgl_graph::FeatureStore::zeros(ds.graph.num_nodes(), 1));
         }
@@ -367,7 +375,8 @@ impl ExperimentCtx {
         } else {
             Box::new(RandomShuffle::new(self.seed))
         };
-        let sampler = NeighborSampler::new(self.cache_fanouts.clone());
+        let sampler =
+            NeighborSampler::new(self.cache_fanouts.clone()).with_metrics(&self.obs);
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xCACE);
         let target = self.num_batches * 24;
         let mut out: Vec<Vec<NodeId>> = Vec::with_capacity(target);
@@ -460,6 +469,7 @@ impl ExperimentCtx {
             self.cache_batch_size,
             self.num_batches * 4,
             self.seed,
+            &self.obs,
         );
         let m = MeasuredSystem::derive(
             &trace,
@@ -979,7 +989,8 @@ impl ExperimentCtx {
             );
             let ordering = ProximityAware::for_batch(s, self.cache_batch_size, self.seed);
             // Hit ratio with the same sequence count driving the stream.
-            let sampler = NeighborSampler::new(self.cache_fanouts.clone());
+            let sampler =
+                NeighborSampler::new(self.cache_fanouts.clone()).with_metrics(&self.obs);
             let mut rng = StdRng::seed_from_u64(self.seed ^ 0xAB1);
             let cap = (ds.graph.num_nodes() / 10).max(1);
             let mut engine =

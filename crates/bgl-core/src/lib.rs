@@ -35,9 +35,11 @@
 pub mod config;
 pub mod experiments;
 pub mod measure;
+pub mod profiler;
 pub mod report;
 pub mod systems;
 
 pub use config::SystemConfig;
 pub use measure::{measure_data_path, DataPathTrace, MeasuredSystem};
+pub use profiler::{CacheScalingSample, MeasuredProfile};
 pub use systems::SystemKind;

@@ -95,6 +95,7 @@ pub fn make_ordering(
 }
 
 /// Phase 1: run the real data path for `num_batches` mini-batches.
+#[allow(clippy::too_many_arguments)]
 pub fn measure_data_path(
     ds: &Dataset,
     sys: &SystemConfig,
@@ -103,13 +104,16 @@ pub fn measure_data_path(
     batch_size: usize,
     num_batches: usize,
     seed: u64,
+    obs: &bgl_obs::Registry,
 ) -> DataPathTrace {
     // Single-machine systems colocate the store with the worker: one
     // partition, loopback fabric.
     let k = if sys.single_machine { 1 } else { k_partitions.max(1) };
     let t0 = Instant::now();
+    let span = obs.span("measure.partition");
     let partitioner = make_partitioner(sys.partitioner, seed);
     let partition = partitioner.partition(&ds.graph, &ds.split.train, k);
+    span.end();
     let partition_wall = t0.elapsed();
 
     let net = if sys.single_machine {
@@ -119,6 +123,7 @@ pub fn measure_data_path(
     };
     let mut cluster =
         StoreCluster::new(ds.graph.clone(), ds.features.clone(), &partition, net, seed);
+    cluster.attach_metrics(obs);
 
     let ordering = make_ordering(sys.ordering, sys.po_sequences, batch_size, seed);
     let seed_batches = ordering.epoch_batches(&ds.graph, &ds.split.train, batch_size, 0);
@@ -131,6 +136,7 @@ pub fn measure_data_path(
     let mut batches = Vec::with_capacity(num_batches);
     let mut remote_before = 0u64;
     for seeds in seed_batches.iter().take(num_batches) {
+        let _batch_span = obs.span("measure.batch");
         // Samplers are colocated with the store servers (paper §3.1): each
         // seed's subgraph is sampled by the server owning it, and the
         // per-owner sub-batches proceed in parallel. This is where
@@ -436,7 +442,7 @@ mod tests {
     }
 
     fn trace_for(ds: &Dataset, sys: SystemKind) -> DataPathTrace {
-        measure_data_path(ds, &sys.config(), 2, &[5, 5], 64, 6, 9)
+        measure_data_path(ds, &sys.config(), 2, &[5, 5], 64, 6, 9, &bgl_obs::Registry::disabled())
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Smoke bench for the "disabled registry is near-free" requirement.
+//!
+//! Compares a bare arithmetic loop against the same loop with a disabled
+//! counter/span in the body, and against an enabled counter. Run with
+//! `cargo bench -p bgl-obs` (or `-- --test` in CI for a quick smoke pass).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bgl_obs::Registry;
+
+const ITERS: u64 = 10_000;
+
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(30);
+
+    group.bench_function("baseline_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        })
+    });
+
+    let disabled = Registry::disabled();
+    let disabled_counter = disabled.counter("bench.disabled");
+    group.bench_function("disabled_counter_add", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                disabled_counter.add(1);
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        })
+    });
+
+    let enabled = Registry::enabled();
+    let enabled_counter = enabled.counter("bench.enabled");
+    group.bench_function("enabled_counter_add", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                enabled_counter.add(1);
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        })
+    });
+
+    group.bench_function("disabled_span_scope", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..ITERS {
+                let _s = disabled.span("bench.span");
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics_overhead);
+criterion_main!(benches);

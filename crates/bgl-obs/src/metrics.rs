@@ -1,0 +1,424 @@
+//! Metrics registry: named counters, gauges, and monotonic log2 histograms.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::span::SpanRecord;
+
+/// Number of log2 buckets: values 0, 1, 2..3, 4..7, ... up to `u64::MAX`.
+const NUM_BUCKETS: usize = 65;
+
+pub(crate) struct Inner {
+    /// Time origin for span timestamps.
+    pub(crate) epoch: Instant,
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    pub(crate) spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Inner {
+    fn new() -> Self {
+        Inner {
+            epoch: Instant::now(),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Handle registry for metrics and spans.
+///
+/// Clones share the same underlying storage. A registry is either *enabled*
+/// (owns storage) or *disabled* (holds nothing); handles minted from a
+/// disabled registry are inert and cost a single branch per update.
+#[derive(Clone, Default)]
+pub struct Registry {
+    pub(crate) inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// A registry that records everything.
+    pub fn enabled() -> Self {
+        Registry {
+            inner: Some(Arc::new(Inner::new())),
+        }
+    }
+
+    /// A registry that records nothing; all handles are inert.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolve (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .counters
+                    .lock()
+                    .unwrap()
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Resolve (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .gauges
+                    .lock()
+                    .unwrap()
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// Resolve (registering on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .histograms
+                    .lock()
+                    .unwrap()
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistogramCore::new())),
+            )
+        }))
+    }
+
+    /// Snapshot of every counter as `(name, value)`.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+
+    /// Snapshot of every gauge as `(name, value)`.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+
+    /// Snapshot of every histogram.
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Number of completed spans recorded so far.
+    pub fn span_count(&self) -> usize {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.spans.lock().unwrap().len(),
+        }
+    }
+
+    /// Snapshot of every completed span.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.spans.lock().unwrap().clone(),
+        }
+    }
+}
+
+/// Monotonically increasing counter handle.
+#[derive(Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// An inert counter, equivalent to one minted from a disabled registry.
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// Point-in-time signed value handle.
+#[derive(Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+pub(crate) struct HistogramCore {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        HistogramCore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_upper_bound(i), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Bucket index for value `v`: 0 maps to bucket 0, otherwise
+/// `floor(log2 v) + 1`, so each bucket i >= 1 covers `[2^(i-1), 2^i)`.
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (saturating at `u64::MAX`).
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Monotonic histogram handle with power-of-two buckets.
+#[derive(Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map_or_else(HistogramSnapshot::default, |h| h.snapshot())
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        write!(f, "Histogram(count={}, sum={})", s.count, s.sum)
+    }
+}
+
+/// Point-in-time view of a histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("x");
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = reg.gauge("y");
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = reg.histogram("z");
+        h.record(3);
+        assert_eq!(h.snapshot().count, 0);
+        assert!(reg.counters().is_empty());
+        assert!(reg.gauges().is_empty());
+        assert!(reg.histograms().is_empty());
+    }
+
+    #[test]
+    fn counter_handles_share_storage_by_name() {
+        let reg = Registry::enabled();
+        let a = reg.counter("cache.hits");
+        let b = reg.counter("cache.hits");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        assert_eq!(reg.counters(), vec![("cache.hits".to_string(), 7)]);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let reg = Registry::enabled();
+        let clone = reg.clone();
+        clone.counter("n").add(2);
+        assert_eq!(reg.counter("n").get(), 2);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let reg = Registry::enabled();
+        let g = reg.gauge("depth");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+        assert_eq!(reg.gauges(), vec![("depth".to_string(), 7)]);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("frontier");
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1010);
+        assert_eq!(s.max, 1000);
+        // 0 -> bucket ub 0; 1 -> ub 1; 2,3 -> ub 3; 4 -> ub 7; 1000 -> ub 1023.
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1)]);
+        assert!((s.mean() - 1010.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+}

@@ -1,0 +1,146 @@
+//! RAII span timers recorded against a [`Registry`](crate::Registry).
+
+use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::metrics::Inner;
+use crate::Registry;
+
+/// Process-wide thread numbering for trace `tid` fields. Chrome-trace wants
+/// small integers, not opaque OS thread ids.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A completed span, ready for trace export.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    pub name: Cow<'static, str>,
+    pub cat: &'static str,
+    /// Nanoseconds since the registry epoch.
+    pub ts_ns: u64,
+    pub dur_ns: u64,
+    pub tid: u64,
+}
+
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    name: Cow<'static, str>,
+    cat: &'static str,
+    start: Instant,
+}
+
+/// Scoped timer: measures from construction to drop. Inert (never reads the
+/// clock) when minted from a disabled registry.
+#[must_use = "a span measures until dropped; binding it to _ drops immediately"]
+pub struct Span(Option<ActiveSpan>);
+
+impl Span {
+    /// End the span now instead of at scope exit.
+    pub fn end(self) {}
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(a) => write!(f, "Span({:?})", a.name),
+            None => write!(f, "Span(disabled)"),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            let dur_ns = active.start.elapsed().as_nanos() as u64;
+            let ts_ns = active
+                .start
+                .saturating_duration_since(active.inner.epoch)
+                .as_nanos() as u64;
+            let record = SpanRecord {
+                name: active.name,
+                cat: active.cat,
+                ts_ns,
+                dur_ns,
+                tid: TID.with(|t| *t),
+            };
+            active.inner.spans.lock().unwrap().push(record);
+        }
+    }
+}
+
+impl Registry {
+    /// Start a span with a static name (the common, allocation-free case).
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Span {
+        self.span_with(Cow::Borrowed(name), "bgl")
+    }
+
+    /// Start a span with a dynamically built name.
+    #[inline]
+    pub fn span_named(&self, name: String) -> Span {
+        self.span_with(Cow::Owned(name), "bgl")
+    }
+
+    /// Start a span under an explicit chrome-trace category.
+    pub fn span_with(&self, name: Cow<'static, str>, cat: &'static str) -> Span {
+        Span(self.inner.as_ref().map(|inner| ActiveSpan {
+            inner: Arc::clone(inner),
+            name,
+            cat,
+            start: Instant::now(),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let reg = Registry::disabled();
+        {
+            let _s = reg.span("noop");
+        }
+        assert_eq!(reg.span_count(), 0);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let reg = Registry::enabled();
+        {
+            let _s = reg.span("work");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let spans = reg.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "work");
+        assert!(spans[0].dur_ns >= 1_000_000, "dur {}", spans[0].dur_ns);
+        assert!(spans[0].tid >= 1);
+    }
+
+    #[test]
+    fn nested_spans_both_recorded() {
+        let reg = Registry::enabled();
+        {
+            let _outer = reg.span("outer");
+            let _inner = reg.span_named(format!("inner-{}", 3));
+        }
+        let names: Vec<_> = reg.spans().iter().map(|s| s.name.to_string()).collect();
+        assert!(names.contains(&"outer".to_string()));
+        assert!(names.contains(&"inner-3".to_string()));
+    }
+
+    #[test]
+    fn explicit_end_records_early() {
+        let reg = Registry::enabled();
+        let s = reg.span("early");
+        s.end();
+        assert_eq!(reg.span_count(), 1);
+    }
+}

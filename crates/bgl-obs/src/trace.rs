@@ -1,0 +1,135 @@
+//! Chrome-trace (`about:tracing` / Perfetto) export.
+//!
+//! Emits the JSON *array* flavor of the trace event format: every recorded
+//! span becomes a `"ph":"X"` complete event (timestamps/durations in
+//! microseconds), and every counter, gauge, and histogram becomes a
+//! `"ph":"C"` counter event stamped at export time.
+
+use crate::json::Json;
+use crate::Registry;
+
+const PID: u64 = 1;
+/// Synthetic tid for counter events so they group on one track.
+const METRICS_TID: u64 = 0;
+
+impl Registry {
+    /// Render all recorded telemetry as a chrome-trace JSON array.
+    /// A disabled registry renders the empty array `[]`.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events: Vec<Json> = Vec::new();
+
+        let spans = self.spans();
+        let export_ts_us = spans
+            .iter()
+            .map(|s| s.ts_ns + s.dur_ns)
+            .max()
+            .unwrap_or(0) as f64
+            / 1000.0;
+
+        for span in &spans {
+            events.push(Json::Obj(vec![
+                ("name".to_string(), Json::Str(span.name.to_string())),
+                ("cat".to_string(), Json::Str(span.cat.to_string())),
+                ("ph".to_string(), Json::Str("X".to_string())),
+                ("ts".to_string(), Json::F64(span.ts_ns as f64 / 1000.0)),
+                ("dur".to_string(), Json::F64(span.dur_ns as f64 / 1000.0)),
+                ("pid".to_string(), Json::U64(PID)),
+                ("tid".to_string(), Json::U64(span.tid)),
+            ]));
+        }
+
+        for (name, value) in self.counters() {
+            events.push(counter_event(
+                &name,
+                export_ts_us,
+                vec![("value".to_string(), Json::U64(value))],
+            ));
+        }
+        for (name, value) in self.gauges() {
+            events.push(counter_event(
+                &name,
+                export_ts_us,
+                vec![("value".to_string(), Json::I64(value))],
+            ));
+        }
+        for (name, snap) in self.histograms() {
+            events.push(counter_event(
+                &name,
+                export_ts_us,
+                vec![
+                    ("count".to_string(), Json::U64(snap.count)),
+                    ("sum".to_string(), Json::U64(snap.sum)),
+                    ("max".to_string(), Json::U64(snap.max)),
+                    ("mean".to_string(), Json::F64(snap.mean())),
+                ],
+            ));
+        }
+
+        Json::Arr(events).render()
+    }
+}
+
+fn counter_event(name: &str, ts_us: f64, args: Vec<(String, Json)>) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("cat".to_string(), Json::Str("metrics".to_string())),
+        ("ph".to_string(), Json::Str("C".to_string())),
+        ("ts".to_string(), Json::F64(ts_us)),
+        ("pid".to_string(), Json::U64(PID)),
+        ("tid".to_string(), Json::U64(METRICS_TID)),
+        ("args".to_string(), Json::Obj(args)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json;
+    use crate::Registry;
+
+    #[test]
+    fn disabled_registry_exports_empty_array() {
+        assert_eq!(Registry::disabled().chrome_trace_json(), "[]");
+    }
+
+    #[test]
+    fn trace_contains_spans_and_counters() {
+        let reg = Registry::enabled();
+        {
+            let _s = reg.span("sample");
+        }
+        reg.counter("cache.hits").add(12);
+        reg.gauge("queue.depth").set(-2);
+        reg.histogram("frontier").record(100);
+
+        let text = reg.chrome_trace_json();
+        let doc = json::parse(&text).expect("exporter must emit valid JSON");
+        let events = doc.as_array().unwrap();
+        assert_eq!(events.len(), 4);
+
+        let span = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("sample"))
+            .unwrap();
+        assert_eq!(span.get("ph").unwrap().as_str(), Some("X"));
+        assert!(span.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+
+        let hits = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("cache.hits"))
+            .unwrap();
+        assert_eq!(hits.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(
+            hits.get("args").unwrap().get("value").unwrap().as_f64(),
+            Some(12.0)
+        );
+
+        let frontier = events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("frontier"))
+            .unwrap();
+        assert_eq!(
+            frontier.get("args").unwrap().get("count").unwrap().as_f64(),
+            Some(1.0)
+        );
+    }
+}

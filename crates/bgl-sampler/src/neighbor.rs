@@ -95,24 +95,47 @@ impl MiniBatch {
     }
 }
 
+/// Telemetry handles for a sampler: frontier-size histogram, edge counter,
+/// and per-hop span timing. Default is inert.
+#[derive(Clone, Debug, Default)]
+struct SamplerMetrics {
+    obs: bgl_obs::Registry,
+    frontier: bgl_obs::Histogram,
+    edges: bgl_obs::Counter,
+    batches: bgl_obs::Counter,
+}
+
 /// Multi-hop neighbor sampler with per-hop fanouts.
 #[derive(Clone, Debug)]
 pub struct NeighborSampler {
     /// `fanouts[0]` applies to the hop nearest the seeds. The paper's
     /// default is `{15, 10, 5}`.
     pub fanouts: Vec<usize>,
+    metrics: SamplerMetrics,
 }
 
 impl NeighborSampler {
     /// Sampler with the given fanouts (outermost hop last).
     pub fn new(fanouts: Vec<usize>) -> Self {
         assert!(!fanouts.is_empty(), "need at least one hop");
-        NeighborSampler { fanouts }
+        NeighborSampler { fanouts, metrics: SamplerMetrics::default() }
     }
 
     /// The paper's evaluation configuration: 3 hops, fanout {15, 10, 5}.
     pub fn paper_default() -> Self {
         NeighborSampler::new(vec![15, 10, 5])
+    }
+
+    /// Record frontier sizes (`sampler.frontier` histogram), sampled edges
+    /// (`sampler.edges`), and per-hop spans into `reg`.
+    pub fn with_metrics(mut self, reg: &bgl_obs::Registry) -> Self {
+        self.metrics = SamplerMetrics {
+            obs: reg.clone(),
+            frontier: reg.histogram("sampler.frontier"),
+            edges: reg.counter("sampler.edges"),
+            batches: reg.counter("sampler.batches"),
+        };
+        self
     }
 
     /// Number of hops.
@@ -124,14 +147,26 @@ impl NeighborSampler {
     /// the degree allows (degree ≤ fanout takes all neighbors, matching
     /// DGL's semantics).
     pub fn sample(&self, g: &Csr, seeds: &[NodeId], rng: &mut StdRng) -> MiniBatch {
+        let obs = &self.metrics.obs;
+        let span = obs.span("sampler.sample");
         let mut blocks_rev: Vec<LayerBlock> = Vec::with_capacity(self.fanouts.len());
         let mut dst: Vec<NodeId> = seeds.to_vec();
-        for &fanout in &self.fanouts {
+        for (hop, &fanout) in self.fanouts.iter().enumerate() {
+            let hop_span = if obs.is_enabled() {
+                obs.span_named(format!("sampler.hop{hop}"))
+            } else {
+                obs.span("sampler.hop")
+            };
             let block = sample_one_layer(g, &dst, fanout, rng);
+            hop_span.end();
+            self.metrics.frontier.record(block.num_src() as u64);
+            self.metrics.edges.add(block.num_edges() as u64);
             dst = block.src_nodes.clone();
             blocks_rev.push(block);
         }
         blocks_rev.reverse();
+        self.metrics.batches.incr();
+        span.end();
         MiniBatch { seeds: seeds.to_vec(), blocks: blocks_rev }
     }
 
@@ -300,6 +335,30 @@ mod tests {
         let mb = s.sample(&g, &[0], &mut rng);
         assert_eq!(mb.blocks[0].neighbors_of(0).len(), 0);
         assert_eq!(mb.num_input_nodes(), 1);
+    }
+
+    #[test]
+    fn metrics_record_frontier_and_hop_spans() {
+        let g = generate::barabasi_albert(300, 4, 7);
+        let reg = bgl_obs::Registry::enabled();
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = NeighborSampler::new(vec![4, 3]).with_metrics(&reg);
+        let mb = s.sample(&g, &[1, 2, 3], &mut rng);
+        let hists: std::collections::BTreeMap<_, _> = reg.histograms().into_iter().collect();
+        let frontier = &hists["sampler.frontier"];
+        assert_eq!(frontier.count, 2, "one frontier sample per hop");
+        assert_eq!(
+            frontier.max,
+            mb.num_input_nodes() as u64,
+            "largest frontier is the input side"
+        );
+        let counters: std::collections::BTreeMap<_, _> = reg.counters().into_iter().collect();
+        assert_eq!(counters["sampler.edges"], mb.num_edges() as u64);
+        assert_eq!(counters["sampler.batches"], 1);
+        let names: Vec<String> = reg.spans().iter().map(|s| s.name.to_string()).collect();
+        assert!(names.contains(&"sampler.sample".to_string()));
+        assert!(names.contains(&"sampler.hop0".to_string()));
+        assert!(names.contains(&"sampler.hop1".to_string()));
     }
 
     #[test]

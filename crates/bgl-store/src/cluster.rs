@@ -29,6 +29,7 @@
 
 use crate::fault::{FaultAction, FaultInjector, FaultPlan, RobustEvent};
 use crate::health::{BreakerState, CircuitBreaker};
+use crate::obs::StoreMetrics;
 use crate::retry::RetryPolicy;
 use crate::server::GraphStoreServer;
 use crate::wire::Message;
@@ -77,6 +78,7 @@ pub struct StoreCluster {
     /// Deterministic recovery trace: crash, retry, failover and breaker
     /// transitions in the order they happened.
     pub events: Vec<RobustEvent>,
+    metrics: StoreMetrics,
 }
 
 impl StoreCluster {
@@ -108,7 +110,14 @@ impl StoreCluster {
             clock: 0,
             robustness: RobustnessStats::default(),
             events: Vec::new(),
+            metrics: StoreMetrics::default(),
         }
+    }
+
+    /// Mirror this cluster's robustness counters and wire traffic into
+    /// `reg` under `store.*`, and trace its batch operations as spans.
+    pub fn attach_metrics(&mut self, reg: &bgl_obs::Registry) {
+        self.metrics = StoreMetrics::attach(reg);
     }
 
     /// Serve each partition from its primary plus the `r − 1` ring
@@ -359,6 +368,19 @@ impl StoreCluster {
         seeds: &[NodeId],
         home: usize,
     ) -> Result<(MiniBatch, SampleTiming), StoreError> {
+        let span = self.metrics.registry().span("store.sample_batch");
+        let result = self.sample_batch_inner(fanouts, seeds, home);
+        self.metrics.publish(&self.robustness, &self.ledger);
+        span.end();
+        result
+    }
+
+    fn sample_batch_inner(
+        &mut self,
+        fanouts: &[usize],
+        seeds: &[NodeId],
+        home: usize,
+    ) -> Result<(MiniBatch, SampleTiming), StoreError> {
         if self.servers.is_empty() {
             return Err(StoreError::EmptyCluster);
         }
@@ -422,6 +444,18 @@ impl StoreCluster {
     /// as zero rows and counted in
     /// [`RobustnessStats::degraded_rows`] instead of failing the batch.
     pub fn fetch_features(
+        &mut self,
+        nodes: &[NodeId],
+        from: usize,
+    ) -> Result<(Vec<f32>, SimTime), StoreError> {
+        let span = self.metrics.registry().span("store.fetch_features");
+        let result = self.fetch_features_inner(nodes, from);
+        self.metrics.publish(&self.robustness, &self.ledger);
+        span.end();
+        result
+    }
+
+    fn fetch_features_inner(
         &mut self,
         nodes: &[NodeId],
         from: usize,
@@ -545,6 +579,29 @@ mod tests {
         assert!(timing.elapsed > 0);
         assert_eq!(timing.per_hop.len(), 2);
         assert!(!cluster.robustness.any_faults());
+    }
+
+    #[test]
+    fn attached_metrics_mirror_ledger_and_spans() {
+        let (_, mut cluster) = setup(4);
+        let reg = bgl_obs::Registry::enabled();
+        cluster.attach_metrics(&reg);
+        cluster.sample_batch(&[3, 2], &[0, 1, 2], 0).unwrap();
+        let nodes: Vec<NodeId> = (0..8).collect();
+        cluster.fetch_features(&nodes, cluster.worker_location()).unwrap();
+        let counters: std::collections::BTreeMap<_, _> = reg.counters().into_iter().collect();
+        assert_eq!(
+            counters["store.wire.remote_bytes"],
+            cluster.ledger.remote.bytes
+        );
+        assert_eq!(
+            counters["store.wire.remote_messages"],
+            cluster.ledger.remote.messages
+        );
+        assert_eq!(counters["store.retries"], 0);
+        let names: Vec<String> = reg.spans().iter().map(|s| s.name.to_string()).collect();
+        assert!(names.contains(&"store.sample_batch".to_string()));
+        assert!(names.contains(&"store.fetch_features".to_string()));
     }
 
     #[test]

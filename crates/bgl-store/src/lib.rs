@@ -38,6 +38,7 @@ pub mod cluster;
 pub mod disk;
 pub mod fault;
 pub mod health;
+pub mod obs;
 pub mod retry;
 pub mod server;
 pub mod wire;

@@ -1,0 +1,129 @@
+//! bgl-obs bindings for the store cluster.
+//!
+//! [`StoreMetrics`] mirrors the cluster's cumulative [`RobustnessStats`]
+//! and [`TrafficLedger`] into registry counters under `store.*`, publishing
+//! deltas against the last published snapshot so repeated publishes never
+//! double-count. A default (unattached) instance is inert.
+
+use bgl_obs::{Counter, Registry};
+use bgl_sim::network::{RobustnessStats, TrafficLedger};
+
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    obs: Registry,
+    retries: Counter,
+    failovers: Counter,
+    drops: Counter,
+    corrupt_frames: Counter,
+    deadline_misses: Counter,
+    breaker_opens: Counter,
+    breaker_probes: Counter,
+    degraded_batches: Counter,
+    degraded_rows: Counter,
+    local_bytes: Counter,
+    local_messages: Counter,
+    remote_bytes: Counter,
+    remote_messages: Counter,
+    last_rob: RobustnessStats,
+    last_local: (u64, u64),
+    last_remote: (u64, u64),
+}
+
+impl StoreMetrics {
+    pub fn attach(reg: &Registry) -> Self {
+        let c = |field: &str| reg.counter(&format!("store.{field}"));
+        StoreMetrics {
+            obs: reg.clone(),
+            retries: c("retries"),
+            failovers: c("failovers"),
+            drops: c("drops"),
+            corrupt_frames: c("corrupt_frames"),
+            deadline_misses: c("deadline_misses"),
+            breaker_opens: c("breaker_opens"),
+            breaker_probes: c("breaker_probes"),
+            degraded_batches: c("degraded_batches"),
+            degraded_rows: c("degraded_rows"),
+            local_bytes: c("wire.local_bytes"),
+            local_messages: c("wire.local_messages"),
+            remote_bytes: c("wire.remote_bytes"),
+            remote_messages: c("wire.remote_messages"),
+            last_rob: RobustnessStats::default(),
+            last_local: (0, 0),
+            last_remote: (0, 0),
+        }
+    }
+
+    /// Registry handle, for spans around store operations.
+    pub fn registry(&self) -> &Registry {
+        &self.obs
+    }
+
+    /// Publish whatever accumulated since the previous call.
+    pub fn publish(&mut self, rob: &RobustnessStats, ledger: &TrafficLedger) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.retries.add(rob.retries.saturating_sub(self.last_rob.retries));
+        self.failovers
+            .add(rob.failovers.saturating_sub(self.last_rob.failovers));
+        self.drops.add(rob.drops.saturating_sub(self.last_rob.drops));
+        self.corrupt_frames
+            .add(rob.corrupt_frames.saturating_sub(self.last_rob.corrupt_frames));
+        self.deadline_misses
+            .add(rob.deadline_misses.saturating_sub(self.last_rob.deadline_misses));
+        self.breaker_opens
+            .add(rob.breaker_opens.saturating_sub(self.last_rob.breaker_opens));
+        self.breaker_probes
+            .add(rob.breaker_probes.saturating_sub(self.last_rob.breaker_probes));
+        self.degraded_batches
+            .add(rob.degraded_batches.saturating_sub(self.last_rob.degraded_batches));
+        self.degraded_rows
+            .add(rob.degraded_rows.saturating_sub(self.last_rob.degraded_rows));
+        self.last_rob = *rob;
+
+        let local = (ledger.local.bytes, ledger.local.messages);
+        let remote = (ledger.remote.bytes, ledger.remote.messages);
+        self.local_bytes.add(local.0.saturating_sub(self.last_local.0));
+        self.local_messages.add(local.1.saturating_sub(self.last_local.1));
+        self.remote_bytes.add(remote.0.saturating_sub(self.last_remote.0));
+        self.remote_messages
+            .add(remote.1.saturating_sub(self.last_remote.1));
+        self.last_local = local;
+        self.last_remote = remote;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_inert() {
+        let mut m = StoreMetrics::default();
+        m.publish(
+            &RobustnessStats { retries: 4, ..Default::default() },
+            &TrafficLedger::default(),
+        );
+        assert!(!m.registry().is_enabled());
+    }
+
+    #[test]
+    fn publish_emits_deltas_not_totals() {
+        let reg = Registry::enabled();
+        let mut m = StoreMetrics::attach(&reg);
+        let mut rob = RobustnessStats { retries: 3, failovers: 1, ..Default::default() };
+        let mut ledger = TrafficLedger::default();
+        ledger.remote.bytes = 100;
+        ledger.remote.messages = 2;
+        m.publish(&rob, &ledger);
+        m.publish(&rob, &ledger); // unchanged: no double-count
+        rob.retries = 5;
+        ledger.remote.bytes = 250;
+        m.publish(&rob, &ledger);
+        let counters: std::collections::BTreeMap<_, _> = reg.counters().into_iter().collect();
+        assert_eq!(counters["store.retries"], 5);
+        assert_eq!(counters["store.failovers"], 1);
+        assert_eq!(counters["store.wire.remote_bytes"], 250);
+        assert_eq!(counters["store.wire.remote_messages"], 2);
+    }
+}

@@ -6,3 +6,11 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Observability layer: a disabled registry must stay a no-op on the hot
+# path — run the criterion overhead bench in test mode (one iteration per
+# case, so this is a smoke gate, not a timing gate). The chrome-trace
+# exporter's JSON validity is asserted by the bgl-obs test suite
+# (tests/trace_roundtrip.rs, a serde_json round-trip) under `cargo test`.
+cargo build --release -p bgl-obs
+cargo bench -p bgl-obs --bench metrics_overhead -- --test
