@@ -193,6 +193,72 @@ fn main() {
         std::fs::write(&trace_path, pctx.obs.chrome_trace_json())
             .expect("write profile trace");
         eprintln!("[saved {}]", trace_path.display());
+
+        section("§3.4 threaded executor — measured throughput vs tandem-sim prediction");
+        // Run a real OS-threaded epoch with pools sized from the measured
+        // allocation, then replay its measured service times through the
+        // tandem-queue model and drive the same epoch serially.
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cfg = bgl_exec::ExecConfig::new(pctx.fanouts.clone(), 0xE8EC)
+            .scaled_to(&measured, cores);
+        let build_task = || {
+            let ds = bgl_graph::DatasetSpec::products_like()
+                .with_nodes(if small { 1 << 12 } else { 1 << 14 })
+                .build();
+            let partition = bgl::measure::make_partitioner(
+                SystemKind::Bgl.config().partitioner,
+                3,
+            )
+            .partition(&ds.graph, &ds.split.train, 4);
+            let cluster = bgl_store::StoreCluster::new(
+                ds.graph.clone(),
+                ds.features.clone(),
+                &partition,
+                bgl_sim::network::NetworkModel::paper_fabric(),
+                3,
+            );
+            let cache = bgl_cache::FeatureCacheEngine::new(
+                2,
+                ds.features.dim(),
+                ds.graph.num_nodes() / 10,
+                ds.graph.num_nodes() / 5,
+                bgl_cache::PolicyKind::Fifo,
+                &[],
+            );
+            let model = bgl_gnn::make_model(
+                bgl_gnn::ModelKind::GraphSage,
+                ds.features.dim(),
+                16,
+                ds.num_classes,
+                2,
+                5,
+            );
+            let batches: Vec<Vec<bgl_graph::NodeId>> = ds
+                .split
+                .train
+                .chunks(pctx.batch_size.min(64))
+                .take(if small { 16 } else { 64 })
+                .map(|c| c.to_vec())
+                .collect();
+            bgl_exec::EpochTask {
+                graph: ds.graph.clone(),
+                labels: ds.labels.clone(),
+                batches,
+                cluster,
+                cache,
+                model,
+                opt: bgl_tensor::Adam::new(1e-3),
+            }
+        };
+        let report = bgl_exec::run(&cfg, build_task(), &pctx.obs).expect("threaded epoch");
+        let serial = bgl_exec::run_serial(&cfg, build_task(), &bgl_obs::Registry::disabled())
+            .expect("serial epoch");
+        let predicted = report.predict(&cfg.workers, cfg.buffer_cap);
+        println!(
+            "pools from measured allocation on {} cores: {:?}",
+            cores, cfg.workers
+        );
+        println!("{}", render_exec(&report, &cfg.workers, &predicted, serial.throughput()));
     }
 
     if want("recovery") {

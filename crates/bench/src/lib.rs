@@ -9,7 +9,9 @@ use bgl::experiments::{
 use bgl::profiler::MeasuredProfile;
 use bgl::report::TextTable;
 use bgl_exec::allocator::Allocation;
+use bgl_exec::runtime::ExecReport;
 use bgl_exec::StageProfile;
+use bgl_sim::pipeline::PipelineReport;
 
 /// Render Figs. 11/12/13 rows (one table per model).
 pub fn render_throughput(rows: &[ThroughputRow]) -> String {
@@ -187,6 +189,48 @@ pub fn render_profile(m: &MeasuredProfile) -> String {
         c.render()
     ));
     out
+}
+
+/// Render the threaded-executor validation block of `figures --profile`:
+/// measured per-stage service times and pool sizes, with the measured
+/// threaded throughput next to the tandem-queue prediction and the
+/// one-thread serial baseline.
+pub fn render_exec(
+    report: &ExecReport,
+    workers: &[usize; 8],
+    predicted: &PipelineReport,
+    serial_throughput: f64,
+) -> String {
+    let mut t = TextTable::new(&["stage", "workers", "service-ms/batch", "batches"]);
+    let service = report.mean_service_ns();
+    for (i, name) in bgl_exec::STAGE_NAMES.iter().enumerate() {
+        t.row(&[
+            (*name).into(),
+            workers[i].to_string(),
+            format!("{:.3}", service[i] as f64 / 1e6),
+            report.stage_batches[i].to_string(),
+        ]);
+    }
+    let measured = report.throughput();
+    let mut s = TextTable::new(&["source", "batches/s", "vs measured"]);
+    s.row(&["threaded (measured)".into(), format!("{:.1}", measured), "1.00x".into()]);
+    s.row(&[
+        "tandem sim (predicted)".into(),
+        format!("{:.1}", predicted.throughput()),
+        format!("{:.2}x", predicted.throughput() / measured.max(f64::MIN_POSITIVE)),
+    ]);
+    s.row(&[
+        "serial baseline".into(),
+        format!("{:.1}", serial_throughput),
+        format!("{:.2}x", serial_throughput / measured.max(f64::MIN_POSITIVE)),
+    ]);
+    format!(
+        "{}\n{} batches of trained work, wall {:.2}s\n{}",
+        t.render(),
+        report.batches_trained,
+        report.wall.as_secs_f64(),
+        s.render()
+    )
 }
 
 /// Render the §3.4 solver's output on the measured profile next to the

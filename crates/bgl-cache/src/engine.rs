@@ -62,6 +62,34 @@ pub struct FetchResult {
     pub stats: CacheStats,
 }
 
+/// A batch lookup whose misses have not been resolved yet — the state
+/// carried between the pipeline's cache-lookup and cache-admit stages.
+/// Produced by [`FeatureCacheEngine::lookup_batch`]; hand it back to
+/// [`FeatureCacheEngine::complete_batch`] together with the rows for
+/// [`PendingFetch::missing_keys`] (in order) to finish the batch.
+#[derive(Debug)]
+pub struct PendingFetch {
+    features: Vec<f32>,
+    missing_keys: Vec<NodeId>,
+    missing_pos: Vec<Vec<usize>>,
+    stats: CacheStats,
+    gpu_lookups: u64,
+    gpu_hits: u64,
+    gpu_inserts: u64,
+}
+
+impl PendingFetch {
+    /// Unique node IDs that missed both cache levels, in first-seen order.
+    pub fn missing_keys(&self) -> &[NodeId] {
+        &self.missing_keys
+    }
+
+    /// True when every row was served from cache.
+    pub fn is_complete(&self) -> bool {
+        self.missing_keys.is_empty()
+    }
+}
+
 /// The two-level (multi-GPU + CPU) feature cache engine.
 pub struct FeatureCacheEngine {
     num_gpus: usize,
@@ -170,6 +198,21 @@ impl FeatureCacheEngine {
         nodes: &[NodeId],
         source: &mut dyn FnMut(&[NodeId]) -> Vec<f32>,
     ) -> FetchResult {
+        let pending = self.lookup_batch(worker, nodes);
+        let rows = if pending.missing_keys.is_empty() {
+            Vec::new()
+        } else {
+            source(&pending.missing_keys)
+        };
+        self.complete_batch(pending, rows)
+    }
+
+    /// First half of [`FeatureCacheEngine::fetch_batch`]: serve `nodes` from
+    /// the GPU and CPU levels, recording which unique keys missed. The
+    /// returned [`PendingFetch`] must be finished with
+    /// [`FeatureCacheEngine::complete_batch`]; nothing is folded into the
+    /// engine totals until then.
+    pub fn lookup_batch(&mut self, worker: usize, nodes: &[NodeId]) -> PendingFetch {
         assert!(worker < self.num_gpus, "worker {} out of range", worker);
         let dim = self.dim;
         let mut out = vec![0.0f32; nodes.len() * dim];
@@ -219,8 +262,34 @@ impl FeatureCacheEngine {
             missing_pos[idx].push(i);
         }
 
+        PendingFetch {
+            features: out,
+            missing_keys,
+            missing_pos,
+            stats,
+            gpu_lookups,
+            gpu_hits,
+            gpu_inserts,
+        }
+    }
+
+    /// Second half of [`FeatureCacheEngine::fetch_batch`]: fan the fetched
+    /// `rows` (one per [`PendingFetch::missing_keys`] entry, in order) out
+    /// to every position they fill, admit them into both levels, and fold
+    /// the batch's counters into the engine totals.
+    pub fn complete_batch(&mut self, pending: PendingFetch, rows: Vec<f32>) -> FetchResult {
+        let dim = self.dim;
+        let PendingFetch {
+            features: mut out,
+            missing_keys,
+            missing_pos,
+            mut stats,
+            gpu_lookups,
+            gpu_hits,
+            mut gpu_inserts,
+        } = pending;
+
         if !missing_keys.is_empty() {
-            let rows = source(&missing_keys);
             assert_eq!(
                 rows.len(),
                 missing_keys.len() * dim,

@@ -29,7 +29,7 @@ pub mod policy;
 pub mod stats;
 
 pub use concurrent::{MutexShardedCache, QueueShardedCache, ShardedCache};
-pub use engine::{FeatureCacheEngine, FetchResult};
+pub use engine::{FeatureCacheEngine, FetchResult, PendingFetch};
 pub use metrics::CacheMetricSet;
 pub use policy::{CachePolicy, Fifo, LfuO1, LruO1, PolicyKind, StaticDegree};
 pub use stats::{AtomicCacheStats, CacheStats};

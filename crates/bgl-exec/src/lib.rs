@@ -21,11 +21,20 @@
 //!   ("BGL w/o isolation", Fig. 15) where every stage grabs all cores and
 //!   pays oversubscription and OpenMP-style scaling penalties;
 //! * [`build`] — turn an allocation into a `bgl_sim` tandem pipeline and
-//!   read off throughput and GPU utilization.
+//!   read off throughput and GPU utilization;
+//! * [`runtime`] — the real thing: an OS-threaded 8-stage executor with
+//!   bounded inter-stage buffers running the actual sampler / store /
+//!   cache / model substrate, differentially validated against both a
+//!   serial reference loop and the `bgl_sim` tandem-queue prediction.
 
 pub mod allocator;
 pub mod build;
 pub mod profile;
+pub mod runtime;
 
 pub use allocator::{solve, Allocation, ContentionModel};
 pub use profile::StageProfile;
+pub use runtime::{
+    run, run_serial, spawn, EpochTask, ExecConfig, ExecError, ExecHandle, ExecReport,
+    STAGE_NAMES,
+};

@@ -228,6 +228,17 @@ impl GnnModel for Gat {
             self.grad_b[l].scale(0.0);
         }
     }
+
+    fn param_vec(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for l in 0..self.num_layers() {
+            out.extend_from_slice(self.weights[l].raw());
+            out.extend_from_slice(self.attn_l[l].raw());
+            out.extend_from_slice(self.attn_r[l].raw());
+            out.extend_from_slice(self.biases[l].raw());
+        }
+        out
+    }
 }
 
 #[cfg(test)]

@@ -116,6 +116,15 @@ impl GnnModel for Gcn {
             self.grad_b[l].scale(0.0);
         }
     }
+
+    fn param_vec(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for l in 0..self.num_layers() {
+            out.extend_from_slice(self.weights[l].raw());
+            out.extend_from_slice(self.biases[l].raw());
+        }
+        out
+    }
 }
 
 #[cfg(test)]

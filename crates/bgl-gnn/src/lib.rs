@@ -70,6 +70,12 @@ pub trait GnnModel {
     /// Apply accumulated gradients through `opt` and clear them.
     fn apply(&mut self, opt: &mut dyn Optimizer);
 
+    /// Flattened copy of every trainable parameter, in a fixed per-model
+    /// order. Two models built from the same seed and fed identical batches
+    /// in identical order return bitwise-identical vectors — the
+    /// determinism contract `bgl_exec::runtime`'s differential test checks.
+    fn param_vec(&self) -> Vec<f32>;
+
     /// One SGD step: forward, loss, backward, apply. Returns
     /// `(loss, train_accuracy)`.
     fn train_step(
@@ -97,7 +103,7 @@ pub fn make_model(
     classes: usize,
     num_layers: usize,
     seed: u64,
-) -> Box<dyn GnnModel> {
+) -> Box<dyn GnnModel + Send> {
     match kind {
         ModelKind::Gcn => Box::new(Gcn::new(in_dim, hidden, classes, num_layers, seed)),
         ModelKind::GraphSage => {

@@ -93,6 +93,41 @@ impl MiniBatch {
             })
             .sum()
     }
+
+    /// Structural fingerprint (FNV-1a over seeds and every block's arrays).
+    /// Two mini-batches digest equal iff they are the same sampled subgraph
+    /// — what the executor's differential test compares across the threaded
+    /// and serial paths without shipping whole batches around.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for &s in &self.seeds {
+            eat(s as u64);
+        }
+        for b in &self.blocks {
+            eat(b.dst_nodes.len() as u64);
+            for &v in &b.dst_nodes {
+                eat(v as u64);
+            }
+            for &v in &b.src_nodes {
+                eat(v as u64);
+            }
+            for &o in &b.offsets {
+                eat(o as u64);
+            }
+            for &s in &b.srcs {
+                eat(s as u64);
+            }
+        }
+        h
+    }
 }
 
 /// Telemetry handles for a sampler: frontier-size histogram, edge counter,

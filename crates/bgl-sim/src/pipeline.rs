@@ -198,6 +198,29 @@ impl TandemPipeline {
         TandemPipeline::new(stages, vec![cap.max(1); n.saturating_sub(1)])
     }
 
+    /// Build a pipeline from *measured* mean service times (nanoseconds per
+    /// batch) and per-stage worker-pool sizes: a pool of `w` workers drains
+    /// its input up to `w`× faster, so it is modelled as a single server
+    /// with service time `t / w` (linear pool scaling). This is how the
+    /// threaded executor in `bgl-exec` feeds its profile back into the
+    /// tandem-queue model for the predicted-vs-measured validation.
+    pub fn from_measured(
+        names: &[&str],
+        service_ns: &[u64],
+        workers: &[usize],
+        cap: usize,
+    ) -> Self {
+        assert_eq!(names.len(), service_ns.len(), "one service time per stage");
+        assert_eq!(names.len(), workers.len(), "one pool size per stage");
+        let stages = names
+            .iter()
+            .zip(service_ns.iter())
+            .zip(workers.iter())
+            .map(|((name, &t), &w)| StageSpec::constant(name, t / w.max(1) as SimTime))
+            .collect();
+        TandemPipeline::with_uniform_buffers(stages, cap)
+    }
+
     /// Number of stages.
     pub fn num_stages(&self) -> usize {
         self.stages.len()
@@ -357,6 +380,25 @@ mod tests {
             (gpu_util - 0.1).abs() < 0.03,
             "gpu util {} should be ~0.10",
             gpu_util
+        );
+    }
+
+    #[test]
+    fn from_measured_divides_service_time_by_pool_size() {
+        // A 4-worker 40ms stage behaves like a 10ms server: the 10ms
+        // downstream stage, not the pool, sets the bottleneck pace.
+        let p = TandemPipeline::from_measured(
+            &["pool", "sink"],
+            &[40 * MS, 10 * MS],
+            &[4, 1],
+            2,
+        );
+        let r = p.run(40);
+        let thr = r.steady_throughput();
+        assert!(
+            (thr - 100.0).abs() < 5.0,
+            "steady throughput {} should be ~100 batches/s",
+            thr
         );
     }
 }

@@ -14,3 +14,14 @@ cargo clippy --all-targets -- -D warnings
 # (tests/trace_roundtrip.rs, a serde_json round-trip) under `cargo test`.
 cargo build --release -p bgl-obs
 cargo bench -p bgl-obs --bench metrics_overhead -- --test
+
+# Threaded pipeline executor: the differential and shutdown tests exercise
+# real thread interleavings, so give them the host's full parallelism
+# (`cargo test` above may run under a capped RUST_TEST_THREADS in some CI
+# environments; the interleaving inside one test is what matters, so an
+# explicit uncapped pass keeps the coverage honest). Then once more under
+# --release, where the timing-sensitive asserts (simulator band, speedup
+# over the serial baseline) are armed with real optimized stage times.
+# Proptest targets stay excluded from this gate, as elsewhere.
+env -u RUST_TEST_THREADS cargo test -q -p bgl --test exec_runtime
+env -u RUST_TEST_THREADS cargo test -q --release -p bgl --test exec_runtime

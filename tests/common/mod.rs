@@ -1,0 +1,150 @@
+//! Shared epoch-driver rig for the cross-crate test binaries.
+//!
+//! `integration.rs`, `end_to_end.rs` and `exec_runtime.rs` all need the
+//! same substrate wired together — dataset → partition → store cluster →
+//! two-level cache → model — and previously each rebuilt it by hand. The
+//! rig lives here once; each test binary pulls it in with `mod common;`.
+
+#![allow(dead_code)] // each test binary uses its own subset of the rig
+
+use bgl::experiments::ExperimentCtx;
+use bgl::measure::make_partitioner;
+use bgl::systems::SystemKind;
+use bgl_cache::{FeatureCacheEngine, PolicyKind};
+use bgl_exec::EpochTask;
+use bgl_gnn::{make_model, GnnModel, ModelKind};
+use bgl_graph::{Dataset, DatasetSpec, NodeId};
+use bgl_sim::network::NetworkModel;
+use bgl_store::StoreCluster;
+use bgl_tensor::Adam;
+
+/// The standard laptop-scale experiment context the end-to-end shape
+/// tests all share.
+pub fn small_ctx() -> ExperimentCtx {
+    ExperimentCtx::small()
+}
+
+/// Knobs for [`EpochRig::build`]. `Default` matches what the original
+/// integration test wired by hand.
+pub struct RigSpec {
+    pub nodes: usize,
+    /// Graph-store partitions (= servers in the cluster).
+    pub parts: usize,
+    pub partition_seed: u64,
+    pub cluster_seed: u64,
+    pub gpus: usize,
+    pub gpu_slots: usize,
+    pub cpu_slots: usize,
+    pub model: ModelKind,
+    pub hidden: usize,
+    pub layers: usize,
+    pub model_seed: u64,
+}
+
+impl Default for RigSpec {
+    fn default() -> Self {
+        RigSpec {
+            nodes: 1 << 11,
+            parts: 4,
+            partition_seed: 3,
+            cluster_seed: 3,
+            gpus: 2,
+            gpu_slots: 200,
+            cpu_slots: 400,
+            model: ModelKind::GraphSage,
+            hidden: 16,
+            layers: 2,
+            model_seed: 5,
+        }
+    }
+}
+
+impl RigSpec {
+    /// Preset for the executor tests: enough training nodes for ~20
+    /// batches of 16 (products_like keeps 8% of nodes for training), and
+    /// a cache small enough that both levels see traffic.
+    pub fn exec_sized() -> Self {
+        RigSpec {
+            nodes: 1 << 12,
+            gpu_slots: 128,
+            cpu_slots: 256,
+            ..RigSpec::default()
+        }
+    }
+}
+
+/// One fully wired training-epoch substrate: the data path every
+/// cross-crate test drives, in one place.
+pub struct EpochRig {
+    pub ds: Dataset,
+    pub cluster: StoreCluster,
+    pub cache: FeatureCacheEngine,
+    pub model: Box<dyn GnnModel + Send>,
+    pub opt: Adam,
+}
+
+impl EpochRig {
+    pub fn build(spec: &RigSpec) -> Self {
+        let ds = DatasetSpec::products_like().with_nodes(spec.nodes).build();
+        let cfg = SystemKind::Bgl.config();
+        let partition = make_partitioner(cfg.partitioner, spec.partition_seed)
+            .partition(&ds.graph, &ds.split.train, spec.parts);
+        let cluster = StoreCluster::new(
+            ds.graph.clone(),
+            ds.features.clone(),
+            &partition,
+            NetworkModel::paper_fabric(),
+            spec.cluster_seed,
+        );
+        let cache = FeatureCacheEngine::new(
+            spec.gpus,
+            ds.features.dim(),
+            spec.gpu_slots,
+            spec.cpu_slots,
+            PolicyKind::Fifo,
+            &[],
+        );
+        let model = make_model(
+            spec.model,
+            ds.features.dim(),
+            spec.hidden,
+            ds.num_classes,
+            spec.layers,
+            spec.model_seed,
+        );
+        EpochRig { ds, cluster, cache, model, opt: Adam::new(1e-3) }
+    }
+
+    /// Rebuild the store cluster through `f` — e.g. to layer on
+    /// replication, retry policies or a fault plan.
+    pub fn map_cluster(self, f: impl FnOnce(StoreCluster) -> StoreCluster) -> Self {
+        EpochRig { cluster: f(self.cluster), ..self }
+    }
+
+    /// Seed batches in epoch order: the train split chunked, capped at
+    /// `max_batches`.
+    pub fn seed_batches(&self, batch_size: usize, max_batches: usize) -> Vec<Vec<NodeId>> {
+        self.ds
+            .split
+            .train
+            .chunks(batch_size)
+            .take(max_batches)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+
+    /// Convert the rig into an executor epoch over the first
+    /// `max_batches` chunks of the train split.
+    pub fn into_task(self, batch_size: usize, max_batches: usize) -> EpochTask {
+        let batches = self.seed_batches(batch_size, max_batches);
+        EpochTask {
+            graph: self.ds.graph.clone(),
+            labels: self.ds.labels.clone(),
+            batches,
+            cluster: self.cluster,
+            cache: self.cache,
+            model: self.model,
+            opt: self.opt,
+        }
+    }
+}

@@ -1,15 +1,17 @@
 //! End-to-end experiment shape tests: the qualitative claims of the
 //! paper's evaluation section must hold on the small context.
 
+mod common;
+
 use bgl::config::GnnModelKind;
-use bgl::experiments::{DatasetId, ExperimentCtx};
+use bgl::experiments::DatasetId;
 use bgl::systems::SystemKind;
 use bgl_cache::PolicyKind;
 
 /// §5.2's headline: BGL is the fastest system on every dataset.
 #[test]
 fn bgl_wins_on_every_dataset() {
-    let ctx = ExperimentCtx::small();
+    let ctx = common::small_ctx();
     for id in [DatasetId::Products, DatasetId::Papers, DatasetId::UserItem] {
         let mut best_other = 0.0f64;
         let mut bgl = 0.0f64;
@@ -37,7 +39,7 @@ fn bgl_wins_on_every_dataset() {
 /// §5.2's baseline ordering on products: Euler is the slowest system.
 #[test]
 fn euler_is_slowest_on_products() {
-    let ctx = ExperimentCtx::small();
+    let ctx = common::small_ctx();
     let euler = ctx
         .throughput(DatasetId::Products, SystemKind::Euler, GnnModelKind::GraphSage, 1)
         .samples_per_sec;
@@ -59,7 +61,7 @@ fn euler_is_slowest_on_products() {
 /// smaller on the compute-bound GAT than on GraphSAGE.
 #[test]
 fn gat_narrows_the_gap() {
-    let ctx = ExperimentCtx::small();
+    let ctx = common::small_ctx();
     // Measured at 1 GPU: with many GPUs the simulated GPU stage is
     // divided across workers and even GAT stops being compute-bound at
     // this scale, hiding the effect the paper reports.
@@ -86,7 +88,7 @@ fn gat_narrows_the_gap() {
 /// §5.2, "Scalability": BGL scales better from 1 to 8 GPUs than DGL.
 #[test]
 fn bgl_scales_better_than_dgl() {
-    let ctx = ExperimentCtx::small();
+    let ctx = common::small_ctx();
     let scaling = |sys: SystemKind| {
         let t1 = ctx
             .throughput(DatasetId::Products, sys, GnnModelKind::GraphSage, 1)
@@ -110,7 +112,7 @@ fn bgl_scales_better_than_dgl() {
 /// far above DGL's.
 #[test]
 fn bgl_utilization_beats_dgl() {
-    let ctx = ExperimentCtx::small();
+    let ctx = common::small_ctx();
     let bgl = ctx
         .throughput(DatasetId::Products, SystemKind::Bgl, GnnModelKind::GraphSage, 8)
         .gpu_utilization;
@@ -128,7 +130,7 @@ fn bgl_utilization_beats_dgl() {
 /// Fig. 5a: LRU/LFU simulated update overhead far exceeds FIFO's.
 #[test]
 fn fifo_overhead_is_lowest_among_dynamic_policies() {
-    let ctx = ExperimentCtx::small();
+    let ctx = common::small_ctx();
     let fifo = ctx.cache_experiment(PolicyKind::Fifo, true, 0.10);
     let lru = ctx.cache_experiment(PolicyKind::Lru, true, 0.10);
     let lfu = ctx.cache_experiment(PolicyKind::Lfu, true, 0.10);
@@ -140,7 +142,7 @@ fn fifo_overhead_is_lowest_among_dynamic_policies() {
 /// Euler are the slowest.
 #[test]
 fn feature_time_ordering() {
-    let ctx = ExperimentCtx::small();
+    let ctx = common::small_ctx();
     let rows = ctx.fig14(&[1]);
     let get = |name: &str| {
         rows.iter()
@@ -157,7 +159,7 @@ fn feature_time_ordering() {
 /// (convergence is preserved by the shuffling-error tuning).
 #[test]
 fn accuracy_parity_between_orderings() {
-    let ctx = ExperimentCtx::small();
+    let ctx = common::small_ctx();
     let rows = ctx.accuracy_experiment(DatasetId::Products, GnnModelKind::GraphSage, 8, 16);
     assert_eq!(rows.len(), 2);
     let diff = (rows[0].final_test_acc - rows[1].final_test_acc).abs();

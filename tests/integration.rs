@@ -1,42 +1,24 @@
 //! Cross-crate integration tests: partition → store → sample → cache →
 //! model, exercised together on one dataset.
 
+mod common;
+
 use bgl::measure::make_partitioner;
-use bgl::systems::SystemKind;
 use bgl_cache::{FeatureCacheEngine, PolicyKind};
-use bgl_gnn::{make_model, ModelKind};
 use bgl_graph::{DatasetSpec, NodeId};
 use bgl_partition::metrics;
 use bgl_sim::network::NetworkModel;
 use bgl_store::StoreCluster;
-use bgl_tensor::{Adam, Matrix};
+use bgl_tensor::Matrix;
+use common::{EpochRig, RigSpec};
 
 /// The full data path, end to end, with real values: partition the graph,
 /// sample a batch through the distributed store, fetch features through
 /// the two-level cache, and train a model step on exactly those features.
 #[test]
 fn full_data_path_produces_trainable_batches() {
-    let ds = DatasetSpec::products_like().with_nodes(1 << 11).build();
-    let cfg = SystemKind::Bgl.config();
-    let partition =
-        make_partitioner(cfg.partitioner, 3).partition(&ds.graph, &ds.split.train, 4);
-    let mut cluster = StoreCluster::new(
-        ds.graph.clone(),
-        ds.features.clone(),
-        &partition,
-        NetworkModel::paper_fabric(),
-        3,
-    );
-    let mut engine = FeatureCacheEngine::new(
-        2,
-        ds.features.dim(),
-        200,
-        400,
-        PolicyKind::Fifo,
-        &[],
-    );
-    let mut model = make_model(ModelKind::GraphSage, ds.features.dim(), 16, ds.num_classes, 2, 5);
-    let mut opt = Adam::new(1e-3);
+    let EpochRig { ds, mut cluster, cache: mut engine, mut model, mut opt } =
+        EpochRig::build(&RigSpec::default());
 
     let mut last_loss = f32::INFINITY;
     for (i, seeds) in ds.split.train.chunks(32).take(6).enumerate() {
