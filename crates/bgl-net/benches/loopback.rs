@@ -1,0 +1,92 @@
+//! Loopback microbench: in-process dispatch vs TCP round-trips vs TCP
+//! pipelining, over identical feature-fetch frames. `cargo bench -p
+//! bgl-net --bench loopback -- --test` runs it in smoke mode (one pass,
+//! no statistics) for CI.
+
+use bgl_graph::{generate, FeatureStore};
+use bgl_net::{spawn_loopback_cluster, NetClient, NetClientConfig, NetServerConfig};
+use bgl_obs::Registry;
+use bgl_store::wire::Message;
+use bgl_store::GraphStoreServer;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+const NODES: usize = 4096;
+const DIM: usize = 32;
+
+fn dataset() -> (Arc<bgl_graph::Csr>, Arc<FeatureStore>, Arc<Vec<u32>>) {
+    let graph = Arc::new(generate::barabasi_albert(NODES, 4, 11));
+    let features = Arc::new(FeatureStore::from_raw(
+        DIM,
+        (0..NODES * DIM).map(|i| (i % 97) as f32 * 0.01).collect(),
+    ));
+    let owner = Arc::new((0..NODES as u32).map(|_| 0).collect::<Vec<u32>>());
+    (graph, features, owner)
+}
+
+fn req(i: u32) -> bytes::Bytes {
+    let base = (i * 37) % (NODES as u32 - 64);
+    Message::FeatureReq { nodes: (base..base + 64).collect() }.encode()
+}
+
+fn bench_loopback(c: &mut Criterion) {
+    let (graph, features, owner) = dataset();
+    let mut group = c.benchmark_group("net_loopback_feature_fetch");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    // Baseline: same frames through the in-process server.
+    let server = GraphStoreServer::new(0, graph.clone(), features.clone(), owner.clone(), 11);
+    let mut i = 0u32;
+    group.bench_function("in_process", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            server.handle(req(i)).expect("in-process fetch")
+        })
+    });
+
+    // TCP, one request in flight.
+    let registry = Registry::disabled();
+    let cluster = spawn_loopback_cluster(
+        graph,
+        features,
+        owner,
+        1,
+        11,
+        NetServerConfig::default(),
+        &registry,
+    )
+    .expect("spawn loopback server");
+    let mut client =
+        NetClient::new(&cluster.addrs(), NetClientConfig::default(), &registry).expect("client");
+    let mut j = 0u32;
+    group.bench_function("tcp_depth1", |b| {
+        b.iter(|| {
+            j = j.wrapping_add(1);
+            client.request(0, req(j)).expect("tcp fetch")
+        })
+    });
+
+    // TCP, 16 requests pipelined per batch.
+    for depth in [4usize, 16] {
+        let mut k = 0u32;
+        group.bench_function(&format!("tcp_pipelined_depth{}", depth), |b| {
+            b.iter(|| {
+                let payloads: Vec<bytes::Bytes> = (0..depth as u32)
+                    .map(|d| {
+                        k = k.wrapping_add(1);
+                        req(k.wrapping_mul(16).wrapping_add(d))
+                    })
+                    .collect();
+                let replies = client.request_pipelined(0, &payloads).expect("tcp pipeline");
+                assert_eq!(replies.len(), depth);
+            })
+        });
+    }
+
+    group.finish();
+    cluster.shutdown();
+}
+
+criterion_group!(benches, bench_loopback);
+criterion_main!(benches);

@@ -1,0 +1,375 @@
+//! The client side: one pooled connection per server, pipelining over
+//! correlation ids, reconnect-on-failure.
+//!
+//! [`NetClient`] holds at most one connection per server address and
+//! (re)dials lazily: the first request after a failure pays the connect +
+//! handshake cost, counted as `net.reconnects`. It deliberately does *no*
+//! internal retry — retries, backoff, failover and circuit breaking
+//! belong to `bgl-store`'s cluster layer, which sits above the
+//! [`crate::TcpTransport`] and treats every socket failure as a transient
+//! [`bgl_store::StoreError::ServerDown`].
+//!
+//! Pipelining: [`NetClient::request_pipelined`] writes a whole batch of
+//! `Req` frames before reading any response, then collects responses by
+//! correlation id, tolerating arbitrary arrival order. One in-flight
+//! request ([`NetClient::request`]) is the depth-1 special case the
+//! cluster uses, keeping its simulated-clock accounting exact.
+
+use crate::decoder::FrameDecoder;
+use crate::obs::ClientMetrics;
+use crate::proto::{
+    decode_store_error, ControlOp, Frame, FrameKind, Hello, HelloAck, StatsReply, MAGIC,
+    PROTOCOL_VERSION,
+};
+use crate::NetError;
+use bgl_obs::Registry;
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the client pool.
+#[derive(Clone, Debug)]
+pub struct NetClientConfig {
+    /// Dial timeout per connect attempt.
+    pub connect_timeout: Duration,
+    /// Deadline for a response (and for the handshake ack).
+    pub read_timeout: Duration,
+    /// Frame size cap for the per-connection decoder.
+    pub max_frame: usize,
+    /// Version byte sent in the hello — overridable so tests can provoke
+    /// a version-mismatch rejection.
+    pub protocol_version: u32,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        NetClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(5),
+            max_frame: crate::proto::DEFAULT_MAX_FRAME,
+            protocol_version: PROTOCOL_VERSION,
+        }
+    }
+}
+
+/// One live, handshaken connection.
+struct Connection {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    next_corr: u64,
+    /// Responses that arrived for correlation ids we weren't awaiting at
+    /// the moment they landed (pipelining reorders arrivals).
+    parked: HashMap<u64, Frame>,
+    /// The server's side of the handshake.
+    ack: HelloAck,
+}
+
+impl Connection {
+    fn connect(
+        addr: &SocketAddr,
+        config: &NetClientConfig,
+        metrics: &ClientMetrics,
+    ) -> Result<Connection, NetError> {
+        let stream = TcpStream::connect_timeout(addr, config.connect_timeout)
+            .map_err(|e| NetError::from_io(&e, "connect"))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(Duration::from_millis(2)))
+            .map_err(|e| NetError::from_io(&e, "connect"))?;
+        let mut conn = Connection {
+            stream,
+            decoder: FrameDecoder::new(config.max_frame),
+            next_corr: 1,
+            parked: HashMap::new(),
+            ack: HelloAck { version: 0, server_id: 0, num_servers: 0, feature_dim: 0 },
+        };
+        let hello = Hello { magic: MAGIC, version: config.protocol_version };
+        conn.send(Frame::new(0, FrameKind::Hello, hello.encode()), metrics)
+            .map_err(|_| NetError::Handshake("connection closed during handshake"))?;
+        let ack_frame = conn
+            .recv_corr(0, config.read_timeout, metrics)
+            .map_err(|e| match e {
+                NetError::Timeout(_) => NetError::Handshake("handshake timed out"),
+                _ => NetError::Handshake("connection closed during handshake"),
+            })?;
+        if ack_frame.kind != FrameKind::HelloAck {
+            return Err(NetError::Handshake("first frame was not a hello ack"));
+        }
+        let ack = HelloAck::decode(ack_frame.payload)?;
+        if ack.version != config.protocol_version {
+            return Err(NetError::VersionMismatch {
+                ours: config.protocol_version,
+                theirs: ack.version,
+            });
+        }
+        conn.ack = ack;
+        Ok(conn)
+    }
+
+    fn send(&mut self, frame: Frame, metrics: &ClientMetrics) -> Result<(), NetError> {
+        let wire = frame.encode();
+        self.stream
+            .write_all(&wire)
+            .map_err(|e| NetError::from_io(&e, "send"))?;
+        metrics.bytes_sent.add(wire.len() as u64);
+        metrics.frames_sent.incr();
+        Ok(())
+    }
+
+    /// Read frames until the one with `corr` arrives (parking others) or
+    /// the deadline passes.
+    fn recv_corr(
+        &mut self,
+        corr: u64,
+        timeout: Duration,
+        metrics: &ClientMetrics,
+    ) -> Result<Frame, NetError> {
+        if let Some(f) = self.parked.remove(&corr) {
+            return Ok(f);
+        }
+        let deadline = Instant::now() + timeout;
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            while let Some(frame) = self.decoder.next_frame()? {
+                metrics.frames_received.incr();
+                if frame.corr_id == corr {
+                    return Ok(frame);
+                }
+                self.parked.insert(frame.corr_id, frame);
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(NetError::Closed("response read")),
+                Ok(n) => {
+                    metrics.bytes_received.add(n as u64);
+                    self.decoder.feed(&chunk[..n]);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut
+                        || e.kind() == std::io::ErrorKind::Interrupted =>
+                {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Timeout("response read"));
+                    }
+                }
+                Err(e) => return Err(NetError::from_io(&e, "response read")),
+            }
+        }
+    }
+
+    fn fresh_corr(&mut self) -> u64 {
+        let c = self.next_corr;
+        self.next_corr += 1;
+        c
+    }
+}
+
+/// Frame-level reply to one request.
+fn into_payload(frame: Frame) -> Result<Bytes, NetError> {
+    match frame.kind {
+        FrameKind::Resp => Ok(frame.payload),
+        FrameKind::Err => Err(NetError::Store(decode_store_error(frame.payload)?)),
+        _ => Err(NetError::Malformed("unexpected reply kind")),
+    }
+}
+
+/// A pool of one connection per graph store server.
+pub struct NetClient {
+    addrs: Vec<SocketAddr>,
+    conns: Vec<Option<Connection>>,
+    ever_connected: Vec<bool>,
+    config: NetClientConfig,
+    metrics: ClientMetrics,
+}
+
+impl NetClient {
+    /// Build a pool over `addrs` (index = server id). Connections are
+    /// dialed lazily on first use.
+    pub fn new<A: AsRef<str>>(
+        addrs: &[A],
+        config: NetClientConfig,
+        registry: &Registry,
+    ) -> Result<NetClient, NetError> {
+        let mut resolved = Vec::with_capacity(addrs.len());
+        for a in addrs {
+            let addr = a
+                .as_ref()
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut it| it.next())
+                .ok_or(NetError::Malformed("unresolvable server address"))?;
+            resolved.push(addr);
+        }
+        let conns = resolved.iter().map(|_| None).collect();
+        Ok(NetClient {
+            ever_connected: vec![false; resolved.len()],
+            addrs: resolved,
+            conns,
+            config,
+            metrics: ClientMetrics::new(registry),
+        })
+    }
+
+    /// Number of servers in the pool.
+    pub fn num_servers(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The metrics bundle (shared handles; cheap to clone).
+    pub fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
+    }
+
+    fn conn(&mut self, server: usize) -> Result<&mut Connection, NetError> {
+        if server >= self.addrs.len() {
+            return Err(NetError::Malformed("server index outside the pool"));
+        }
+        if self.conns[server].is_none() {
+            if self.ever_connected[server] {
+                self.metrics.reconnects.incr();
+            }
+            match Connection::connect(&self.addrs[server], &self.config, &self.metrics) {
+                Ok(conn) => {
+                    // A pool slot must reach the server id it dialed.
+                    if conn.ack.server_id as usize != server {
+                        self.metrics.handshake_failures.incr();
+                        return Err(NetError::Handshake("server identity mismatch"));
+                    }
+                    if !self.ever_connected[server] {
+                        self.metrics.connects.incr();
+                    }
+                    self.ever_connected[server] = true;
+                    self.conns[server] = Some(conn);
+                }
+                Err(e) => {
+                    match &e {
+                        NetError::Handshake(_) | NetError::VersionMismatch { .. } => {
+                            self.metrics.handshake_failures.incr()
+                        }
+                        _ => self.metrics.connect_failures.incr(),
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(self.conns[server].as_mut().expect("connection just ensured"))
+    }
+
+    /// The cluster shape reported by server `server`'s handshake.
+    pub fn handshake(&mut self, server: usize) -> Result<HelloAck, NetError> {
+        Ok(self.conn(server)?.ack)
+    }
+
+    /// One request, one response (pipelining depth 1). On any transport
+    /// failure the pooled connection is dropped so the next call redials.
+    pub fn request(&mut self, server: usize, payload: Bytes) -> Result<Bytes, NetError> {
+        let timeout = self.config.read_timeout;
+        let metrics = self.metrics.clone();
+        let sent = payload.len() as u64;
+        let conn = self.conn(server)?;
+        let corr = conn.fresh_corr();
+        let result = conn
+            .send(Frame::new(corr, FrameKind::Req, payload), &metrics)
+            .and_then(|()| conn.recv_corr(corr, timeout, &metrics));
+        match result {
+            Ok(frame) => {
+                metrics.payload_bytes_sent.add(sent);
+                metrics.pipeline_depth.record(1);
+                let resp = into_payload(frame)?;
+                metrics.payload_bytes_received.add(resp.len() as u64);
+                Ok(resp)
+            }
+            Err(e) => {
+                // Transport failure: the connection state is unknown;
+                // drop it so the next call reconnects.
+                self.conns[server] = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Write all requests, then collect all responses (in request
+    /// order), letting the server answer out of order. Per-request store
+    /// errors surface per slot without failing the whole batch.
+    pub fn request_pipelined(
+        &mut self,
+        server: usize,
+        payloads: &[Bytes],
+    ) -> Result<Vec<Result<Bytes, NetError>>, NetError> {
+        if payloads.is_empty() {
+            return Ok(Vec::new());
+        }
+        let timeout = self.config.read_timeout;
+        let metrics = self.metrics.clone();
+        let conn = self.conn(server)?;
+        let mut corrs = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let corr = conn.fresh_corr();
+            let sent = payload.len() as u64;
+            if let Err(e) = conn.send(Frame::new(corr, FrameKind::Req, payload.clone()), &metrics)
+            {
+                self.conns[server] = None;
+                return Err(e);
+            }
+            metrics.payload_bytes_sent.add(sent);
+            corrs.push(corr);
+        }
+        metrics.pipeline_depth.record(corrs.len() as u64);
+        let mut out = Vec::with_capacity(corrs.len());
+        for corr in corrs {
+            match conn.recv_corr(corr, timeout, &metrics) {
+                Ok(frame) => {
+                    let reply = into_payload(frame);
+                    if let Ok(resp) = &reply {
+                        metrics.payload_bytes_received.add(resp.len() as u64);
+                    }
+                    out.push(reply);
+                }
+                Err(e) => {
+                    self.conns[server] = None;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Send a control op; `Stats` returns its reply.
+    pub fn control(
+        &mut self,
+        server: usize,
+        op: ControlOp,
+    ) -> Result<Option<StatsReply>, NetError> {
+        let timeout = self.config.read_timeout;
+        let metrics = self.metrics.clone();
+        let want_stats = op == ControlOp::Stats;
+        let conn = self.conn(server)?;
+        let corr = conn.fresh_corr();
+        let result = conn
+            .send(Frame::new(corr, FrameKind::Control, op.encode()), &metrics)
+            .and_then(|()| conn.recv_corr(corr, timeout, &metrics));
+        match result {
+            Ok(frame) if frame.kind == FrameKind::ControlAck => {
+                if want_stats {
+                    Ok(Some(StatsReply::decode(frame.payload)?))
+                } else {
+                    Ok(None)
+                }
+            }
+            Ok(_) => Err(NetError::Malformed("unexpected reply kind")),
+            Err(e) => {
+                self.conns[server] = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drop the pooled connection for `server` (next call redials).
+    pub fn disconnect(&mut self, server: usize) {
+        if let Some(slot) = self.conns.get_mut(server) {
+            *slot = None;
+        }
+    }
+}

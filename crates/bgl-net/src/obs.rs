@@ -1,0 +1,116 @@
+//! `net.*` observability.
+//!
+//! Counter naming, client side:
+//! * `net.bytes_sent` / `net.bytes_received` — every wire byte, length
+//!   prefixes and headers included;
+//! * `net.payload_bytes_sent` / `net.payload_bytes_received` — `Req` /
+//!   `Resp` payload bytes only; on a clean run these reconcile exactly
+//!   with the cluster's simulated traffic ledger, which charges encoded
+//!   message sizes;
+//! * `net.frames_sent` / `net.frames_received`;
+//! * `net.connects` — successful first connections per pool slot;
+//! * `net.reconnects` — reconnect *attempts* after a slot's connection
+//!   failed (a killed server never reconnects successfully, but recovery
+//!   work must still show up);
+//! * `net.connect_failures`, `net.handshake_failures`;
+//! * histogram `net.pipeline.depth` — requests in flight per
+//!   pipelined batch.
+//!
+//! Server side mirrors under `net.server.*`, plus the
+//! `net.server.connections` gauge and accept-loop accounting
+//! (`accepted`, `rejected`, `idle_closed`).
+
+use bgl_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Client-side counter bundle, resolved once per [`crate::NetClient`].
+#[derive(Clone)]
+pub struct ClientMetrics {
+    /// Wire bytes written (prefix + header + payload).
+    pub bytes_sent: Counter,
+    /// Wire bytes read.
+    pub bytes_received: Counter,
+    /// Frames written.
+    pub frames_sent: Counter,
+    /// Frames read.
+    pub frames_received: Counter,
+    /// `Req` payload bytes written.
+    pub payload_bytes_sent: Counter,
+    /// `Resp` payload bytes read.
+    pub payload_bytes_received: Counter,
+    /// Successful first connections.
+    pub connects: Counter,
+    /// Reconnect attempts after a failure.
+    pub reconnects: Counter,
+    /// Failed connect or connect-timeout attempts.
+    pub connect_failures: Counter,
+    /// Handshakes rejected (bad version, bad identity, closed mid-hello).
+    pub handshake_failures: Counter,
+    /// Requests in flight per pipelined batch.
+    pub pipeline_depth: Histogram,
+}
+
+impl ClientMetrics {
+    /// Resolve the bundle against a registry.
+    pub fn new(reg: &Registry) -> ClientMetrics {
+        ClientMetrics {
+            bytes_sent: reg.counter("net.bytes_sent"),
+            bytes_received: reg.counter("net.bytes_received"),
+            frames_sent: reg.counter("net.frames_sent"),
+            frames_received: reg.counter("net.frames_received"),
+            payload_bytes_sent: reg.counter("net.payload_bytes_sent"),
+            payload_bytes_received: reg.counter("net.payload_bytes_received"),
+            connects: reg.counter("net.connects"),
+            reconnects: reg.counter("net.reconnects"),
+            connect_failures: reg.counter("net.connect_failures"),
+            handshake_failures: reg.counter("net.handshake_failures"),
+            pipeline_depth: reg.histogram("net.pipeline.depth"),
+        }
+    }
+}
+
+/// Server-side counter bundle, shared by every connection thread of one
+/// listener.
+#[derive(Clone)]
+pub struct ServerMetrics {
+    /// Wire bytes read.
+    pub bytes_received: Counter,
+    /// Wire bytes written.
+    pub bytes_sent: Counter,
+    /// Frames read.
+    pub frames_received: Counter,
+    /// Frames written.
+    pub frames_sent: Counter,
+    /// `Req` frames handled.
+    pub requests: Counter,
+    /// Connections accepted.
+    pub accepted: Counter,
+    /// Connections refused because the bound was reached.
+    pub rejected: Counter,
+    /// Handshakes completed.
+    pub handshakes: Counter,
+    /// Handshakes refused (bad magic / version / first frame).
+    pub handshake_failures: Counter,
+    /// Connections closed by the idle deadline.
+    pub idle_closed: Counter,
+    /// Live connections right now.
+    pub connections: Gauge,
+}
+
+impl ServerMetrics {
+    /// Resolve the bundle against a registry.
+    pub fn new(reg: &Registry) -> ServerMetrics {
+        ServerMetrics {
+            bytes_received: reg.counter("net.server.bytes_received"),
+            bytes_sent: reg.counter("net.server.bytes_sent"),
+            frames_received: reg.counter("net.server.frames_received"),
+            frames_sent: reg.counter("net.server.frames_sent"),
+            requests: reg.counter("net.server.requests"),
+            accepted: reg.counter("net.server.accepted"),
+            rejected: reg.counter("net.server.rejected"),
+            handshakes: reg.counter("net.server.handshakes"),
+            handshake_failures: reg.counter("net.server.handshake_failures"),
+            idle_closed: reg.counter("net.server.idle_closed"),
+            connections: reg.gauge("net.server.connections"),
+        }
+    }
+}

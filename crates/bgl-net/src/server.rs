@@ -1,0 +1,437 @@
+//! The server runtime: one [`GraphStoreServer`] behind one `TcpListener`.
+//!
+//! Threading model — bounded thread-per-connection:
+//! * the accept thread runs a nonblocking accept poll; at the connection
+//!   bound, new sockets are accepted and immediately closed (counted as
+//!   `net.server.rejected`) so clients see a fast, clean refusal;
+//! * each accepted connection gets its own handler thread; all of them
+//!   share the `Arc<GraphStoreServer>`, whose counters are atomics.
+//!
+//! Shutdown protocol:
+//! * [`NetServerHandle::shutdown`] is *graceful*: the accept loop stops,
+//!   every handler drains the frames already buffered in its decoder,
+//!   replies to them, and then closes. No accepted request is dropped.
+//! * [`NetServerHandle::kill`] is a *crash*: sockets are shut down
+//!   immediately, mid-conversation — exactly what a process kill looks
+//!   like to the client. Chaos tests use this.
+//!
+//! Per-connection deadlines: reads poll with `read_poll`, and a
+//! connection idle longer than `idle_timeout` is closed
+//! (`net.server.idle_closed`), so abandoned clients can't pin handler
+//! threads forever.
+
+use crate::decoder::FrameDecoder;
+use crate::obs::ServerMetrics;
+use crate::proto::{
+    encode_store_error, ControlOp, Frame, FrameKind, Hello, HelloAck, StatsReply, MAGIC,
+    PROTOCOL_VERSION,
+};
+use bgl_graph::{Csr, FeatureStore};
+use bgl_obs::Registry;
+use bgl_store::GraphStoreServer;
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one listener.
+#[derive(Clone, Debug)]
+pub struct NetServerConfig {
+    /// Address to bind; use port 0 for an OS-assigned loopback port.
+    pub addr: String,
+    /// Connection bound; sockets beyond it are refused.
+    pub max_connections: usize,
+    /// Read poll interval — how often handlers check shutdown flags and
+    /// deadlines while idle.
+    pub read_poll: Duration,
+    /// Close connections with no traffic for this long.
+    pub idle_timeout: Option<Duration>,
+    /// Frame size cap for the per-connection decoder.
+    pub max_frame: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            read_poll: Duration::from_millis(5),
+            idle_timeout: None,
+            max_frame: crate::proto::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Shared state of one running listener.
+struct ServerState {
+    store: Arc<GraphStoreServer>,
+    metrics: ServerMetrics,
+    config: NetServerConfig,
+    /// Graceful stop: drain, then close.
+    stop: AtomicBool,
+    /// Hard stop: sockets are already shut down; exit now.
+    kill: AtomicBool,
+    /// Artificial per-request delay (micros), set via [`ControlOp::SetSlow`].
+    slow_micros: AtomicU64,
+    /// Live connection count, for the accept bound.
+    live: AtomicUsize,
+    /// Connection id allocator for the socket registry.
+    next_conn: AtomicU64,
+    /// Clones of live sockets so `kill` can shut them down from outside,
+    /// keyed by connection id so handlers deregister on exit (a lingering
+    /// clone would hold the socket open past the handler's close).
+    streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+/// Handle to a running server; dropping it without calling
+/// [`shutdown`](NetServerHandle::shutdown) or
+/// [`kill`](NetServerHandle::kill) leaves the threads running detached.
+pub struct NetServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_join: Option<JoinHandle<()>>,
+}
+
+impl NetServerHandle {
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hosted store, for test inspection.
+    pub fn store(&self) -> &Arc<GraphStoreServer> {
+        &self.state.store
+    }
+
+    /// Graceful shutdown: stop accepting, drain buffered frames on every
+    /// connection, reply, close, join all threads.
+    pub fn shutdown(mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+    }
+
+    /// Crash the server: shut every socket down mid-conversation and
+    /// join. Clients observe exactly what a process kill produces.
+    pub fn kill(mut self) {
+        self.state.kill.store(true, Ordering::SeqCst);
+        self.state.stop.store(true, Ordering::SeqCst);
+        if let Ok(streams) = self.state.streams.lock() {
+            for s in streams.values() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Bind a listener and serve `store` on it until shutdown.
+pub fn serve(
+    store: Arc<GraphStoreServer>,
+    config: NetServerConfig,
+    registry: &Registry,
+) -> io::Result<NetServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServerState {
+        store,
+        metrics: ServerMetrics::new(registry),
+        config,
+        stop: AtomicBool::new(false),
+        kill: AtomicBool::new(false),
+        slow_micros: AtomicU64::new(0),
+        live: AtomicUsize::new(0),
+        next_conn: AtomicU64::new(0),
+        streams: Mutex::new(HashMap::new()),
+    });
+    let accept_state = state.clone();
+    let accept_join = thread::Builder::new()
+        .name(format!("bgl-net-accept-{}", state.store.id()))
+        .spawn(move || accept_loop(listener, accept_state))?;
+    Ok(NetServerHandle { addr, state, accept_join: Some(accept_join) })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !state.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if state.live.load(Ordering::SeqCst) >= state.config.max_connections {
+                    // At the bound: accept + close is a fast, clean refusal.
+                    state.metrics.rejected.incr();
+                    drop(stream);
+                    continue;
+                }
+                state.metrics.accepted.incr();
+                state.live.fetch_add(1, Ordering::SeqCst);
+                state.metrics.connections.add(1);
+                let cid = state.next_conn.fetch_add(1, Ordering::SeqCst);
+                if let Ok(clone) = stream.try_clone() {
+                    if let Ok(mut streams) = state.streams.lock() {
+                        streams.insert(cid, clone);
+                    }
+                }
+                let conn_state = state.clone();
+                if let Ok(j) = thread::Builder::new()
+                    .name(format!("bgl-net-conn-{}", conn_state.store.id()))
+                    .spawn(move || {
+                        handle_connection(&mut stream, &conn_state);
+                        // Close for real: the registered clone would keep
+                        // the socket half-open otherwise, and the peer
+                        // must see EOF promptly.
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        if let Ok(mut streams) = conn_state.streams.lock() {
+                            streams.remove(&cid);
+                        }
+                        conn_state.live.fetch_sub(1, Ordering::SeqCst);
+                        conn_state.metrics.connections.add(-1);
+                    })
+                {
+                    handlers.push(j);
+                }
+                // Opportunistically reap finished handlers so the vec
+                // doesn't grow unboundedly on long-lived servers.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Outcome of one read attempt.
+enum ReadStep {
+    Data(usize),
+    Idle,
+    Closed,
+}
+
+fn read_step(stream: &mut TcpStream, buf: &mut [u8]) -> ReadStep {
+    match stream.read(buf) {
+        Ok(0) => ReadStep::Closed,
+        Ok(n) => ReadStep::Data(n),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            ReadStep::Idle
+        }
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => ReadStep::Idle,
+        Err(_) => ReadStep::Closed,
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, state: &ServerState) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(state.config.read_poll));
+    let mut decoder = FrameDecoder::new(state.config.max_frame);
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut last_activity = Instant::now();
+    let mut shaken = false;
+
+    loop {
+        // Drain every complete frame currently buffered. During graceful
+        // shutdown this is the "drain" phase: buffered requests still get
+        // answers before the socket closes.
+        loop {
+            if state.kill.load(Ordering::SeqCst) {
+                return;
+            }
+            match decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    state.metrics.frames_received.incr();
+                    if !shaken {
+                        if !finish_handshake(stream, state, &frame) {
+                            return;
+                        }
+                        shaken = true;
+                    } else if !dispatch_frame(stream, state, frame) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                // Framing lost (oversized/malformed): nothing sane can
+                // follow on this byte stream; close.
+                Err(_) => return,
+            }
+        }
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_step(stream, &mut chunk) {
+            ReadStep::Data(n) => {
+                state.metrics.bytes_received.add(n as u64);
+                decoder.feed(&chunk[..n]);
+                last_activity = Instant::now();
+            }
+            ReadStep::Idle => {
+                if let Some(idle) = state.config.idle_timeout {
+                    if last_activity.elapsed() >= idle {
+                        state.metrics.idle_closed.incr();
+                        return;
+                    }
+                }
+            }
+            ReadStep::Closed => return,
+        }
+    }
+}
+
+/// Validate the first frame as a Hello and answer it. Returns `false` if
+/// the connection must close.
+fn finish_handshake(stream: &mut TcpStream, state: &ServerState, frame: &Frame) -> bool {
+    let ok = frame.kind == FrameKind::Hello
+        && matches!(
+            Hello::decode(frame.payload.clone()),
+            Ok(h) if h.magic == MAGIC && h.version == PROTOCOL_VERSION
+        );
+    if !ok {
+        // Bad magic, wrong version, or data before hello: refuse by
+        // closing. The client maps the early close to a handshake error.
+        state.metrics.handshake_failures.incr();
+        return false;
+    }
+    state.metrics.handshakes.incr();
+    let ack = HelloAck {
+        version: PROTOCOL_VERSION,
+        server_id: state.store.id() as u32,
+        num_servers: state.store.cluster_size() as u32,
+        feature_dim: state.store.features_dim() as u32,
+    };
+    send_frame(stream, state, Frame::new(frame.corr_id, FrameKind::HelloAck, ack.encode()))
+}
+
+/// Handle one post-handshake frame. Returns `false` if the connection
+/// must close.
+fn dispatch_frame(stream: &mut TcpStream, state: &ServerState, frame: Frame) -> bool {
+    match frame.kind {
+        FrameKind::Req => {
+            state.metrics.requests.incr();
+            let slow = state.slow_micros.load(Ordering::SeqCst);
+            if slow > 0 {
+                thread::sleep(Duration::from_micros(slow));
+            }
+            let reply = match state.store.handle(frame.payload) {
+                Ok(resp) => Frame::new(frame.corr_id, FrameKind::Resp, resp),
+                Err(e) => Frame::new(frame.corr_id, FrameKind::Err, encode_store_error(&e)),
+            };
+            send_frame(stream, state, reply)
+        }
+        FrameKind::Control => {
+            let reply = match ControlOp::decode(frame.payload) {
+                Ok(ControlOp::SetDown(down)) => {
+                    state.store.set_down(down);
+                    Frame::new(frame.corr_id, FrameKind::ControlAck, Bytes::from(Vec::new()))
+                }
+                Ok(ControlOp::SetReplication { replication, num_servers }) => {
+                    state.store.set_replication(replication, num_servers);
+                    Frame::new(frame.corr_id, FrameKind::ControlAck, Bytes::from(Vec::new()))
+                }
+                Ok(ControlOp::Stats) => {
+                    let stats = StatsReply {
+                        requests_served: state.store.requests_served(),
+                        nodes_sampled: state.store.nodes_sampled(),
+                    };
+                    Frame::new(frame.corr_id, FrameKind::ControlAck, stats.encode())
+                }
+                Ok(ControlOp::SetSlow { micros }) => {
+                    state.slow_micros.store(micros, Ordering::SeqCst);
+                    Frame::new(frame.corr_id, FrameKind::ControlAck, Bytes::from(Vec::new()))
+                }
+                // An undecodable control op is a protocol violation.
+                Err(_) => return false,
+            };
+            send_frame(stream, state, reply)
+        }
+        // Anything else from a client after the handshake is a protocol
+        // violation; close.
+        _ => false,
+    }
+}
+
+fn send_frame(stream: &mut TcpStream, state: &ServerState, frame: Frame) -> bool {
+    let wire = frame.encode();
+    // Count before the write: a client that has already read this frame
+    // must observe it counted, so cross-side byte reconciliation is exact
+    // the moment the response lands. (A failed write overcounts by one
+    // frame, but that connection is dying anyway.)
+    state.metrics.bytes_sent.add(wire.len() as u64);
+    state.metrics.frames_sent.incr();
+    stream.write_all(&wire).is_ok()
+}
+
+/// An N-server loopback cluster for tests, benches and examples.
+pub struct LoopbackCluster {
+    handles: Vec<Option<NetServerHandle>>,
+    addrs: Vec<SocketAddr>,
+}
+
+impl LoopbackCluster {
+    /// Addresses of all servers (killed ones keep their slot so indices
+    /// stay aligned with server ids).
+    pub fn addrs(&self) -> Vec<String> {
+        self.addrs.iter().map(|a| a.to_string()).collect()
+    }
+
+    /// The hosted store for server `i`, if it is still running.
+    pub fn store(&self, i: usize) -> Option<&Arc<GraphStoreServer>> {
+        self.handles.get(i).and_then(|h| h.as_ref()).map(|h| h.store())
+    }
+
+    /// Crash server `i` mid-conversation (socket shutdown, threads
+    /// joined). Idempotent.
+    pub fn kill(&mut self, i: usize) {
+        if let Some(slot) = self.handles.get_mut(i) {
+            if let Some(h) = slot.take() {
+                h.kill();
+            }
+        }
+    }
+
+    /// Gracefully shut down every remaining server.
+    pub fn shutdown(mut self) {
+        for slot in self.handles.iter_mut() {
+            if let Some(h) = slot.take() {
+                h.shutdown();
+            }
+        }
+    }
+}
+
+/// Stand up `num_servers` loopback TCP servers over one partitioned
+/// dataset — the TCP analogue of `InProcessTransport::new`.
+pub fn spawn_loopback_cluster(
+    graph: Arc<Csr>,
+    features: Arc<FeatureStore>,
+    owner: Arc<Vec<u32>>,
+    num_servers: usize,
+    seed: u64,
+    config: NetServerConfig,
+    registry: &Registry,
+) -> io::Result<LoopbackCluster> {
+    let mut handles = Vec::with_capacity(num_servers);
+    let mut addrs = Vec::with_capacity(num_servers);
+    for i in 0..num_servers {
+        let store = Arc::new(GraphStoreServer::new(
+            i,
+            graph.clone(),
+            features.clone(),
+            owner.clone(),
+            seed,
+        ));
+        let handle = serve(store, config.clone(), registry)?;
+        addrs.push(handle.addr());
+        handles.push(Some(handle));
+    }
+    Ok(LoopbackCluster { handles, addrs })
+}

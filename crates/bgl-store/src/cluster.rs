@@ -31,7 +31,7 @@ use crate::fault::{FaultAction, FaultInjector, FaultPlan, RobustEvent};
 use crate::health::{BreakerState, CircuitBreaker};
 use crate::obs::StoreMetrics;
 use crate::retry::RetryPolicy;
-use crate::server::GraphStoreServer;
+use crate::transport::{InProcessTransport, StoreTransport};
 use crate::wire::Message;
 use crate::StoreError;
 use bgl_graph::{Csr, FeatureStore, NodeId};
@@ -56,9 +56,10 @@ pub struct SampleTiming {
     pub remote_requests: u64,
 }
 
-/// A distributed graph store: one server per partition.
+/// A distributed graph store: one server per partition, reached through a
+/// [`StoreTransport`] (in-process by default, TCP via `bgl-net`).
 pub struct StoreCluster {
-    servers: Vec<GraphStoreServer>,
+    transport: Box<dyn StoreTransport>,
     owner: Arc<Vec<u32>>,
     net: NetworkModel,
     /// Cumulative traffic across all operations.
@@ -82,7 +83,8 @@ pub struct StoreCluster {
 }
 
 impl StoreCluster {
-    /// Stand up one server per partition (fail-fast, no replication).
+    /// Stand up one in-process server per partition (fail-fast, no
+    /// replication).
     pub fn new(
         graph: Arc<Csr>,
         features: Arc<FeatureStore>,
@@ -91,14 +93,22 @@ impl StoreCluster {
         seed: u64,
     ) -> Self {
         let owner = Arc::new(partition.assignment.clone());
-        let servers: Vec<GraphStoreServer> = (0..partition.k)
-            .map(|i| {
-                GraphStoreServer::new(i, graph.clone(), features.clone(), owner.clone(), seed)
-            })
-            .collect();
-        let breakers = vec![CircuitBreaker::default(); servers.len()];
+        let transport =
+            InProcessTransport::new(graph, features, owner.clone(), partition.k, seed);
+        StoreCluster::with_transport(Box::new(transport), owner, net)
+    }
+
+    /// Build a cluster over an arbitrary transport — the entry point for
+    /// remote layouts, where the servers live behind `bgl-net` sockets and
+    /// this side holds only the shared partition map.
+    pub fn with_transport(
+        transport: Box<dyn StoreTransport>,
+        owner: Arc<Vec<u32>>,
+        net: NetworkModel,
+    ) -> Self {
+        let breakers = vec![CircuitBreaker::default(); transport.num_servers()];
         StoreCluster {
-            servers,
+            transport,
             owner,
             net,
             ledger: TrafficLedger::default(),
@@ -114,6 +124,34 @@ impl StoreCluster {
         }
     }
 
+    /// Replace the transport, keeping every cluster-side policy (retry,
+    /// breakers, fault plan, replication, accounting) intact. The new
+    /// transport must front the same partition layout; the current
+    /// replication factor is propagated to it.
+    pub fn swap_transport(mut self, transport: Box<dyn StoreTransport>) -> Self {
+        self.transport = transport;
+        if self.breakers.len() != self.transport.num_servers() {
+            self.breakers = vec![CircuitBreaker::default(); self.transport.num_servers()];
+        }
+        if self.replication > 1 {
+            let n = self.transport.num_servers();
+            self.transport
+                .set_replication(self.replication, n)
+                .expect("propagate replication to the new transport");
+        }
+        self
+    }
+
+    /// The shared partition map (`owner[v]` = primary server of node `v`).
+    pub fn owner_map(&self) -> Arc<Vec<u32>> {
+        self.owner.clone()
+    }
+
+    /// The transport this cluster runs over (`"in-process"`, `"tcp"`).
+    pub fn transport_kind(&self) -> &'static str {
+        self.transport.kind()
+    }
+
     /// Mirror this cluster's robustness counters and wire traffic into
     /// `reg` under `store.*`, and trace its batch operations as spans.
     pub fn attach_metrics(&mut self, reg: &bgl_obs::Registry) {
@@ -123,11 +161,11 @@ impl StoreCluster {
     /// Serve each partition from its primary plus the `r − 1` ring
     /// successors, and fail requests over along that chain.
     pub fn with_replication(mut self, r: usize) -> Self {
-        let k = self.servers.len();
+        let k = self.transport.num_servers();
         self.replication = r.clamp(1, k.max(1));
-        for s in &mut self.servers {
-            s.set_replication(self.replication, k);
-        }
+        self.transport
+            .set_replication(self.replication, k)
+            .expect("propagate replication to the transport");
         self
     }
 
@@ -139,14 +177,14 @@ impl StoreCluster {
 
     /// Inject faults from a seeded deterministic [`FaultPlan`].
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.injector = Some(FaultInjector::new(plan, self.servers.len()));
+        self.injector = Some(FaultInjector::new(plan, self.transport.num_servers()));
         self
     }
 
     /// Replace every server's circuit breaker with `breaker`'s
     /// configuration (threshold and cooldown).
     pub fn with_breaker(mut self, breaker: CircuitBreaker) -> Self {
-        self.breakers = vec![breaker; self.servers.len()];
+        self.breakers = vec![breaker; self.transport.num_servers()];
         self
     }
 
@@ -159,7 +197,7 @@ impl StoreCluster {
 
     /// Number of servers (= partitions).
     pub fn num_servers(&self) -> usize {
-        self.servers.len()
+        self.transport.num_servers()
     }
 
     /// Replication factor in effect.
@@ -183,7 +221,7 @@ impl StoreCluster {
     }
 
     fn replica_chain(&self, primary: usize) -> Vec<usize> {
-        let k = self.servers.len();
+        let k = self.transport.num_servers();
         if k == 0 {
             return Vec::new();
         }
@@ -193,21 +231,19 @@ impl StoreCluster {
     /// The location id used for a worker machine (never equal to a server
     /// id, so worker traffic is always remote).
     pub fn worker_location(&self) -> usize {
-        self.servers.len()
+        self.transport.num_servers()
     }
 
-    /// Failure injection: take a server down / bring it back.
+    /// Failure injection: take a server down / bring it back (app-level —
+    /// over TCP the server keeps its sockets and rejects requests).
     pub fn set_server_down(&mut self, server: usize, down: bool) -> Result<(), StoreError> {
-        self.servers
-            .get_mut(server)
-            .ok_or(StoreError::InvalidServer(server))?
-            .set_down(down);
-        Ok(())
+        self.transport.set_down(server, down)
     }
 
     /// Per-server request counts (sampling load balance, Table 3's cause).
-    pub fn requests_per_server(&self) -> Vec<u64> {
-        self.servers.iter().map(|s| s.requests_served).collect()
+    /// A transport that cannot reach its servers reports zeros.
+    pub fn requests_per_server(&mut self) -> Vec<u64> {
+        self.transport.requests_per_server().unwrap_or_default()
     }
 
     /// One request attempt from location `from` to server `to`: the fault
@@ -220,7 +256,7 @@ impl StoreCluster {
         to: usize,
         req: &Message,
     ) -> Result<(Message, SimTime), StoreError> {
-        if to >= self.servers.len() {
+        if to >= self.transport.num_servers() {
             return Err(StoreError::InvalidServer(to));
         }
         let req_frame = req.encode();
@@ -258,7 +294,7 @@ impl StoreCluster {
         }
         let t_req = self.ledger.record_scaled(&self.net, from, to, req_frame.len(), latency_mult);
         self.clock += t_req;
-        let resp_frame = self.servers[to].handle(req_frame)?;
+        let resp_frame = self.transport.call(to, req_frame)?;
         let t_resp =
             self.ledger.record_scaled(&self.net, to, from, resp_frame.len(), latency_mult);
         self.clock += t_resp;
@@ -283,7 +319,7 @@ impl StoreCluster {
         primary: usize,
         req: &Message,
     ) -> Result<(Message, SimTime), StoreError> {
-        if self.servers.is_empty() {
+        if self.transport.num_servers() == 0 {
             return Err(StoreError::EmptyCluster);
         }
         let start = self.clock;
@@ -381,7 +417,7 @@ impl StoreCluster {
         seeds: &[NodeId],
         home: usize,
     ) -> Result<(MiniBatch, SampleTiming), StoreError> {
-        if self.servers.is_empty() {
+        if self.transport.num_servers() == 0 {
             return Err(StoreError::EmptyCluster);
         }
         let mut timing = SampleTiming::default();
@@ -460,11 +496,7 @@ impl StoreCluster {
         nodes: &[NodeId],
         from: usize,
     ) -> Result<(Vec<f32>, SimTime), StoreError> {
-        let dim = self
-            .servers
-            .first()
-            .map(|s| s.features_dim())
-            .ok_or(StoreError::EmptyCluster)?;
+        let dim = self.transport.features_dim()?;
         if nodes.is_empty() {
             return Ok((Vec::new(), 0));
         }

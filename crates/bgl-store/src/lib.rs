@@ -41,6 +41,7 @@ pub mod health;
 pub mod obs;
 pub mod retry;
 pub mod server;
+pub mod transport;
 pub mod wire;
 
 pub use cluster::{SampleTiming, StoreCluster};
@@ -48,6 +49,7 @@ pub use fault::{FaultInjector, FaultPlan, RobustEvent};
 pub use health::{BreakerState, CircuitBreaker};
 pub use retry::RetryPolicy;
 pub use server::GraphStoreServer;
+pub use transport::{InProcessTransport, StoreTransport};
 
 use std::fmt;
 

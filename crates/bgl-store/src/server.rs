@@ -4,13 +4,20 @@
 //! Samplers run on the CPUs of the graph store servers (paper §3.1), which
 //! is why the *server* performs the fanout sampling: a request for a node's
 //! neighbors returns an already-sampled list, not the full adjacency.
+//!
+//! The server is internally synchronized (`handle` takes `&self`): the TCP
+//! runtime in `bgl-net` serves one `GraphStoreServer` from many connection
+//! threads at once, so the request/served counters are atomics and the
+//! sampling RNG sits behind a mutex. The in-process transport drives the
+//! same interface single-threaded and pays only uncontended atomic ops.
 
 use crate::wire::Message;
 use crate::StoreError;
 use bgl_graph::{Csr, FeatureStore, NodeId};
 use bytes::Bytes;
 use rand::prelude::*;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A graph store server owning one partition (and, with replication on,
 /// holding replicas of its predecessor partitions).
@@ -22,16 +29,19 @@ pub struct GraphStoreServer {
     owner: Arc<Vec<u32>>,
     /// Replication factor: this server also serves nodes whose primary is
     /// one of its `replication − 1` predecessors (successor-chain layout).
-    replication: usize,
+    replication: AtomicUsize,
     /// Cluster size, needed to wrap the successor chain.
-    num_servers: usize,
-    rng: StdRng,
+    num_servers: AtomicUsize,
+    /// Fanout-sampling RNG. One lock per neighbor request keeps a whole
+    /// request's picks contiguous in the stream, so a single-threaded
+    /// caller sequence is deterministic regardless of transport.
+    rng: Mutex<StdRng>,
     /// Failure injection: a down server rejects every request.
-    down: bool,
+    down: AtomicBool,
     /// Requests served (for load-balance accounting, Table 3's imbalance).
-    pub requests_served: u64,
+    requests_served: AtomicU64,
     /// Nodes sampled locally by this server's colocated sampler.
-    pub nodes_sampled: u64,
+    nodes_sampled: AtomicU64,
 }
 
 impl GraphStoreServer {
@@ -47,21 +57,23 @@ impl GraphStoreServer {
             graph,
             features,
             owner,
-            replication: 1,
-            num_servers: 0,
-            rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E3779B9)),
-            down: false,
-            requests_served: 0,
-            nodes_sampled: 0,
+            replication: AtomicUsize::new(1),
+            num_servers: AtomicUsize::new(0),
+            rng: Mutex::new(StdRng::seed_from_u64(
+                seed ^ (id as u64).wrapping_mul(0x9E3779B9),
+            )),
+            down: AtomicBool::new(false),
+            requests_served: AtomicU64::new(0),
+            nodes_sampled: AtomicU64::new(0),
         }
     }
 
     /// Enable r-replica serving: this server also answers for nodes whose
     /// primary is one of its `r − 1` predecessors in the ring of
     /// `num_servers` servers.
-    pub fn set_replication(&mut self, replication: usize, num_servers: usize) {
-        self.replication = replication.max(1);
-        self.num_servers = num_servers;
+    pub fn set_replication(&self, replication: usize, num_servers: usize) {
+        self.replication.store(replication.max(1), Ordering::Relaxed);
+        self.num_servers.store(num_servers, Ordering::Relaxed);
     }
 
     /// Server index.
@@ -69,9 +81,25 @@ impl GraphStoreServer {
         self.id
     }
 
+    /// Ring size this server was told about (0 until
+    /// [`GraphStoreServer::set_replication`] runs).
+    pub fn cluster_size(&self) -> usize {
+        self.num_servers.load(Ordering::Relaxed)
+    }
+
     /// Mark the server down/up (failure injection).
-    pub fn set_down(&mut self, down: bool) {
-        self.down = down;
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::Relaxed);
+    }
+
+    /// Requests this server has answered (including failed decodes).
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Nodes fanout-sampled by this server's colocated sampler.
+    pub fn nodes_sampled(&self) -> u64 {
+        self.nodes_sampled.load(Ordering::Relaxed)
     }
 
     /// Whether this server is the primary owner of `v`.
@@ -89,12 +117,14 @@ impl GraphStoreServer {
         if primary == self.id {
             return true;
         }
-        if self.replication <= 1 || self.num_servers == 0 {
+        let replication = self.replication.load(Ordering::Relaxed);
+        let num_servers = self.num_servers.load(Ordering::Relaxed);
+        if replication <= 1 || num_servers == 0 {
             return false;
         }
         // id ∈ {primary + 1, …, primary + r − 1} (mod n)?
-        let offset = (self.id + self.num_servers - primary) % self.num_servers;
-        offset < self.replication
+        let offset = (self.id + num_servers - primary) % num_servers;
+        offset < replication
     }
 
     /// Feature dimensionality of the store this server fronts.
@@ -105,19 +135,22 @@ impl GraphStoreServer {
     /// Handle an encoded request frame, producing an encoded response.
     /// This is the server's entire external surface — everything crosses
     /// the codec.
-    pub fn handle(&mut self, frame: Bytes) -> Result<Bytes, StoreError> {
-        if self.down {
+    pub fn handle(&self, frame: Bytes) -> Result<Bytes, StoreError> {
+        if self.down.load(Ordering::Relaxed) {
             return Err(StoreError::ServerDown(self.id));
         }
-        self.requests_served += 1;
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
         match Message::decode(frame)? {
             Message::NeighborReq { fanout, nodes } => {
+                // One lock for the whole request keeps its picks contiguous
+                // in the RNG stream.
+                let mut rng = self.rng.lock().unwrap_or_else(|p| p.into_inner());
                 let mut lists = Vec::with_capacity(nodes.len());
                 for &v in &nodes {
                     if !self.serves(v) {
                         return Err(StoreError::NotOwned { node: v, server: self.id });
                     }
-                    lists.push(self.sample_neighbors(v, fanout as usize));
+                    lists.push(self.sample_neighbors(&mut rng, v, fanout as usize));
                 }
                 Ok(Message::NeighborResp { lists }.encode())
             }
@@ -139,8 +172,8 @@ impl GraphStoreServer {
     }
 
     /// Fanout-sample `v`'s neighbors (all of them when degree ≤ fanout).
-    fn sample_neighbors(&mut self, v: NodeId, fanout: usize) -> Vec<NodeId> {
-        self.nodes_sampled += 1;
+    fn sample_neighbors(&self, rng: &mut StdRng, v: NodeId, fanout: usize) -> Vec<NodeId> {
+        self.nodes_sampled.fetch_add(1, Ordering::Relaxed);
         let nbrs = self.graph.neighbors(v);
         if nbrs.len() <= fanout {
             return nbrs.to_vec();
@@ -149,7 +182,7 @@ impl GraphStoreServer {
         let mut chosen = std::collections::HashSet::with_capacity(fanout);
         let mut out = Vec::with_capacity(fanout);
         for j in (nbrs.len() - fanout)..nbrs.len() {
-            let t = self.rng.random_range(0..=j);
+            let t = rng.random_range(0..=j);
             let pick = if chosen.insert(t) { t } else { j };
             if pick != t {
                 chosen.insert(pick);
@@ -175,7 +208,7 @@ mod tests {
     #[test]
     fn serves_owned_neighbors() {
         let (g, f, owner) = setup(2);
-        let mut s = GraphStoreServer::new(0, g.clone(), f, owner, 7);
+        let s = GraphStoreServer::new(0, g.clone(), f, owner, 7);
         let req = Message::NeighborReq { fanout: 3, nodes: vec![2, 4] }.encode();
         let resp = Message::decode(s.handle(req).unwrap()).unwrap();
         match resp {
@@ -191,14 +224,14 @@ mod tests {
             }
             other => panic!("unexpected response {:?}", other),
         }
-        assert_eq!(s.requests_served, 1);
-        assert_eq!(s.nodes_sampled, 2);
+        assert_eq!(s.requests_served(), 1);
+        assert_eq!(s.nodes_sampled(), 2);
     }
 
     #[test]
     fn rejects_foreign_nodes() {
         let (g, f, owner) = setup(2);
-        let mut s = GraphStoreServer::new(0, g, f, owner, 7);
+        let s = GraphStoreServer::new(0, g, f, owner, 7);
         let req = Message::NeighborReq { fanout: 3, nodes: vec![1] }.encode(); // odd -> server 1
         assert_eq!(
             s.handle(req),
@@ -209,7 +242,7 @@ mod tests {
     #[test]
     fn down_server_rejects() {
         let (g, f, owner) = setup(2);
-        let mut s = GraphStoreServer::new(0, g, f, owner, 7);
+        let s = GraphStoreServer::new(0, g, f, owner, 7);
         s.set_down(true);
         let req = Message::FeatureReq { nodes: vec![2] }.encode();
         assert_eq!(s.handle(req), Err(StoreError::ServerDown(0)));
@@ -224,7 +257,7 @@ mod tests {
         for v in 0..100u32 {
             fs.row_mut(v).copy_from_slice(&[v as f32, -(v as f32)]);
         }
-        let mut s = GraphStoreServer::new(0, g, Arc::new(fs), owner, 7);
+        let s = GraphStoreServer::new(0, g, Arc::new(fs), owner, 7);
         let req = Message::FeatureReq { nodes: vec![6, 2] }.encode();
         match Message::decode(s.handle(req).unwrap()).unwrap() {
             Message::FeatureResp { dim, rows } => {
@@ -239,7 +272,7 @@ mod tests {
     fn replica_serves_predecessor_nodes() {
         let (g, f, owner) = setup(4);
         // Server 1 replicates server 0's partition (r = 2 on 4 servers).
-        let mut s = GraphStoreServer::new(1, g, f, owner, 7);
+        let s = GraphStoreServer::new(1, g, f, owner, 7);
         s.set_replication(2, 4);
         assert!(s.serves(1)); // own partition (1 % 4 == 1)
         assert!(s.serves(0)); // replica of server 0's nodes
@@ -258,7 +291,7 @@ mod tests {
     fn replication_chain_wraps_the_ring() {
         let (g, f, owner) = setup(4);
         // Server 0 with r = 2: replica of server 3 (its ring predecessor).
-        let mut s = GraphStoreServer::new(0, g, f, owner, 7);
+        let s = GraphStoreServer::new(0, g, f, owner, 7);
         s.set_replication(2, 4);
         assert!(s.serves(3)); // owner 3, successor (3+1)%4 == 0
         assert!(!s.serves(1));
@@ -276,8 +309,39 @@ mod tests {
     #[test]
     fn rejects_response_frames() {
         let (g, f, owner) = setup(1);
-        let mut s = GraphStoreServer::new(0, g, f, owner, 7);
+        let s = GraphStoreServer::new(0, g, f, owner, 7);
         let bogus = Message::NeighborResp { lists: vec![] }.encode();
         assert!(matches!(s.handle(bogus), Err(StoreError::Malformed(_))));
+    }
+
+    /// Satellite: the counters must stay exact when one server is hammered
+    /// from many threads at once — the TCP runtime's actual shape.
+    #[test]
+    fn concurrent_handlers_count_exactly() {
+        let (g, f, owner) = setup(1);
+        let s = Arc::new(GraphStoreServer::new(0, g, f, owner, 7));
+        const THREADS: usize = 8;
+        const REQS: usize = 50;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..REQS {
+                        let v = ((t * REQS + i) % 100) as u32;
+                        let req = Message::NeighborReq { fanout: 2, nodes: vec![v] }.encode();
+                        let resp = s.handle(req).expect("request served");
+                        assert!(matches!(
+                            Message::decode(resp),
+                            Ok(Message::NeighborResp { .. })
+                        ));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.requests_served(), (THREADS * REQS) as u64);
+        assert_eq!(s.nodes_sampled(), (THREADS * REQS) as u64);
     }
 }

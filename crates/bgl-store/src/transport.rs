@@ -1,0 +1,189 @@
+//! The transport seam between the cluster and its servers.
+//!
+//! [`crate::StoreCluster`] speaks to its graph store servers exclusively in
+//! encoded wire frames. [`StoreTransport`] is the boundary those frames
+//! cross: [`InProcessTransport`] dispatches to servers living in the same
+//! address space (the original, simulation-friendly layout), while
+//! `bgl-net`'s `TcpTransport` carries the identical frames over real
+//! sockets. The cluster's fault-tolerance machinery — replication chains,
+//! retry ladders, circuit breakers, the simulated clock — sits *above* this
+//! trait, so both layouts exercise the same recovery paths.
+//!
+//! Everything the cluster used to reach into `Vec<GraphStoreServer>` for is
+//! a trait method here; the TCP implementation maps each one to a control
+//! frame so a remote cluster stays fully driveable (failure injection,
+//! replication config, load accounting) from the client side.
+
+use crate::server::GraphStoreServer;
+use crate::StoreError;
+use bgl_graph::{Csr, FeatureStore};
+use bytes::Bytes;
+use std::sync::Arc;
+
+/// How a [`crate::StoreCluster`] reaches its servers. Implementations carry
+/// encoded request frames to server `to` and bring encoded response frames
+/// back; every error comes home as a [`StoreError`] so the caller's retry /
+/// breaker / failover logic is transport-agnostic.
+pub trait StoreTransport: Send {
+    /// Human-readable transport name (`"in-process"`, `"tcp"`), for reports.
+    fn kind(&self) -> &'static str;
+
+    /// Number of servers reachable through this transport.
+    fn num_servers(&self) -> usize;
+
+    /// Feature dimensionality served by the cluster (from server state for
+    /// the in-process layout, from the handshake for TCP).
+    fn features_dim(&mut self) -> Result<usize, StoreError>;
+
+    /// Deliver one encoded request frame to server `to`, returning its
+    /// encoded response frame. Transport-level failures (a closed socket, a
+    /// connect timeout) must map to *transient* [`StoreError`]s so the
+    /// cluster retries / fails over exactly as it would for an in-process
+    /// fault.
+    fn call(&mut self, to: usize, frame: Bytes) -> Result<Bytes, StoreError>;
+
+    /// Failure injection: mark a server down (app-level; it keeps accepting
+    /// transport traffic but rejects every request) or bring it back.
+    fn set_down(&mut self, server: usize, down: bool) -> Result<(), StoreError>;
+
+    /// Propagate the replication layout to every server.
+    fn set_replication(&mut self, replication: usize, num_servers: usize)
+        -> Result<(), StoreError>;
+
+    /// Per-server request counts (sampling load balance, Table 3's cause).
+    fn requests_per_server(&mut self) -> Result<Vec<u64>, StoreError>;
+}
+
+/// Servers in the same address space: `call` is a method dispatch that
+/// still round-trips the full wire codec (so message sizes are real).
+pub struct InProcessTransport {
+    servers: Vec<GraphStoreServer>,
+}
+
+impl InProcessTransport {
+    /// Stand up one server per partition.
+    pub fn new(
+        graph: Arc<Csr>,
+        features: Arc<FeatureStore>,
+        owner: Arc<Vec<u32>>,
+        num_servers: usize,
+        seed: u64,
+    ) -> Self {
+        let servers = (0..num_servers)
+            .map(|i| {
+                GraphStoreServer::new(i, graph.clone(), features.clone(), owner.clone(), seed)
+            })
+            .collect();
+        InProcessTransport { servers }
+    }
+
+    /// Direct access, for tests that inspect server state.
+    pub fn server(&self, i: usize) -> Option<&GraphStoreServer> {
+        self.servers.get(i)
+    }
+}
+
+impl StoreTransport for InProcessTransport {
+    fn kind(&self) -> &'static str {
+        "in-process"
+    }
+
+    fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    fn features_dim(&mut self) -> Result<usize, StoreError> {
+        self.servers
+            .first()
+            .map(|s| s.features_dim())
+            .ok_or(StoreError::EmptyCluster)
+    }
+
+    fn call(&mut self, to: usize, frame: Bytes) -> Result<Bytes, StoreError> {
+        self.servers
+            .get(to)
+            .ok_or(StoreError::InvalidServer(to))?
+            .handle(frame)
+    }
+
+    fn set_down(&mut self, server: usize, down: bool) -> Result<(), StoreError> {
+        self.servers
+            .get(server)
+            .ok_or(StoreError::InvalidServer(server))?
+            .set_down(down);
+        Ok(())
+    }
+
+    fn set_replication(
+        &mut self,
+        replication: usize,
+        num_servers: usize,
+    ) -> Result<(), StoreError> {
+        for s in &self.servers {
+            s.set_replication(replication, num_servers);
+        }
+        Ok(())
+    }
+
+    fn requests_per_server(&mut self) -> Result<Vec<u64>, StoreError> {
+        Ok(self.servers.iter().map(|s| s.requests_served()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Message;
+    use bgl_graph::generate;
+
+    fn transport(k: usize) -> InProcessTransport {
+        let g = Arc::new(generate::barabasi_albert(60, 3, 2));
+        let f = Arc::new(FeatureStore::zeros(60, 4));
+        let owner = Arc::new((0..60u32).map(|v| v % k as u32).collect());
+        InProcessTransport::new(g, f, owner, k, 5)
+    }
+
+    #[test]
+    fn dispatches_frames_to_the_named_server() {
+        let mut t = transport(2);
+        let req = Message::FeatureReq { nodes: vec![0, 2] }.encode();
+        let resp = Message::decode(t.call(0, req).unwrap()).unwrap();
+        assert!(matches!(resp, Message::FeatureResp { dim: 4, .. }));
+        assert_eq!(t.requests_per_server().unwrap(), vec![1, 0]);
+        assert_eq!(t.features_dim().unwrap(), 4);
+        assert_eq!(t.kind(), "in-process");
+    }
+
+    #[test]
+    fn invalid_server_and_empty_cluster_error() {
+        let mut t = transport(2);
+        let req = Message::FeatureReq { nodes: vec![0] }.encode();
+        assert_eq!(t.call(9, req).unwrap_err(), StoreError::InvalidServer(9));
+        assert_eq!(
+            t.set_down(9, true).unwrap_err(),
+            StoreError::InvalidServer(9)
+        );
+        let mut empty = InProcessTransport { servers: Vec::new() };
+        assert_eq!(empty.features_dim().unwrap_err(), StoreError::EmptyCluster);
+        assert_eq!(empty.num_servers(), 0);
+    }
+
+    #[test]
+    fn down_flag_round_trips_through_the_transport() {
+        let mut t = transport(2);
+        t.set_down(1, true).unwrap();
+        let req = Message::FeatureReq { nodes: vec![1] }.encode();
+        assert_eq!(t.call(1, req.clone()).unwrap_err(), StoreError::ServerDown(1));
+        t.set_down(1, false).unwrap();
+        assert!(t.call(1, req).is_ok());
+    }
+
+    #[test]
+    fn replication_propagates_to_every_server() {
+        let mut t = transport(4);
+        t.set_replication(2, 4).unwrap();
+        // Server 1 now serves server 0's nodes as a replica.
+        let req = Message::FeatureReq { nodes: vec![0] }.encode();
+        assert!(t.call(1, req).is_ok());
+    }
+}

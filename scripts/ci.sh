@@ -25,3 +25,13 @@ cargo bench -p bgl-obs --bench metrics_overhead -- --test
 # Proptest targets stay excluded from this gate, as elsewhere.
 env -u RUST_TEST_THREADS cargo test -q -p bgl --test exec_runtime
 env -u RUST_TEST_THREADS cargo test -q --release -p bgl --test exec_runtime
+
+# TCP transport: the bgl-net suites open real sockets and spawn real
+# server threads (handshakes, pipelining, kills, deadlines), so they too
+# get the host's full parallelism; net_transport then drives a whole
+# training epoch over loopback TCP, including the mid-epoch kill. The
+# loopback bench runs in --test mode as a smoke gate on the
+# client/server round-trip path.
+env -u RUST_TEST_THREADS cargo test -q -p bgl-net
+env -u RUST_TEST_THREADS cargo test -q -p bgl --test net_transport
+cargo bench -p bgl-net --bench loopback -- --test
