@@ -199,8 +199,17 @@ fn main() {
         // allocation, then replay its measured service times through the
         // tandem-queue model and drive the same epoch serially.
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // Checkpoint the threaded epoch while profiling it, so the
+        // `exec.ckpt.*` write-cost metrics land in the same report.
+        let ckpt_dir = std::env::temp_dir()
+            .join(format!("bgl-figures-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
         let cfg = bgl_exec::ExecConfig::new(pctx.fanouts.clone(), 0xE8EC)
-            .scaled_to(&measured, cores);
+            .scaled_to(&measured, cores)
+            .with_checkpointing(bgl_exec::CheckpointPolicy::new(&ckpt_dir).every(8));
+        // The model must have one layer per sampling hop (the standard
+        // ctx uses three fanouts, the small one two).
+        let num_layers = pctx.fanouts.len();
         let build_task = || {
             let ds = bgl_graph::DatasetSpec::products_like()
                 .with_nodes(if small { 1 << 12 } else { 1 << 14 })
@@ -230,7 +239,7 @@ fn main() {
                 ds.features.dim(),
                 16,
                 ds.num_classes,
-                2,
+                num_layers,
                 5,
             );
             let batches: Vec<Vec<bgl_graph::NodeId>> = ds
@@ -259,6 +268,9 @@ fn main() {
             cores, cfg.workers
         );
         println!("{}", render_exec(&report, &cfg.workers, &predicted, serial.throughput()));
+        section("§3.4 checkpointing — exec.ckpt.* cost of the periodic snapshots above");
+        println!("{}", render_ckpt(&pctx.obs));
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
     }
 
     if want("recovery") {

@@ -233,6 +233,42 @@ pub fn render_exec(
     )
 }
 
+/// Render the checkpoint subsystem's `exec.ckpt.*` metrics after a
+/// checkpointing run: write count/bytes, the write-latency histogram
+/// summary, and the recovery counters (torn writes rejected, resumes).
+pub fn render_ckpt(reg: &bgl_obs::Registry) -> String {
+    let counter = |name: &str| {
+        reg.counters()
+            .into_iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or(0)
+    };
+    let write_ns = reg
+        .histograms()
+        .into_iter()
+        .find(|(k, _)| k == "exec.ckpt.write_ns")
+        .map(|(_, s)| s)
+        .unwrap_or_default();
+    let mut t = TextTable::new(&["metric", "value"]);
+    t.row(&["ckpt writes".into(), counter("exec.ckpt.writes").to_string()]);
+    t.row(&["ckpt bytes".into(), counter("exec.ckpt.bytes").to_string()]);
+    t.row(&[
+        "write latency mean".into(),
+        format!("{:.3} ms", write_ns.mean() / 1e6),
+    ]);
+    t.row(&[
+        "write latency max".into(),
+        format!("{:.3} ms", write_ns.max as f64 / 1e6),
+    ]);
+    t.row(&[
+        "torn writes rejected".into(),
+        counter("exec.ckpt.torn_writes_rejected").to_string(),
+    ]);
+    t.row(&["resumes".into(), counter("exec.ckpt.resumes").to_string()]);
+    t.render()
+}
+
 /// Render the §3.4 solver's output on the measured profile next to the
 /// paper's running example, one row per allocation.
 pub fn render_allocations(measured: &Allocation, paper: &Allocation) -> String {

@@ -1,0 +1,65 @@
+//! Checkpoint codec + atomic-write microbench: what one periodic snapshot
+//! costs off the hot path. `cargo bench -p bgl-exec --bench checkpoint --
+//! --test` runs it in smoke mode (one pass, no statistics) for CI.
+
+use bgl_exec::{AdamState, Checkpoint, CheckpointPolicy, CheckpointStore};
+use bgl_obs::Registry;
+use bgl_tensor::{Adam, Matrix, Optimizer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// A checkpoint shaped like the paper's default model (3 layers, 128
+/// hidden) mid-epoch: ~100k parameters, warm Adam moments, a 40-batch
+/// trained prefix.
+fn representative_checkpoint() -> Checkpoint {
+    let dims = [(100usize, 128usize), (128, 128), (128, 47)];
+    let mut opt = Adam::new(1e-3);
+    let mut params = Vec::new();
+    for (slot, &(r, c)) in dims.iter().enumerate() {
+        let mut w = Matrix::from_vec(r, c, (0..r * c).map(|i| (i as f32).sin()).collect());
+        let g = Matrix::from_vec(r, c, vec![0.01; r * c]);
+        opt.step(slot, &mut w, &g);
+        params.extend_from_slice(w.raw());
+    }
+    let cursor = 40u64;
+    Checkpoint {
+        seed: 0xBE7C,
+        fanouts: vec![10, 10, 10],
+        batches_fingerprint: 0x1234_5678,
+        num_batches: 196,
+        cursor,
+        params,
+        opt: AdamState::capture(&opt),
+        losses: (0..cursor).map(|i| 2.0 / (1.0 + i as f32)).collect(),
+        train_order: (0..cursor).collect(),
+        digests: (0..cursor).map(|i| i.wrapping_mul(0x9E37_79B9)).collect(),
+    }
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let ckpt = representative_checkpoint();
+    let bytes = ckpt.encode();
+    let mut group = c.benchmark_group("ckpt");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    println!("checkpoint wire size: {} bytes", bytes.len());
+    group.bench_function("encode", |b| b.iter(|| std::hint::black_box(ckpt.encode())));
+    group.bench_function("decode", |b| {
+        b.iter(|| Checkpoint::decode(std::hint::black_box(&bytes)).unwrap())
+    });
+
+    // The full durable write: encode + temp file + fsync + rename + prune.
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("bgl-ckpt-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let policy = CheckpointPolicy::new(&dir).retain(2);
+    let store = CheckpointStore::open(&policy, &Registry::disabled()).expect("open store");
+    group.bench_function("atomic_write", |b| {
+        b.iter(|| store.write(std::hint::black_box(&ckpt)).expect("write checkpoint"))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

@@ -29,12 +29,17 @@
 
 pub mod allocator;
 pub mod build;
+pub mod checkpoint;
 pub mod profile;
 pub mod runtime;
 
 pub use allocator::{solve, Allocation, ContentionModel};
+pub use checkpoint::{
+    fingerprint_batches, AdamState, Checkpoint, CheckpointPolicy, CheckpointStore, CkptError,
+    ExecFaultPlan,
+};
 pub use profile::StageProfile;
 pub use runtime::{
-    run, run_serial, spawn, EpochTask, ExecConfig, ExecError, ExecHandle, ExecReport,
-    STAGE_NAMES,
+    resume_from, run, run_serial, spawn, spawn_resumed, EpochTask, ExecConfig, ExecError,
+    ExecHandle, ExecReport, STAGE_NAMES,
 };

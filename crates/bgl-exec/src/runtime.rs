@@ -45,6 +45,10 @@
 //! is ever detached.
 
 use crate::allocator::Allocation;
+use crate::checkpoint::{
+    fingerprint_batches, AdamState, Checkpoint, CheckpointPolicy, CheckpointStore, CkptError,
+    ExecFaultPlan,
+};
 use bgl_cache::FeatureCacheEngine;
 use bgl_gnn::GnnModel;
 use bgl_graph::{Csr, InducedSubgraph, NodeId};
@@ -91,22 +95,35 @@ const STOP_POLL: Duration = Duration::from_millis(2);
 #[derive(Debug)]
 pub enum ExecError {
     /// A stage worker panicked; the panic is captured, not propagated raw.
-    StagePanic { stage: &'static str, message: String },
+    /// `stage_index` is the pipeline position (0..8) of the originating
+    /// stage — it must survive propagation so recovery tooling can tell a
+    /// sampler crash from a train-step crash.
+    StagePanic { stage: &'static str, stage_index: usize, message: String },
     /// The store surfaced an error the fault-tolerance layer could not
     /// absorb (no replication / degradation configured, or budget spent).
     Store { stage: &'static str, error: StoreError },
+    /// Checkpoint directory could not be opened, or a resume checkpoint
+    /// failed validation against the configured run.
+    Checkpoint(CkptError),
 }
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ExecError::StagePanic { stage, message } => {
-                write!(f, "stage {stage} panicked: {message}")
+            ExecError::StagePanic { stage, stage_index, message } => {
+                write!(f, "stage {stage} (index {stage_index}) panicked: {message}")
             }
             ExecError::Store { stage, error } => {
                 write!(f, "stage {stage} store error: {error}")
             }
+            ExecError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
+    }
+}
+
+impl From<CkptError> for ExecError {
+    fn from(e: CkptError) -> Self {
+        ExecError::Checkpoint(e)
     }
 }
 
@@ -250,6 +267,13 @@ pub struct ExecConfig {
     /// Zero everywhere in production; tests use it to pin known stage
     /// times for simulator calibration and to force backpressure.
     pub synthetic_stage_ns: [u64; 8],
+    /// When set, the train stage snapshots a [`Checkpoint`] every
+    /// `every_batches` applied batches and hands it to a dedicated writer
+    /// thread — the hot path never touches the filesystem.
+    pub ckpt: Option<CheckpointPolicy>,
+    /// Seeded chaos: kill/tear/panic injection for crash-recovery tests.
+    /// `None` in production.
+    pub faults: Option<ExecFaultPlan>,
 }
 
 impl ExecConfig {
@@ -261,7 +285,21 @@ impl ExecConfig {
             workers: [1; 8],
             buffer_cap: 4,
             synthetic_stage_ns: [0; 8],
+            ckpt: None,
+            faults: None,
         }
+    }
+
+    /// Enable periodic checkpointing under `policy`.
+    pub fn with_checkpointing(mut self, policy: CheckpointPolicy) -> Self {
+        self.ckpt = Some(policy);
+        self
+    }
+
+    /// Install a seeded fault plan (crash-recovery chaos tests only).
+    pub fn with_faults(mut self, plan: ExecFaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Override pool sizes (order/train clamped back to 1, zeros to 1).
@@ -400,6 +438,7 @@ struct Shared {
     seed: u64,
     worker_loc: usize,
     synthetic_ns: [u64; 8],
+    faults: Option<ExecFaultPlan>,
     stage_busy_ns: [AtomicU64; 8],
     stage_batches: [AtomicU64; 8],
     digests: Mutex<Vec<u64>>,
@@ -438,6 +477,7 @@ impl Shared {
             seed: cfg.seed,
             worker_loc,
             synthetic_ns: cfg.synthetic_stage_ns,
+            faults: cfg.faults.clone(),
             stage_busy_ns: std::array::from_fn(|_| AtomicU64::new(0)),
             stage_batches: std::array::from_fn(|_| AtomicU64::new(0)),
             digests: Mutex::new(vec![0; num_batches]),
@@ -473,6 +513,28 @@ impl Shared {
 /// is identical no matter which worker (or how many) runs the stage.
 fn batch_rng(seed: u64, idx: usize) -> StdRng {
     StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Every inter-stage item carries its batch index; [`process_one`] reads it
+/// for seeded panic injection (tear the pipeline at exactly `(stage, batch)`).
+trait Indexed {
+    fn index(&self) -> usize;
+}
+
+impl Indexed for (usize, Vec<NodeId>) {
+    fn index(&self) -> usize {
+        self.0
+    }
+}
+
+macro_rules! impl_indexed {
+    ($($t:ty),*) => {
+        $(impl Indexed for $t {
+            fn index(&self) -> usize {
+                self.idx
+            }
+        })*
+    };
 }
 
 struct Task {
@@ -523,6 +585,8 @@ struct Loaded {
     labels: Vec<u16>,
     input: Matrix,
 }
+
+impl_indexed!(Task, Sampled, Built, Looked, Fetched, Ready, Loaded);
 
 fn stage_sample(sh: &Shared, t: Task) -> Result<Sampled, ExecError> {
     let mut rng = batch_rng(sh.seed, t.idx);
@@ -599,19 +663,25 @@ fn stage_transfer(sh: &Shared, r: Ready) -> Result<Loaded, ExecError> {
 }
 
 /// Run one item through stage `stage`: synthetic floor, span, busy-time
-/// accounting, panic capture.
-fn process_one<I, O>(
+/// accounting, panic capture (including injected panics from a fault plan).
+fn process_one<I: Indexed, O>(
     stage: usize,
     sh: &Shared,
     item: I,
     f: impl FnOnce(&Shared, I) -> Result<O, ExecError>,
 ) -> Result<O, ExecError> {
+    let idx = item.index();
     let span = sh.obs.span(SPAN_NAMES[stage]);
     let t0 = Instant::now();
     if sh.synthetic_ns[stage] > 0 {
         std::thread::sleep(Duration::from_nanos(sh.synthetic_ns[stage]));
     }
-    let result = catch_unwind(AssertUnwindSafe(|| f(sh, item)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(plan) = &sh.faults {
+            plan.maybe_panic(stage, idx);
+        }
+        f(sh, item)
+    }));
     sh.stage_busy_ns[stage].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     span.end();
     match result {
@@ -622,6 +692,7 @@ fn process_one<I, O>(
         Ok(Err(e)) => Err(e),
         Err(payload) => Err(ExecError::StagePanic {
             stage: STAGE_NAMES[stage],
+            stage_index: stage,
             message: panic_message(payload),
         }),
     }
@@ -723,7 +794,7 @@ fn finish(
     Ok(report)
 }
 
-fn spawn_pool<I: Send + 'static, O: Send + 'static>(
+fn spawn_pool<I: Indexed + Send + 'static, O: Send + 'static>(
     stage: usize,
     workers: usize,
     sh: &Arc<Shared>,
@@ -760,12 +831,119 @@ fn spawn_pool<I: Send + 'static, O: Send + 'static>(
     // reflect exactly the pool's workers.
 }
 
+/// Check that `ckpt` was produced by a run identical to the one `cfg` and
+/// the task describe — same seed, fanouts, batch plan and model shape.
+/// Resuming a mismatched checkpoint would silently break the determinism
+/// contract, so every divergence is a typed error.
+fn validate_resume(
+    cfg: &ExecConfig,
+    ckpt: &Checkpoint,
+    fingerprint: u64,
+    num_batches: usize,
+    param_len: usize,
+) -> Result<(), CkptError> {
+    if ckpt.seed != cfg.seed {
+        return Err(CkptError::Mismatch(format!(
+            "checkpoint seed {} != config seed {}",
+            ckpt.seed, cfg.seed
+        )));
+    }
+    if ckpt.fanouts != cfg.fanouts {
+        return Err(CkptError::Mismatch(format!(
+            "checkpoint fanouts {:?} != config fanouts {:?}",
+            ckpt.fanouts, cfg.fanouts
+        )));
+    }
+    if ckpt.batches_fingerprint != fingerprint {
+        return Err(CkptError::Mismatch(
+            "checkpoint batch plan differs from the task's seed batches".to_string(),
+        ));
+    }
+    if ckpt.num_batches as usize != num_batches {
+        return Err(CkptError::Mismatch(format!(
+            "checkpoint expects {} batches, task has {}",
+            ckpt.num_batches, num_batches
+        )));
+    }
+    if ckpt.params.len() != param_len {
+        return Err(CkptError::Mismatch(format!(
+            "checkpoint has {} params, model has {}",
+            ckpt.params.len(),
+            param_len
+        )));
+    }
+    if ckpt.cursor as usize > num_batches {
+        return Err(CkptError::Mismatch(format!(
+            "checkpoint cursor {} beyond {} batches",
+            ckpt.cursor, num_batches
+        )));
+    }
+    Ok(())
+}
+
 /// Start the threaded pipeline on `task`. Worker pools, buffer bounds and
 /// synthetic delays come from `cfg`; metrics and spans go to `reg`.
+///
+/// Panics if a configured checkpoint directory cannot be opened — a fresh
+/// spawn has no other failure mode; use [`spawn_resumed`] for the fallible
+/// resume path.
 pub fn spawn(cfg: &ExecConfig, task: EpochTask, reg: &bgl_obs::Registry) -> ExecHandle {
+    spawn_inner(cfg, task, reg, None).expect("open checkpoint store")
+}
+
+/// Start the pipeline mid-epoch from `ckpt`: model parameters and Adam
+/// state are restored, the order stage skips the first `ckpt.cursor`
+/// batches, and the train stage's reorder buffer resumes at that cursor
+/// with the checkpointed losses/order/digests already in place — the
+/// continuation is bitwise-identical to never having crashed.
+pub fn spawn_resumed(
+    cfg: &ExecConfig,
+    task: EpochTask,
+    ckpt: &Checkpoint,
+    reg: &bgl_obs::Registry,
+) -> Result<ExecHandle, CkptError> {
+    spawn_inner(cfg, task, reg, Some(ckpt))
+}
+
+/// [`spawn_resumed`] + join: restore from `ckpt`, run the remainder of the
+/// epoch, return the completed report.
+pub fn resume_from(
+    cfg: &ExecConfig,
+    task: EpochTask,
+    ckpt: &Checkpoint,
+    reg: &bgl_obs::Registry,
+) -> Result<ExecReport, ExecError> {
+    spawn_resumed(cfg, task, ckpt, reg)?.join()
+}
+
+fn spawn_inner(
+    cfg: &ExecConfig,
+    task: EpochTask,
+    reg: &bgl_obs::Registry,
+    resume: Option<&Checkpoint>,
+) -> Result<ExecHandle, CkptError> {
     let stop = Arc::new(AtomicBool::new(false));
-    let EpochTask { graph, labels, batches, cluster, cache, model, opt } = task;
+    let EpochTask { graph, labels, batches, cluster, cache, mut model, mut opt } = task;
     let batches_requested = batches.len();
+    let fingerprint = fingerprint_batches(&batches);
+
+    // Resume: restore parameters + optimizer, and precompute the state the
+    // train stage starts from.
+    let mut start_cursor = 0usize;
+    let mut preload_losses: Vec<f32> = Vec::new();
+    let mut preload_order: Vec<usize> = Vec::new();
+    let mut preload_digests: Vec<u64> = Vec::new();
+    if let Some(ckpt) = resume {
+        validate_resume(cfg, ckpt, fingerprint, batches_requested, model.param_vec().len())?;
+        model.load_param_vec(&ckpt.params);
+        ckpt.opt.restore_into(&mut opt);
+        start_cursor = ckpt.cursor as usize;
+        preload_losses = ckpt.losses.clone();
+        preload_order = ckpt.train_order.iter().map(|&i| i as usize).collect();
+        preload_digests = ckpt.digests.clone();
+        reg.counter("exec.ckpt.resumes").incr();
+    }
+
     let sh = Arc::new(Shared::new(
         cfg,
         graph,
@@ -776,6 +954,10 @@ pub fn spawn(cfg: &ExecConfig, task: EpochTask, reg: &bgl_obs::Registry) -> Exec
         reg.clone(),
         Arc::clone(&stop),
     ));
+    if !preload_digests.is_empty() {
+        sh.digests.lock().unwrap_or_else(|p| p.into_inner())[..start_cursor]
+            .copy_from_slice(&preload_digests);
+    }
     let cap = cfg.buffer_cap.max(1);
     let workers = {
         let mut w = cfg.workers.map(|x| x.max(1));
@@ -795,9 +977,50 @@ pub fn spawn(cfg: &ExecConfig, task: EpochTask, reg: &bgl_obs::Registry) -> Exec
 
     let mut threads = Vec::new();
 
+    // Dedicated checkpoint writer: the train stage enqueues snapshots and
+    // returns to the hot path immediately; all filesystem work (encode,
+    // temp file, fsync, rename, prune) happens here. Opening the store is
+    // the only fallible step of a fresh spawn, so it runs before any stage
+    // thread starts.
+    let ckpt_tx: Option<Sender<Checkpoint>> = if let Some(policy) = &cfg.ckpt {
+        let store = CheckpointStore::open(policy, reg)?;
+        let (tx, rx) = channel::<Checkpoint>(4, Arc::clone(&stop), gauge("ckpt"));
+        let faults = cfg.faults.clone();
+        let ctr_errors = reg.counter("exec.ckpt.write_errors");
+        threads.push(
+            std::thread::Builder::new()
+                .name("bgl-exec-ckpt".to_string())
+                .spawn(move || {
+                    let mut nth = 0usize;
+                    while let Some(ckpt) = rx.recv() {
+                        // Seeded chaos: the nth write may be torn — a
+                        // truncated file left at the final path, modeling a
+                        // crash mid-write without atomic rename.
+                        let torn = faults
+                            .as_ref()
+                            .filter(|p| p.tears_at(nth))
+                            .and_then(|p| p.torn_keep_bytes(nth, ckpt.encode().len()));
+                        let res = match torn {
+                            Some(keep) => store.write_torn(&ckpt, keep).map(|_| ()),
+                            None => store.write(&ckpt).map(|_| ()),
+                        };
+                        if res.is_err() {
+                            ctr_errors.incr();
+                        }
+                        nth += 1;
+                    }
+                })
+                .expect("spawn checkpoint writer"),
+        );
+        Some(tx)
+    } else {
+        None
+    };
+
     // Stage 0 — order (source): emit the precomputed seed batches in epoch
-    // order. Its "service" is just the ordering bookkeeping (plus any
-    // synthetic floor); channel blocking time is not counted as busy.
+    // order, skipping any prefix a resume checkpoint already applied. Its
+    // "service" is just the ordering bookkeeping (plus any synthetic
+    // floor); channel blocking time is not counted as busy.
     {
         let sh = Arc::clone(&sh);
         let tx = tx_sample.clone();
@@ -805,7 +1028,7 @@ pub fn spawn(cfg: &ExecConfig, task: EpochTask, reg: &bgl_obs::Registry) -> Exec
             std::thread::Builder::new()
                 .name("bgl-exec-order".to_string())
                 .spawn(move || {
-                    for (idx, seeds) in batches.into_iter().enumerate() {
+                    for (idx, seeds) in batches.into_iter().enumerate().skip(start_cursor) {
                         match process_one(0, &sh, (idx, seeds), |_, (idx, seeds)| {
                             Ok(Task { idx, seeds })
                         }) {
@@ -839,18 +1062,27 @@ pub fn spawn(cfg: &ExecConfig, task: EpochTask, reg: &bgl_obs::Registry) -> Exec
     // buffer only absorbs out-of-order *skew* (bounded by total pipeline
     // capacity): while the next expected index is missing we block on
     // recv, so a slow train stage still backpressures upstream.
+    //
+    // On a resume the buffer starts at the checkpoint cursor with the
+    // checkpointed losses/order preloaded; checkpoint snapshots are taken
+    // here (the only thread with the model and optimizer) and handed to
+    // the writer thread — snapshotting is a memory copy, never I/O.
     {
         let sh = Arc::clone(&sh);
         let mut model = model;
         let mut opt = opt;
+        let every = cfg.ckpt.as_ref().map(|p| p.every_batches.max(1));
+        let kill_at = cfg.faults.as_ref().and_then(|p| p.kill_batch());
+        let seed = cfg.seed;
+        let fanouts = cfg.fanouts.clone();
         threads.push(
             std::thread::Builder::new()
                 .name("bgl-exec-train".to_string())
                 .spawn(move || {
                     let mut pending: BTreeMap<usize, Loaded> = BTreeMap::new();
-                    let mut next = 0usize;
-                    let mut losses = Vec::new();
-                    let mut order = Vec::new();
+                    let mut next = start_cursor;
+                    let mut losses = preload_losses;
+                    let mut order = preload_order;
                     'outer: loop {
                         while let Some(item) = pending.remove(&next) {
                             match process_one(7, &sh, item, |sh, it| {
@@ -860,6 +1092,42 @@ pub fn spawn(cfg: &ExecConfig, task: EpochTask, reg: &bgl_obs::Registry) -> Exec
                                     order.push(idx);
                                     losses.push(loss);
                                     next += 1;
+                                    if let (Some(every), Some(tx)) = (every, ckpt_tx.as_ref()) {
+                                        if next.is_multiple_of(every) {
+                                            let digests = sh
+                                                .digests
+                                                .lock()
+                                                .unwrap_or_else(|p| p.into_inner())[..next]
+                                                .to_vec();
+                                            let snap = Checkpoint {
+                                                seed,
+                                                fanouts: fanouts.clone(),
+                                                batches_fingerprint: fingerprint,
+                                                num_batches: batches_requested as u64,
+                                                cursor: next as u64,
+                                                params: model.param_vec(),
+                                                opt: AdamState::capture(&opt),
+                                                losses: losses.clone(),
+                                                train_order: order
+                                                    .iter()
+                                                    .map(|&i| i as u64)
+                                                    .collect(),
+                                                digests,
+                                            };
+                                            // A failed send means the pipeline
+                                            // is stopping; the writer drains
+                                            // whatever was already queued.
+                                            let _ = tx.send(snap);
+                                        }
+                                    }
+                                    if kill_at == Some(idx) {
+                                        // Injected crash: raise the stop flag
+                                        // exactly as a dying process would
+                                        // leave the pipeline — no error is
+                                        // recorded, the report says `stopped`.
+                                        sh.stop.store(true, Ordering::Relaxed);
+                                        break 'outer;
+                                    }
                                 }
                                 Err(e) => {
                                     sh.fail(e);
@@ -874,6 +1142,9 @@ pub fn spawn(cfg: &ExecConfig, task: EpochTask, reg: &bgl_obs::Registry) -> Exec
                             None => break,
                         }
                     }
+                    // Drop our checkpoint sender so the writer thread sees
+                    // the channel close and drains.
+                    drop(ckpt_tx);
                     *sh.train_out.lock().unwrap_or_else(|p| p.into_inner()) =
                         Some(TrainOut { params: model.param_vec(), losses, order });
                 })
@@ -881,7 +1152,7 @@ pub fn spawn(cfg: &ExecConfig, task: EpochTask, reg: &bgl_obs::Registry) -> Exec
         );
     }
 
-    ExecHandle { shared: sh, threads, started: Instant::now(), batches_requested }
+    Ok(ExecHandle { shared: sh, threads, started: Instant::now(), batches_requested })
 }
 
 /// Run the threaded pipeline to completion.
@@ -892,6 +1163,10 @@ pub fn run(cfg: &ExecConfig, task: EpochTask, reg: &bgl_obs::Registry) -> Result
 /// The all-stages-on-one-thread baseline: the *same* stage functions, the
 /// same accounting, run inline in batch order. This is both the §3.4
 /// no-pipelining baseline and the reference side of the differential test.
+///
+/// Fault-plan kill/panic injection applies here too (the chaos tests
+/// compare both paths); checkpoint *writing* does not — the serial path is
+/// the reference trajectory, not a recoverable production run.
 pub fn run_serial(
     cfg: &ExecConfig,
     task: EpochTask,
@@ -914,6 +1189,7 @@ pub fn run_serial(
     let mut losses = Vec::new();
     let mut order = Vec::new();
     let mut failure = None;
+    let kill_at = cfg.faults.as_ref().and_then(|p| p.kill_batch());
 
     for (idx, seeds) in batches.into_iter().enumerate() {
         let step = (|| -> Result<(usize, f32), ExecError> {
@@ -930,6 +1206,10 @@ pub fn run_serial(
             Ok((i, loss)) => {
                 order.push(i);
                 losses.push(loss);
+                if kill_at == Some(i) {
+                    sh.stop.store(true, Ordering::Relaxed);
+                    break;
+                }
             }
             Err(e) => {
                 failure = Some(e);

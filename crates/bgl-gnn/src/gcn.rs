@@ -125,6 +125,15 @@ impl GnnModel for Gcn {
         }
         out
     }
+
+    fn load_param_vec(&mut self, flat: &[f32]) {
+        let mut pos = 0;
+        for l in 0..self.num_layers() {
+            crate::load_chunk(flat, &mut pos, &mut self.weights[l]);
+            crate::load_chunk(flat, &mut pos, &mut self.biases[l]);
+        }
+        assert_eq!(pos, flat.len(), "param vector length mismatch for Gcn");
+    }
 }
 
 #[cfg(test)]

@@ -76,6 +76,14 @@ pub trait GnnModel {
     /// determinism contract `bgl_exec::runtime`'s differential test checks.
     fn param_vec(&self) -> Vec<f32>;
 
+    /// Overwrite every trainable parameter from a flat vector laid out
+    /// exactly as [`GnnModel::param_vec`] produces it (checkpoint restore).
+    ///
+    /// Panics if `flat.len()` does not match the model's parameter count —
+    /// a checkpoint for a different architecture must never be silently
+    /// truncated or zero-padded into this one.
+    fn load_param_vec(&mut self, flat: &[f32]);
+
     /// One SGD step: forward, loss, backward, apply. Returns
     /// `(loss, train_accuracy)`.
     fn train_step(
@@ -95,6 +103,15 @@ pub trait GnnModel {
     }
 }
 
+/// Copy the next `m.len()` entries of `flat` into `m`, advancing `pos`.
+/// Shared by the models' `load_param_vec` implementations; slice indexing
+/// panics on a short vector, which is exactly the contract.
+pub(crate) fn load_chunk(flat: &[f32], pos: &mut usize, m: &mut Matrix) {
+    let n = m.raw().len();
+    m.raw_mut().copy_from_slice(&flat[*pos..*pos + n]);
+    *pos += n;
+}
+
 /// Build a model of `kind` with the given widths.
 pub fn make_model(
     kind: ModelKind,
@@ -110,5 +127,38 @@ pub fn make_model(
             Box::new(GraphSage::new(in_dim, hidden, classes, num_layers, seed))
         }
         ModelKind::Gat => Box::new(Gat::new(in_dim, hidden, classes, num_layers, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_vec_roundtrips_for_every_model() {
+        for kind in [ModelKind::Gcn, ModelKind::GraphSage, ModelKind::Gat] {
+            let a = make_model(kind, 6, 8, 4, 2, 11);
+            let mut b = make_model(kind, 6, 8, 4, 2, 99);
+            assert_ne!(a.param_vec(), b.param_vec(), "{kind:?}: differently seeded inits");
+            b.load_param_vec(&a.param_vec());
+            assert_eq!(a.param_vec(), b.param_vec(), "{kind:?}: load must be exact");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn load_param_vec_rejects_short_vector() {
+        let mut m = make_model(ModelKind::Gcn, 6, 8, 4, 2, 1);
+        let v = m.param_vec();
+        m.load_param_vec(&v[..v.len() - 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn load_param_vec_rejects_long_vector() {
+        let mut m = make_model(ModelKind::Gcn, 6, 8, 4, 2, 1);
+        let mut v = m.param_vec();
+        v.push(0.0);
+        m.load_param_vec(&v);
     }
 }

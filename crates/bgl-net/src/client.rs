@@ -86,14 +86,18 @@ impl Connection {
             ack: HelloAck { version: 0, server_id: 0, num_servers: 0, feature_dim: 0 },
         };
         let hello = Hello { magic: MAGIC, version: config.protocol_version };
-        conn.send(Frame::new(0, FrameKind::Hello, hello.encode()), metrics)
-            .map_err(|_| NetError::Handshake("connection closed during handshake"))?;
-        let ack_frame = conn
-            .recv_corr(0, config.read_timeout, metrics)
-            .map_err(|e| match e {
-                NetError::Timeout(_) => NetError::Handshake("handshake timed out"),
-                _ => NetError::Handshake("connection closed during handshake"),
-            })?;
+        // Socket-level failures (reset, EOF, timeout) from here on mean
+        // the peer died mid-handshake — e.g. a chaos kill racing this
+        // dial — so they keep their Io/Closed/Timeout variants and map to
+        // a *transient* ServerDown downstream, where retry/failover
+        // absorbs them. A server that refuses us says so with an
+        // explicit Err frame; only that (or a protocol violation) is a
+        // permanent handshake failure.
+        conn.send(Frame::new(0, FrameKind::Hello, hello.encode()), metrics)?;
+        let ack_frame = conn.recv_corr(0, config.read_timeout, metrics)?;
+        if ack_frame.kind == FrameKind::Err {
+            return Err(NetError::Handshake("refused by server"));
+        }
         if ack_frame.kind != FrameKind::HelloAck {
             return Err(NetError::Handshake("first frame was not a hello ack"));
         }

@@ -333,6 +333,7 @@ const KNOWN_MALFORMED: &[&str] = &[
     "bad feature payload",
     "oversized frame",
     "handshake failed",
+    "handshake refused",
     "protocol version mismatch",
 ];
 

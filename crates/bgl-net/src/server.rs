@@ -2,8 +2,10 @@
 //!
 //! Threading model — bounded thread-per-connection:
 //! * the accept thread runs a nonblocking accept poll; at the connection
-//!   bound, new sockets are accepted and immediately closed (counted as
-//!   `net.server.rejected`) so clients see a fast, clean refusal;
+//!   bound, new sockets are sent an explicit `Err` refusal frame and
+//!   closed (counted as `net.server.rejected`) — explicit, because a
+//!   silent close during the handshake reads as a transient server death
+//!   on the client side;
 //! * each accepted connection gets its own handler thread; all of them
 //!   share the `Arc<GraphStoreServer>`, whose counters are atomics.
 //!
@@ -28,7 +30,7 @@ use crate::proto::{
 };
 use bgl_graph::{Csr, FeatureStore};
 use bgl_obs::Registry;
-use bgl_store::GraphStoreServer;
+use bgl_store::{GraphStoreServer, StoreError};
 use bytes::Bytes;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -165,8 +167,13 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
         match listener.accept() {
             Ok((mut stream, _)) => {
                 if state.live.load(Ordering::SeqCst) >= state.config.max_connections {
-                    // At the bound: accept + close is a fast, clean refusal.
+                    // At the bound: refuse explicitly (corr 0 is what the
+                    // dialing client awaits for its hello ack), then close.
                     state.metrics.rejected.incr();
+                    let refusal =
+                        encode_store_error(&StoreError::Malformed("handshake refused"));
+                    let _ =
+                        send_frame(&mut stream, &state, Frame::new(0, FrameKind::Err, refusal));
                     drop(stream);
                     continue;
                 }
@@ -296,9 +303,14 @@ fn finish_handshake(stream: &mut TcpStream, state: &ServerState, frame: &Frame) 
             Ok(h) if h.magic == MAGIC && h.version == PROTOCOL_VERSION
         );
     if !ok {
-        // Bad magic, wrong version, or data before hello: refuse by
-        // closing. The client maps the early close to a handshake error.
+        // Bad magic, wrong version, or data before hello: refuse with an
+        // explicit Err frame, then close. The refusal must be on the wire
+        // because a *silent* close during the handshake is how a dying
+        // server looks (chaos kill racing a reconnect), and the client
+        // treats that as transient; only this frame makes it permanent.
         state.metrics.handshake_failures.incr();
+        let refusal = encode_store_error(&StoreError::Malformed("handshake refused"));
+        let _ = send_frame(stream, state, Frame::new(frame.corr_id, FrameKind::Err, refusal));
         return false;
     }
     state.metrics.handshakes.incr();

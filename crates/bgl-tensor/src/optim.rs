@@ -42,6 +42,19 @@ impl Sgd {
         }
         &mut self.velocity[slot]
     }
+
+    /// Per-slot momentum buffers (`None` where the slot was never stepped).
+    /// Together with [`Sgd::restore_velocity`] this makes the optimizer's
+    /// full state serializable — restoring only the params silently resets
+    /// the momentum and changes the training trajectory.
+    pub fn velocity(&self) -> &[Option<Matrix>] {
+        &self.velocity
+    }
+
+    /// Replace the momentum buffers wholesale (checkpoint restore).
+    pub fn restore_velocity(&mut self, velocity: Vec<Option<Matrix>>) {
+        self.velocity = velocity;
+    }
 }
 
 impl Optimizer for Sgd {
@@ -90,6 +103,30 @@ impl Adam {
             self.moments.resize(slot + 1, None);
         }
         &mut self.moments[slot]
+    }
+
+    /// The global step counter (`t` in Kingma & Ba's bias correction).
+    pub fn step_count(&self) -> i32 {
+        self.t
+    }
+
+    /// Per-slot first/second moment pairs (`None` where the slot was never
+    /// stepped). Only [`GnnModel::param_vec`]-style parameter snapshots are
+    /// NOT enough to resume training bitwise-identically: the moments and
+    /// step counter here must be captured too, or the bias correction and
+    /// effective per-parameter learning rates silently reset on restore.
+    ///
+    /// [`GnnModel::param_vec`]: ../bgl_gnn/trait.GnnModel.html
+    pub fn moments(&self) -> &[Option<(Matrix, Matrix)>] {
+        &self.moments
+    }
+
+    /// Restore the full internal state (checkpoint resume). `t` is the step
+    /// counter as returned by [`Adam::step_count`]; `moments` replaces the
+    /// per-slot buffers wholesale.
+    pub fn restore_state(&mut self, t: i32, moments: Vec<Option<(Matrix, Matrix)>>) {
+        self.t = t;
+        self.moments = moments;
     }
 }
 
@@ -183,6 +220,80 @@ mod tests {
             "adam did not converge: {:?}",
             x
         );
+    }
+
+    /// Restoring only the parameters after a simulated crash silently
+    /// changes the training trajectory; restoring moments + step counter
+    /// through [`Adam::restore_state`] continues bitwise-identically. This
+    /// is the regression the checkpoint codec exists to prevent.
+    #[test]
+    fn params_only_restore_diverges_full_restore_does_not() {
+        let steps_before = 7;
+        let steps_after = 5;
+        let run = |x: &mut Matrix, opt: &mut Adam, n: usize| {
+            for _ in 0..n {
+                let g = quad_grad(x);
+                opt.step(0, x, &g);
+                opt.next_batch();
+            }
+        };
+
+        // Uninterrupted reference.
+        let mut x_ref = Matrix::from_vec(1, 2, vec![-4.0, 9.0]);
+        let mut opt_ref = Adam::new(0.05);
+        run(&mut x_ref, &mut opt_ref, steps_before + steps_after);
+
+        // Crash after `steps_before`: capture params and the full state.
+        let mut x = Matrix::from_vec(1, 2, vec![-4.0, 9.0]);
+        let mut opt = Adam::new(0.05);
+        run(&mut x, &mut opt, steps_before);
+        let params = x.clone();
+        let (t, moments) = (opt.step_count(), opt.moments().to_vec());
+        assert_eq!(t, steps_before as i32);
+        assert!(moments[0].is_some(), "warmed slot must expose its moments");
+
+        // Naive restore: params only, fresh optimizer.
+        let mut x_naive = params.clone();
+        let mut opt_naive = Adam::new(0.05);
+        run(&mut x_naive, &mut opt_naive, steps_after);
+
+        // Full restore: params + moments + step counter.
+        let mut x_full = params;
+        let mut opt_full = Adam::new(0.05);
+        opt_full.restore_state(t, moments);
+        run(&mut x_full, &mut opt_full, steps_after);
+
+        assert_eq!(
+            x_full.raw(),
+            x_ref.raw(),
+            "full-state restore must continue bitwise-identically"
+        );
+        assert_ne!(
+            x_naive.raw(),
+            x_ref.raw(),
+            "params-only restore must visibly diverge from the uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn sgd_velocity_roundtrips() {
+        let mut x = Matrix::from_vec(1, 1, vec![10.0]);
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        for _ in 0..3 {
+            let g = quad_grad(&x);
+            opt.step(0, &mut x, &g);
+        }
+        let vel = opt.velocity().to_vec();
+        assert!(vel[0].is_some());
+        let mut opt2 = Sgd::with_momentum(0.1, 0.9);
+        opt2.restore_velocity(vel.clone());
+        // One more identical step from identical state must match bitwise.
+        let mut xa = x.clone();
+        let mut xb = x.clone();
+        let g = quad_grad(&x);
+        opt.step(0, &mut xa, &g);
+        opt2.step(0, &mut xb, &g);
+        assert_eq!(xa.raw(), xb.raw());
     }
 
     #[test]

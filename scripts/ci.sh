@@ -35,3 +35,12 @@ env -u RUST_TEST_THREADS cargo test -q --release -p bgl --test exec_runtime
 env -u RUST_TEST_THREADS cargo test -q -p bgl-net
 env -u RUST_TEST_THREADS cargo test -q -p bgl --test net_transport
 cargo bench -p bgl-net --bench loopback -- --test
+
+# Checkpoint/resume: the crash-recovery chaos suite spawns full pipelines,
+# kills them at seeded batches and resumes — real thread interleavings
+# again, so uncapped, and once under --release where the checkpoint writer
+# races a much faster hot path. The checkpoint codec/write bench runs in
+# --test mode as a smoke gate on the encode/fsync path.
+env -u RUST_TEST_THREADS cargo test -q -p bgl --test ckpt_recovery
+env -u RUST_TEST_THREADS cargo test -q --release -p bgl --test ckpt_recovery
+cargo bench -p bgl-exec --bench checkpoint -- --test

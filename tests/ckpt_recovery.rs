@@ -1,0 +1,328 @@
+//! Crash-recovery chaos harness: seeded kills against the checkpointing
+//! executor, with bitwise-identical resume as the acceptance bar.
+//!
+//! Three claims close the loop on `bgl_exec::checkpoint`:
+//!
+//! 1. **Exactly-once training** — kill the threaded pipeline at a seeded
+//!    batch, restart from the newest checkpoint, and the completed epoch's
+//!    final parameters, per-batch losses, batch order and sampled-subgraph
+//!    digests are bitwise-identical to a run that never crashed.
+//! 2. **Torn writes are survivable** — a crash *during* a checkpoint write
+//!    leaves a truncated file at the final path; the checksum rejects it,
+//!    the loader falls back to the previous checkpoint, and the resumed
+//!    epoch is still bitwise-identical.
+//! 3. **It composes with the distributed store** — the same kill/resume
+//!    cycle over real loopback TCP, with a store server killed mid-epoch
+//!    under r=2 replication, still reproduces the uninterrupted in-process
+//!    epoch down to the bit.
+//!
+//! Determinism does not require checkpointing cache or store state: the
+//! cache changes *which* rows are fetched, never their values, and a
+//! replicated store serves identical rows from any replica. (Degraded
+//! mode — zero-filled rows — would break this, so these tests never
+//! enable it.)
+
+mod common;
+
+use bgl_exec::{
+    resume_from, run, spawn, CheckpointPolicy, CheckpointStore, CkptError, ExecConfig,
+    ExecFaultPlan,
+};
+use bgl_net::{
+    spawn_loopback_cluster, LoopbackCluster, NetClientConfig, NetServerConfig, TcpTransport,
+};
+use bgl_obs::Registry;
+use bgl_store::RetryPolicy;
+use common::{EpochRig, RigSpec};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const FANOUTS: [usize; 2] = [5, 5];
+const BATCH: usize = 16;
+
+fn counter(reg: &Registry, name: &str) -> u64 {
+    reg.counters()
+        .into_iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(0)
+}
+
+fn ckpt_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bgl-ckpt-recovery-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// Claim 1: seeded kill → resume reproduces the uninterrupted epoch
+/// exactly. The kill batch is drawn from the plan seed, so "works for the
+/// batch I picked" cannot hide a cursor off-by-one.
+#[test]
+fn kill_and_resume_is_bitwise_identical_to_uninterrupted_run() {
+    let n = 10;
+    let cfg = ExecConfig::new(FANOUTS.to_vec(), 0xC4A5).with_workers([1, 3, 2, 2, 2, 2, 2, 1]);
+    let reference = run(
+        &cfg,
+        EpochRig::build(&RigSpec::exec_sized()).into_task(BATCH, n),
+        &Registry::disabled(),
+    )
+    .expect("uninterrupted epoch");
+    assert_eq!(reference.batches_trained, n);
+
+    let dir = ckpt_dir("kill-resume");
+    let policy = CheckpointPolicy::new(&dir).every(2).retain(3);
+    let plan = ExecFaultPlan::new(0xDEAD_BEA7).kill_at_seeded_batch(3, n - 2);
+    let kill_at = plan.kill_batch().expect("plan has a kill batch");
+
+    let reg = Registry::enabled();
+    let crashed = run(
+        &cfg.clone().with_checkpointing(policy.clone()).with_faults(plan),
+        EpochRig::build(&RigSpec::exec_sized()).into_task(BATCH, n),
+        &reg,
+    )
+    .expect("an injected kill is a stop, not an error");
+    assert!(crashed.stopped, "the kill must surface as a stopped run");
+    assert_eq!(
+        crashed.batches_trained,
+        kill_at + 1,
+        "train applies in index order, so the kill after batch {kill_at} bounds progress"
+    );
+    assert!(counter(&reg, "exec.ckpt.writes") > 0, "checkpoints must have landed");
+    assert!(counter(&reg, "exec.ckpt.bytes") > 0);
+
+    // "Restart the process": everything rebuilt from scratch, only the
+    // checkpoint directory survives.
+    let reg2 = Registry::enabled();
+    let store = CheckpointStore::open(&policy, &reg2).expect("reopen checkpoint dir");
+    let (ckpt, rejected) = store.load_latest().expect("a checkpoint survived the crash");
+    assert_eq!(rejected, 0, "no torn writes in this scenario");
+    let cursor = ckpt.cursor as usize;
+    assert!(cursor >= 2 && cursor <= kill_at + 1, "cursor {cursor} vs kill at {kill_at}");
+    // The checkpointed prefix must already match the reference trajectory.
+    assert_eq!(ckpt.losses, reference.losses[..cursor]);
+    assert_eq!(ckpt.digests, reference.digests[..cursor]);
+
+    let resumed = resume_from(
+        &cfg.clone().with_checkpointing(policy),
+        EpochRig::build(&RigSpec::exec_sized()).into_task(BATCH, n),
+        &ckpt,
+        &reg2,
+    )
+    .expect("resumed epoch");
+    assert_eq!(resumed.batches_trained, n, "resume must finish the epoch");
+    assert!(!resumed.stopped);
+    assert_eq!(resumed.train_order, reference.train_order);
+    assert_eq!(resumed.losses, reference.losses, "losses must be bitwise identical");
+    assert_eq!(resumed.digests, reference.digests, "sampled subgraphs must replay exactly");
+    assert_eq!(resumed.params, reference.params, "parameters must be bitwise identical");
+    assert_eq!(counter(&reg2, "exec.ckpt.resumes"), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Claim 2: a crash *mid-checkpoint-write* leaves a torn file; the
+/// checksum rejects it and the loader falls back to the previous good
+/// checkpoint, from which resume is still exact.
+#[test]
+fn torn_checkpoint_write_is_rejected_and_resume_uses_previous() {
+    let n = 10;
+    let cfg = ExecConfig::new(FANOUTS.to_vec(), 0x70F7).with_workers([1, 2, 2, 1, 2, 1, 2, 1]);
+    let reference = run(
+        &cfg,
+        EpochRig::build(&RigSpec::exec_sized()).into_task(BATCH, n),
+        &Registry::disabled(),
+    )
+    .expect("uninterrupted epoch");
+
+    let dir = ckpt_dir("torn-write");
+    let policy = CheckpointPolicy::new(&dir).every(2).retain(3);
+    // Writes land at cursors 2 (nth 0), 4 (nth 1), 6 (nth 2). The third
+    // write tears mid-flight and the trainer dies right after batch 6.
+    let plan = ExecFaultPlan::new(0x7EA2).kill_at_trained(6).tear_checkpoint(2);
+
+    let crashed = run(
+        &cfg.clone().with_checkpointing(policy.clone()).with_faults(plan),
+        EpochRig::build(&RigSpec::exec_sized()).into_task(BATCH, n),
+        &Registry::enabled(),
+    )
+    .expect("kill is a stop, not an error");
+    assert!(crashed.stopped);
+
+    let reg = Registry::enabled();
+    let store = CheckpointStore::open(&policy, &reg).expect("reopen checkpoint dir");
+    // The torn cursor-6 file is on disk but must not load.
+    let files = store.list().expect("list checkpoints");
+    assert!(
+        files.iter().any(|p| p.to_string_lossy().contains("ckpt-0000000006")),
+        "torn newest file must exist on disk: {files:?}"
+    );
+    let (ckpt, rejected) = store.load_latest().expect("previous checkpoint survives");
+    assert_eq!(rejected, 1, "exactly the torn newest file is rejected");
+    assert_eq!(ckpt.cursor, 4, "fallback is the last good checkpoint");
+    assert_eq!(counter(&reg, "exec.ckpt.torn_writes_rejected"), 1);
+
+    let resumed = resume_from(
+        &cfg.clone().with_checkpointing(policy),
+        EpochRig::build(&RigSpec::exec_sized()).into_task(BATCH, n),
+        &ckpt,
+        &reg,
+    )
+    .expect("resumed epoch");
+    assert_eq!(resumed.batches_trained, n);
+    assert_eq!(resumed.losses, reference.losses);
+    assert_eq!(resumed.digests, reference.digests);
+    assert_eq!(resumed.params, reference.params);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A resume checkpoint that does not describe this run must be refused,
+/// not silently replayed into a divergent trajectory.
+#[test]
+fn resume_rejects_mismatched_configuration() {
+    let n = 6;
+    let dir = ckpt_dir("mismatch");
+    let policy = CheckpointPolicy::new(&dir).every(2);
+    let cfg = ExecConfig::new(FANOUTS.to_vec(), 0x5EED);
+    let plan = ExecFaultPlan::new(1).kill_at_trained(3);
+    run(
+        &cfg.clone().with_checkpointing(policy.clone()).with_faults(plan),
+        EpochRig::build(&RigSpec::exec_sized()).into_task(BATCH, n),
+        &Registry::disabled(),
+    )
+    .expect("crashed run");
+    let store = CheckpointStore::open(&policy, &Registry::disabled()).expect("reopen");
+    let (ckpt, _) = store.load_latest().expect("checkpoint present");
+
+    // Wrong seed → refused.
+    let err = resume_from(
+        &ExecConfig::new(FANOUTS.to_vec(), 0xBAD).with_checkpointing(policy.clone()),
+        EpochRig::build(&RigSpec::exec_sized()).into_task(BATCH, n),
+        &ckpt,
+        &Registry::disabled(),
+    )
+    .expect_err("seed mismatch must be refused");
+    assert!(
+        matches!(err, bgl_exec::ExecError::Checkpoint(CkptError::Mismatch(_))),
+        "got {err:?}"
+    );
+
+    // Wrong batch plan (different count) → refused.
+    let err = resume_from(
+        &cfg.clone().with_checkpointing(policy),
+        EpochRig::build(&RigSpec::exec_sized()).into_task(BATCH, n - 1),
+        &ckpt,
+        &Registry::disabled(),
+    )
+    .expect_err("batch-plan mismatch must be refused");
+    assert!(
+        matches!(err, bgl_exec::ExecError::Checkpoint(CkptError::Mismatch(_))),
+        "got {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Stand up one loopback TCP server per partition and swap the rig onto a
+/// dialed [`TcpTransport`] (same wiring as `net_transport.rs`).
+fn over_tcp(rig: EpochRig, reg: &Registry) -> (EpochRig, LoopbackCluster) {
+    let lc = spawn_loopback_cluster(
+        rig.ds.graph.clone(),
+        rig.ds.features.clone(),
+        rig.cluster.owner_map(),
+        rig.cluster.num_servers(),
+        RigSpec::default().cluster_seed,
+        NetServerConfig::default(),
+        reg,
+    )
+    .expect("spawn loopback cluster");
+    let addrs = lc.addrs();
+    let rig = rig.map_cluster(|c| {
+        c.swap_transport(Box::new(
+            TcpTransport::connect(&addrs, NetClientConfig::default(), reg)
+                .expect("dial loopback cluster"),
+        ))
+    });
+    (rig, lc)
+}
+
+fn replicated(rig: EpochRig) -> EpochRig {
+    rig.map_cluster(|c| {
+        c.with_replication(2)
+            .with_retry_policy(RetryPolicy { deadline: None, ..RetryPolicy::default() })
+    })
+}
+
+/// Claim 3: trainer kill + store-server kill in the same epoch, over real
+/// sockets, and the resumed epoch still reproduces the uninterrupted
+/// in-process run bit for bit — replication (not zero-fill degradation)
+/// absorbs the dead server, so feature values never change.
+#[test]
+fn tcp_kill_and_resume_with_store_server_kill_is_bitwise_identical() {
+    let n = 12;
+    let mut cfg =
+        ExecConfig::new(FANOUTS.to_vec(), 0x7CB1).with_workers([1, 2, 1, 1, 2, 1, 1, 1]);
+    // Bound prefetch so the store sees traffic for late batches after the
+    // server kill lands.
+    cfg.buffer_cap = 2;
+    let reference = run(
+        &cfg,
+        EpochRig::build(&RigSpec::exec_sized()).into_task(BATCH, n),
+        &Registry::disabled(),
+    )
+    .expect("uninterrupted in-process epoch");
+    assert_eq!(reference.batches_trained, n);
+
+    let dir = ckpt_dir("tcp-kill");
+    let policy = CheckpointPolicy::new(&dir).every(3).retain(3);
+    let plan = ExecFaultPlan::new(0x10AD).kill_at_trained(9);
+
+    // Crashed run over TCP: wait for training to start, kill server 0 for
+    // real (sockets shut down, port refuses redials), then the trainer
+    // dies at batch 9.
+    let reg = Registry::enabled();
+    let (rig, mut lc) =
+        over_tcp(replicated(EpochRig::build(&RigSpec::exec_sized())), &reg);
+    let handle = spawn(
+        &cfg.clone().with_checkpointing(policy.clone()).with_faults(plan),
+        rig.into_task(BATCH, n),
+        &reg,
+    );
+    let t0 = Instant::now();
+    while counter(&reg, "exec.batches.trained") < 1 {
+        assert!(t0.elapsed() < Duration::from_secs(60), "epoch never started training");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    lc.kill(0);
+    let crashed = handle.join().expect("server kill is absorbed, trainer kill is a stop");
+    assert!(crashed.stopped, "the trainer kill must stop the run");
+    let r = &crashed.robustness;
+    assert!(
+        r.retries + r.failovers > 0,
+        "the server kill must surface as store recovery work: {r:?}"
+    );
+    lc.shutdown();
+
+    // Restart: fresh servers, fresh rig, resume from the surviving
+    // checkpoint over a new TCP transport.
+    let reg2 = Registry::enabled();
+    let store = CheckpointStore::open(&policy, &reg2).expect("reopen checkpoint dir");
+    let (ckpt, _) = store.load_latest().expect("checkpoint survived");
+    assert!(ckpt.cursor >= 3, "at least one checkpoint landed before the kill");
+    let (rig2, lc2) =
+        over_tcp(replicated(EpochRig::build(&RigSpec::exec_sized())), &reg2);
+    let resumed = resume_from(
+        &cfg.clone().with_checkpointing(policy),
+        rig2.into_task(BATCH, n),
+        &ckpt,
+        &reg2,
+    )
+    .expect("resumed tcp epoch");
+    lc2.shutdown();
+
+    assert_eq!(resumed.batches_trained, n);
+    assert_eq!(resumed.train_order, reference.train_order);
+    assert_eq!(resumed.losses, reference.losses, "losses must survive kill+resume over TCP");
+    assert_eq!(resumed.digests, reference.digests);
+    assert_eq!(resumed.params, reference.params, "parameters must be bitwise identical");
+    assert_eq!(counter(&reg2, "exec.ckpt.resumes"), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -255,3 +255,35 @@ fn stop_under_backpressure_does_not_deadlock() {
         Err(_) => panic!("executor deadlocked: join did not return within the watchdog window"),
     }
 }
+
+/// Satellite: a panic inside any stage worker must fail the pipeline with
+/// the *originating* stage attributed — both the name and the pipeline
+/// index survive propagation through `catch_unwind`, the shared error
+/// slot, and `join()`. A seeded fault plan injects the panic at an exact
+/// `(stage, batch)` coordinate so the attribution is checkable.
+#[test]
+fn stage_panic_reports_originating_stage_index() {
+    use bgl_exec::{ExecError, ExecFaultPlan};
+    for (stage_idx, stage_name) in [(1usize, "sample"), (4usize, "store-fetch")] {
+        let cfg = ExecConfig::new(FANOUTS.to_vec(), 0xFA11)
+            .with_workers([1, 2, 2, 1, 2, 1, 1, 1])
+            .with_faults(ExecFaultPlan::new(9).panic_at_stage(stage_idx, 2));
+        let err = run(
+            &cfg,
+            EpochRig::build(&RigSpec::exec_sized()).into_task(BATCH, 6),
+            &Registry::disabled(),
+        )
+        .expect_err("injected panic must fail the pipeline");
+        match err {
+            ExecError::StagePanic { stage, stage_index, message } => {
+                assert_eq!(stage_index, stage_idx, "index must name the panicking stage");
+                assert_eq!(stage, stage_name, "name must agree with the index");
+                assert!(
+                    message.contains("injected fault"),
+                    "panic payload must survive: {message}"
+                );
+            }
+            other => panic!("expected StagePanic, got {other}"),
+        }
+    }
+}
