@@ -6,9 +6,15 @@
 //! ```
 //!
 //! Flags: `--fig2 --fig3 --fig5a --fig5b --fig11 --fig12 --fig13 --tab3
-//! --tab4 --fig14 --fig15 --recovery --tab5 --fig16 --all`, plus `--small`
-//! (test-scale datasets) and `--out <dir>` (JSON output directory, default
-//! `results/`).
+//! --tab4 --fig14 --fig15 --recovery --tab5 --fig16 --disk --all`, plus
+//! `--small` (test-scale datasets) and `--out <dir>` (JSON output
+//! directory, default `results/`).
+//!
+//! `--disk` replays one real epoch's feature-access trace (seed batches
+//! expanded by the fanout sampler) against the durable disk tier's buffer
+//! pool, crossing the three eviction policies (SIEVE/CLOCK/LRU) with the
+//! two training orderings (random-shuffle vs proximity-aware), and writes
+//! the hit ratios and read throughput to `BENCH_disk.json`.
 //!
 //! `--profile` (not part of `--all`) closes the §3.4 loop: it runs the
 //! real pipeline stages under an enabled [`bgl_obs`] registry, emits a
@@ -174,6 +180,94 @@ fn main() {
         save("ablate_jhop", &to_json(&rows));
     }
 
+    if want("disk") {
+        section("Disk tier — eviction policy × training order (epoch trace, ~10% pool)");
+        use rand::SeedableRng;
+        let ds = bgl_graph::DatasetSpec::products_like()
+            .with_nodes(if small { 1 << 11 } else { 1 << 13 })
+            .build();
+        let fanouts = if small { vec![4, 4] } else { ctx.fanouts.clone() };
+        let sampler = bgl_sampler::NeighborSampler::new(fanouts);
+        let batch_size = ctx.batch_size.min(64);
+        // Page layout: 8-byte pid header + rows + 8-byte checksum footer;
+        // size the pool to hold ~10% of the paged file, the same fraction
+        // the cache experiments use.
+        let rows_per_page = ((4096 - 16) / (ds.features.dim() * 4)).max(1);
+        let num_pages = ds.graph.num_nodes().div_ceil(rows_per_page);
+        let pool_pages = (num_pages / 10).max(8);
+        let orderings: [Box<dyn bgl_sampler::TrainOrdering>; 2] = [
+            Box::new(bgl_sampler::RandomShuffle::new(7)),
+            Box::new(bgl_sampler::ProximityAware::for_batch(5, batch_size, 7)),
+        ];
+        let mut t = bgl::report::TextTable::new(&[
+            "ordering", "policy", "lookups", "hit-ratio", "evictions", "page-reads",
+            "krows/s",
+        ]);
+        let mut rows_json: Vec<serde_json::Value> = Vec::new();
+        for ordering in &orderings {
+            let batches =
+                ordering.epoch_batches(&ds.graph, &ds.split.train, batch_size, 0);
+            for policy in bgl_store::DiskPolicyKind::all() {
+                let dir = std::env::temp_dir().join(format!(
+                    "bgl-figures-disk-{}-{}-{}",
+                    std::process::id(),
+                    ordering.name(),
+                    policy.name()
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                let cfg = bgl_store::DiskTierConfig::default()
+                    .with_pool_pages(pool_pages)
+                    .with_policy(policy);
+                let mut tier =
+                    bgl_store::DurableFeatures::create(&dir, &ds.features, cfg)
+                        .expect("create disk tier");
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0xD15C);
+                let mut row = Vec::new();
+                let started = std::time::Instant::now();
+                for batch in &batches {
+                    let mb = sampler.sample(&ds.graph, batch, &mut rng);
+                    for &v in mb.input_nodes() {
+                        tier.read_row_into(v, &mut row).expect("disk tier read");
+                    }
+                }
+                let elapsed = started.elapsed().as_secs_f64();
+                let pool = tier.pool_stats();
+                let pager = tier.pager_stats();
+                let lookups = pool.hits + pool.misses;
+                let rows_per_s = lookups as f64 / elapsed.max(1e-9);
+                t.row(&[
+                    ordering.name().into(),
+                    policy.name().into(),
+                    lookups.to_string(),
+                    format!("{:.3}", pool.hit_ratio()),
+                    pool.evictions.to_string(),
+                    pager.page_reads.to_string(),
+                    format!("{:.1}", rows_per_s / 1e3),
+                ]);
+                rows_json.push(serde_json::json!({
+                    "ordering": ordering.name(),
+                    "policy": policy.name(),
+                    "pool_pages": pool_pages,
+                    "total_pages": num_pages,
+                    "lookups": lookups,
+                    "hits": pool.hits,
+                    "misses": pool.misses,
+                    "hit_ratio": pool.hit_ratio(),
+                    "evictions": pool.evictions,
+                    "page_reads": pager.page_reads,
+                    "rows_per_s": rows_per_s,
+                }));
+                drop(tier);
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+        println!("{}", t.render());
+        save(
+            "BENCH_disk",
+            &serde_json::to_string_pretty(&rows_json).expect("serialize disk rows"),
+        );
+    }
+
     if flags.contains("profile") {
         section("§3.4 profile→allocate loop — measured vs paper-example (products-like)");
         let mut pctx =
@@ -271,6 +365,46 @@ fn main() {
         section("§3.4 checkpointing — exec.ckpt.* cost of the periodic snapshots above");
         println!("{}", render_ckpt(&pctx.obs));
         let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+        section("§14 durable disk tier — store.disk.* cost under the same registry");
+        // A small real tier under the profile registry: load it with one
+        // round of WAL-acked updates and an epoch's worth of reads, then
+        // checkpoint, so the panel shows the full write/read/fsync path.
+        let disk_dir = std::env::temp_dir()
+            .join(format!("bgl-figures-disk-profile-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&disk_dir);
+        {
+            use rand::SeedableRng;
+            let ds = bgl_graph::DatasetSpec::products_like()
+                .with_nodes(if small { 1 << 10 } else { 1 << 12 })
+                .build();
+            let cfg = bgl_store::DiskTierConfig::default()
+                .with_pool_pages(32)
+                .with_registry(&pctx.obs);
+            let mut tier = bgl_store::DurableFeatures::create(&disk_dir, &ds.features, cfg)
+                .expect("create profile disk tier");
+            let dim = ds.features.dim();
+            let mut row = Vec::new();
+            for v in ds.split.train.iter().step_by(4).take(64) {
+                tier.update_row(*v, &vec![0.5; dim]).expect("durable update");
+            }
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xD15C);
+            let sampler = bgl_sampler::NeighborSampler::new(if small {
+                vec![4, 4]
+            } else {
+                pctx.fanouts.clone()
+            });
+            for batch in ds.split.train.chunks(pctx.batch_size.min(64)).take(8) {
+                let mb = sampler.sample(&ds.graph, batch, &mut rng);
+                for &v in mb.input_nodes() {
+                    tier.read_row_into(v, &mut row).expect("disk tier read");
+                }
+            }
+            tier.checkpoint().expect("checkpoint disk tier");
+            tier.publish_metrics();
+        }
+        let _ = std::fs::remove_dir_all(&disk_dir);
+        println!("{}", render_disk(&pctx.obs));
     }
 
     if want("recovery") {

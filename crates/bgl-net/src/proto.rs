@@ -310,6 +310,7 @@ const ERR_INVALID_SERVER: u8 = 7;
 const ERR_EMPTY_CLUSTER: u8 = 8;
 const ERR_DEADLINE_EXCEEDED: u8 = 9;
 const ERR_ALL_REPLICAS_FAILED: u8 = 10;
+const ERR_STORAGE: u8 = 11;
 
 /// The `Malformed` messages the store actually produces. `StoreError::
 /// Malformed` holds a `&'static str`, so the decoder resolves the wire
@@ -335,6 +336,27 @@ const KNOWN_MALFORMED: &[&str] = &[
     "handshake failed",
     "handshake refused",
     "protocol version mismatch",
+    "applied",
+    "feature update with zero dim",
+    "feature update rows mismatch count×dim",
+    "feature update row payload overflows",
+    "feature update dim mismatch",
+    "update rows mismatch count×dim",
+    "partial update ack",
+];
+
+/// The `Storage` messages the durable disk tier actually produces, resolved
+/// the same way as `KNOWN_MALFORMED`.
+const KNOWN_STORAGE: &[&str] = &[
+    "i/o failure",
+    "transient i/o retries exhausted",
+    "bad magic",
+    "unsupported version",
+    "truncated file",
+    "checksum mismatch",
+    "storage invariant violated",
+    "buffer pool exhausted",
+    "no disk tier attached",
 ];
 
 /// Encode a [`StoreError`] for an `Err` frame payload.
@@ -376,6 +398,11 @@ pub fn encode_store_error(e: &StoreError) -> Bytes {
         StoreError::AllReplicasFailed { node_owner } => {
             buf.put_u8(ERR_ALL_REPLICAS_FAILED);
             buf.put_u32_le(*node_owner as u32);
+        }
+        StoreError::Storage(what) => {
+            buf.put_u8(ERR_STORAGE);
+            buf.put_u32_le(what.len() as u32);
+            buf.put_slice(what.as_bytes());
         }
     }
     buf.freeze()
@@ -422,6 +449,19 @@ pub fn decode_store_error(mut buf: Bytes) -> Result<StoreError, NetError> {
         ERR_ALL_REPLICAS_FAILED => Ok(StoreError::AllReplicasFailed {
             node_owner: get_u32(&mut buf)? as usize,
         }),
+        ERR_STORAGE => {
+            let len = get_u32(&mut buf)? as usize;
+            if buf.remaining() < len {
+                return Err(NetError::Malformed("short error payload"));
+            }
+            let raw = buf.to_vec();
+            let what = KNOWN_STORAGE
+                .iter()
+                .find(|k| k.as_bytes() == &raw[..len])
+                .copied()
+                .unwrap_or("storage error (reported by remote)");
+            Ok(StoreError::Storage(what))
+        }
         _ => Err(NetError::Malformed("unknown error code")),
     }
 }
@@ -508,6 +548,7 @@ mod tests {
             StoreError::EmptyCluster,
             StoreError::DeadlineExceeded,
             StoreError::AllReplicasFailed { node_owner: 2 },
+            StoreError::Storage("no disk tier attached"),
         ];
         for e in all {
             let decoded = decode_store_error(encode_store_error(&e)).unwrap();
@@ -526,6 +567,14 @@ mod tests {
         buf.put_slice(b"mystic");
         let decoded = decode_store_error(buf.freeze()).unwrap();
         assert_eq!(decoded, StoreError::Malformed("malformed (reported by remote)"));
+
+        // Same future-compatibility story for storage errors.
+        let mut buf = BytesMut::new();
+        buf.put_u8(11);
+        buf.put_u32_le(6);
+        buf.put_slice(b"mystic");
+        let decoded = decode_store_error(buf.freeze()).unwrap();
+        assert_eq!(decoded, StoreError::Storage("storage error (reported by remote)"));
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Durable-tier microbench: what one page write, one page read, and one
+//! WAL append (with and without the ack fsync) cost. `cargo bench -p
+//! bgl-store --bench disk -- --test` runs it in smoke mode (one pass, no
+//! statistics) for CI.
+
+use bgl_obs::Histogram;
+use bgl_store::pager::{PageBuf, Pager, RealFile};
+use bgl_store::{Wal, WalRecord};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const DIM: usize = 100;
+const NODES: usize = 4096;
+const PAGE_SIZE: u32 = 4096;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("bgl-disk-bench-{}-{}", std::process::id(), name));
+    p
+}
+
+fn bench_disk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    // Paper-shaped feature rows: dim 100, one partition's worth of nodes.
+    let rows: Vec<f32> = (0..NODES * DIM).map(|i| (i as f32).sin()).collect();
+
+    let pager_path = tmp("pager");
+    let file = Box::new(RealFile::open(&pager_path).expect("open pager file"));
+    let mut pager = Pager::create(file, DIM, &rows, PAGE_SIZE).expect("create pager");
+    let rows_per_page = pager.rows_per_page() as usize;
+    println!(
+        "paged file: {} pages of {} bytes, {} rows/page",
+        pager.num_pages(),
+        PAGE_SIZE,
+        rows_per_page
+    );
+
+    let page = PageBuf { pid: 3, rows: vec![0.5; rows_per_page * DIM] };
+    // Checksum + double-write slot + in-place write, no fsync (the
+    // write-back path the buffer pool drives on eviction).
+    group.bench_function("page_write", |b| {
+        b.iter(|| pager.write_page(std::hint::black_box(&page)).expect("write page"))
+    });
+    group.bench_function("page_read", |b| {
+        b.iter(|| pager.read_page(std::hint::black_box(3)).expect("read page"))
+    });
+    drop(pager);
+    let _ = std::fs::remove_file(&pager_path);
+
+    let wal_path = tmp("wal");
+    let file = Box::new(RealFile::open(&wal_path).expect("open wal file"));
+    let mut wal = Wal::create(file, Histogram::noop()).expect("create wal");
+    let rec = WalRecord::FeatureUpdate { node: 42, row: vec![0.25; DIM] };
+    // Bound the log so a long measurement run cannot fill the disk; the
+    // occasional reset (truncate + fsync) is noise criterion averages out.
+    let bounded_append = |wal: &mut Wal, rec: &WalRecord| {
+        if wal.tail_bytes() > 64 << 20 {
+            wal.reset().expect("reset");
+        }
+        wal.append(rec).expect("append");
+    };
+    // Frame encode + append, fsync deferred (group-commit shape).
+    group.bench_function("wal_append", |b| {
+        b.iter(|| bounded_append(&mut wal, std::hint::black_box(&rec)))
+    });
+    // The real ack cost of one durable update: append + fsync.
+    group.bench_function("wal_append_fsync", |b| {
+        b.iter(|| {
+            bounded_append(&mut wal, std::hint::black_box(&rec));
+            wal.sync().expect("fsync");
+        })
+    });
+    drop(wal);
+    let _ = std::fs::remove_file(&wal_path);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_disk);
+criterion_main!(benches);

@@ -31,6 +31,7 @@ use crate::fault::{FaultAction, FaultInjector, FaultPlan, RobustEvent};
 use crate::health::{BreakerState, CircuitBreaker};
 use crate::obs::StoreMetrics;
 use crate::retry::RetryPolicy;
+use crate::server::GraphStoreServer;
 use crate::transport::{InProcessTransport, StoreTransport};
 use crate::wire::Message;
 use crate::StoreError;
@@ -150,6 +151,13 @@ impl StoreCluster {
     /// The transport this cluster runs over (`"in-process"`, `"tcp"`).
     pub fn transport_kind(&self) -> &'static str {
         self.transport.kind()
+    }
+
+    /// Direct access to in-process server `i` — the hook chaos harnesses
+    /// use to attach, checkpoint and crash durable disk tiers. `None`
+    /// over remote transports, whose servers live in other processes.
+    pub fn in_process_server(&self, i: usize) -> Option<&GraphStoreServer> {
+        self.transport.in_process().and_then(|t| t.server(i))
     }
 
     /// Mirror this cluster's robustness counters and wire traffic into
@@ -387,6 +395,115 @@ impl StoreCluster {
         } else {
             Err(last_err)
         }
+    }
+
+    /// One logical request to exactly `srv` — retry ladder only, NO
+    /// failover. The write path uses this: an update must land on the
+    /// named replica itself, not on whoever else answers.
+    fn rpc_retrying(
+        &mut self,
+        from: usize,
+        srv: usize,
+        req: &Message,
+    ) -> Result<(Message, SimTime), StoreError> {
+        let start = self.clock;
+        let mut attempt = 0u32;
+        loop {
+            match self.rpc_attempt(from, srv, req) {
+                Ok((resp, _)) => return Ok((resp, self.clock - start)),
+                Err(e) => {
+                    if !e.is_transient() {
+                        return Err(e);
+                    }
+                    if self.retry.deadline_exceeded(self.clock - start) {
+                        self.robustness.deadline_misses += 1;
+                        return Err(StoreError::DeadlineExceeded);
+                    }
+                    if attempt >= self.retry.max_retries {
+                        return Err(e);
+                    }
+                    let wait = self.retry.backoff(attempt);
+                    self.clock += wait;
+                    self.robustness.backoff_time += wait;
+                    self.robustness.retries += 1;
+                    self.events.push(RobustEvent::Retried { server: srv, attempt });
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Durably overwrite feature rows (`rows` is `nodes.len() × dim`, in
+    /// `nodes` order) on behalf of a requester at location `from`.
+    ///
+    /// Writes are **write-all**: every replica in the owning partition's
+    /// chain must ack (each ack means WAL-fsync-durable on that replica)
+    /// before the update counts as applied. There is deliberately no
+    /// failover — skipping a replica would let the chain diverge, and a
+    /// later read that fails over would return different bytes. Each
+    /// replica gets its own retry ladder for transient faults; requests are
+    /// idempotent full-row writes, so at-least-once retry is safe. Returns
+    /// `(rows applied, simulated elapsed)`.
+    pub fn update_features(
+        &mut self,
+        nodes: &[NodeId],
+        rows: &[f32],
+        from: usize,
+    ) -> Result<(u32, SimTime), StoreError> {
+        let span = self.metrics.registry().span("store.update_features");
+        let result = self.update_features_inner(nodes, rows, from);
+        self.metrics.publish(&self.robustness, &self.ledger);
+        span.end();
+        result
+    }
+
+    fn update_features_inner(
+        &mut self,
+        nodes: &[NodeId],
+        rows: &[f32],
+        from: usize,
+    ) -> Result<(u32, SimTime), StoreError> {
+        let dim = self.transport.features_dim()?;
+        if nodes.is_empty() {
+            return Ok((0, 0));
+        }
+        if dim == 0 || rows.len() != nodes.len() * dim {
+            return Err(StoreError::Malformed("update rows mismatch count×dim"));
+        }
+        let mut groups: BTreeMap<usize, (Vec<NodeId>, Vec<f32>)> = BTreeMap::new();
+        for (i, &v) in nodes.iter().enumerate() {
+            let o = self.owner_of(v)?;
+            let entry = groups.entry(o).or_default();
+            entry.0.push(v);
+            entry.1.extend_from_slice(&rows[i * dim..(i + 1) * dim]);
+        }
+        let mut applied = 0u32;
+        let mut elapsed: SimTime = 0;
+        for (primary, (ids, group_rows)) in groups {
+            let req = Message::FeatureUpdateReq {
+                dim: dim as u32,
+                nodes: ids.clone(),
+                rows: group_rows,
+            };
+            // Replica writes fan out in parallel, so the group's elapsed is
+            // the max over the chain.
+            let mut group_elapsed: SimTime = 0;
+            for srv in self.replica_chain(primary) {
+                let (resp, t) = self.rpc_retrying(from, srv, &req)?;
+                group_elapsed = group_elapsed.max(t);
+                match resp {
+                    Message::FeatureUpdateResp { applied: a } => {
+                        if a as usize != ids.len() {
+                            return Err(StoreError::Malformed("partial update ack"));
+                        }
+                    }
+                    _ => return Err(StoreError::Malformed("unexpected response")),
+                }
+            }
+            applied += ids.len() as u32;
+            elapsed = elapsed.max(group_elapsed);
+        }
+        Ok((applied, elapsed))
     }
 
     /// Distributed multi-hop neighbor sampling (paper Fig. 1 stage 1).
@@ -854,6 +971,119 @@ mod tests {
         cluster.set_server_down(1, true).unwrap();
         let err = cluster.sample_batch(&[2], &[1], 0).unwrap_err();
         assert_eq!(err, StoreError::AllReplicasFailed { node_owner: 1 });
+    }
+
+    /// Stand up a cluster whose every server has a durable disk tier, so
+    /// the update path has a WAL to land on. Returns the tier directories
+    /// for post-hoc inspection.
+    fn setup_durable(k: usize, tag: &str) -> (StoreCluster, Vec<std::path::PathBuf>) {
+        use crate::tier::{DiskTierConfig, DurableFeatures};
+        let g = Arc::new(bgl_graph::generate::barabasi_albert(60, 3, 2));
+        let mut f = FeatureStore::zeros(60, 2);
+        for v in 0..60u32 {
+            f.row_mut(v).copy_from_slice(&[v as f32, v as f32 + 0.5]);
+        }
+        let f = Arc::new(f);
+        let owner: Arc<Vec<u32>> = Arc::new((0..60u32).map(|v| v % k as u32).collect());
+        let transport = InProcessTransport::new(g, f.clone(), owner.clone(), k, 5);
+        let mut dirs = Vec::new();
+        for i in 0..k {
+            let mut dir = std::env::temp_dir();
+            dir.push(format!("bgl-cluster-disk-{}-{}-{}", std::process::id(), tag, i));
+            let cfg = DiskTierConfig::default().with_page_size(64).with_pool_pages(8);
+            let tier = DurableFeatures::create(&dir, &f, cfg).unwrap();
+            transport.server(i).unwrap().attach_disk_tier(tier);
+            dirs.push(dir);
+        }
+        let cluster = StoreCluster::with_transport(
+            Box::new(transport),
+            owner,
+            NetworkModel::paper_fabric(),
+        );
+        (cluster, dirs)
+    }
+
+    #[test]
+    fn update_features_lands_on_every_replica() {
+        use crate::tier::{DiskTierConfig, DurableFeatures};
+        let (cluster, dirs) = setup_durable(2, "writeall");
+        let mut cluster = cluster.with_replication(2);
+        let w = cluster.worker_location();
+        // Node 3 (server 1 primary, server 0 replica) and node 4 (server 0
+        // primary, server 1 replica): both chains span both servers.
+        let (applied, elapsed) = cluster
+            .update_features(&[3, 4], &[30.0, 31.0, 40.0, 41.0], w)
+            .unwrap();
+        assert_eq!(applied, 2);
+        assert!(elapsed > 0);
+        // Reads (which may land on either replica) see the new rows.
+        let (rows, _) = cluster.fetch_features(&[3, 4], w).unwrap();
+        assert_eq!(rows, vec![30.0, 31.0, 40.0, 41.0]);
+        drop(cluster);
+        // Both replicas hold the update WAL-durably: reopen each tier cold.
+        for dir in &dirs {
+            let cfg = DiskTierConfig::default().with_page_size(64).with_pool_pages(8);
+            let (mut tier, report) = DurableFeatures::open(dir, cfg).unwrap();
+            assert_eq!(report.replayed_updates, 2, "each server acked both rows");
+            let mut out = Vec::new();
+            tier.read_row_into(3, &mut out).unwrap();
+            tier.read_row_into(4, &mut out).unwrap();
+            assert_eq!(out, vec![30.0, 31.0, 40.0, 41.0]);
+        }
+        for dir in dirs {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn update_features_retries_transient_drops_without_failover() {
+        let (cluster, dirs) = setup_durable(2, "retry");
+        let mut cluster = cluster
+            .with_replication(2)
+            .with_fault_plan(FaultPlan::new(5).drops(0.3))
+            .with_retry_policy(RetryPolicy {
+                max_retries: 16,
+                deadline: None,
+                ..RetryPolicy::default()
+            })
+            .with_breaker(CircuitBreaker::new(1_000, MILLISECOND));
+        let w = cluster.worker_location();
+        for v in 0..10u32 {
+            let (applied, _) = cluster
+                .update_features(&[v], &[v as f32 * 2.0, 0.0], w)
+                .unwrap();
+            assert_eq!(applied, 1);
+        }
+        assert!(cluster.robustness.drops > 0, "the plan actually dropped requests");
+        assert!(cluster.robustness.retries > 0, "the ladder absorbed them");
+        // Write-all never fails over: a dropped request is retried on the
+        // SAME replica.
+        assert_eq!(cluster.robustness.failovers, 0);
+        for dir in dirs {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn update_features_validates_shape_and_tier_presence() {
+        // No disk tier attached: a hard Storage error, not a retry storm.
+        let (_, mut cluster) = setup(2);
+        let w = cluster.worker_location();
+        assert_eq!(
+            cluster.update_features(&[0], &[0.0; 4], w).unwrap_err(),
+            StoreError::Storage("no disk tier attached")
+        );
+        // Shape mismatch is rejected before any RPC.
+        let (mut cluster, dirs) = setup_durable(2, "shape");
+        let w = cluster.worker_location();
+        assert_eq!(
+            cluster.update_features(&[0], &[1.0], w).unwrap_err(),
+            StoreError::Malformed("update rows mismatch count×dim")
+        );
+        assert_eq!(cluster.update_features(&[], &[], w).unwrap(), (0, 0));
+        for dir in dirs {
+            std::fs::remove_dir_all(dir).ok();
+        }
     }
 
     #[test]

@@ -4,135 +4,264 @@
 //! "Graph partitioning is a one-time cost, and the results are saved in the
 //! distributed storage system"). Here the distributed filesystem is the
 //! local filesystem; the format is a small length-prefixed binary layout
-//! with a magic header and version byte, so stale or foreign files fail
-//! loudly instead of deserializing garbage.
+//! with a magic header (format + version) and an fnv1a-64 footer checksum
+//! over every preceding byte, so stale, foreign, truncated or bit-flipped
+//! files fail loudly — with a typed [`DiskError`] — instead of
+//! deserializing garbage.
+//!
+//! Format (v2, magics `BGLGRPH2` / `BGLPART2` / `BGLFEAT2`):
+//!
+//! ```text
+//! [magic 8B][payload][fnv1a-64 of magic+payload, 8B LE]
+//! ```
+//!
+//! Loaders never trust header-declared element counts for allocation: the
+//! byte length each count implies is checked against the actual file size
+//! first, so a 16-byte file claiming 2^60 nodes is a [`DiskError::Truncated`]
+//! rather than an OOM. `load_graph` additionally validates the CSR
+//! structural invariants (monotonic offsets, final offset == edge count,
+//! targets in range) before constructing the graph, because
+//! [`Csr::from_parts`] panics on violations.
 
-use bgl_graph::{Csr, NodeId};
+use crate::pager::{fnv1a_64, DiskError};
+use bgl_graph::Csr;
 use bgl_partition::Partition;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::fs;
 use std::path::Path;
 
-const GRAPH_MAGIC: &[u8; 8] = b"BGLGRPH1";
-const PART_MAGIC: &[u8; 8] = b"BGLPART1";
-const FEAT_MAGIC: &[u8; 8] = b"BGLFEAT1";
+const GRAPH_MAGIC: &[u8; 8] = b"BGLGRPH2";
+const PART_MAGIC: &[u8; 8] = b"BGLPART2";
+const FEAT_MAGIC: &[u8; 8] = b"BGLFEAT2";
 
-/// Save a graph's CSR arrays.
-pub fn save_graph(g: &Csr, path: &Path) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(GRAPH_MAGIC)?;
-    w.write_all(&(g.num_nodes() as u64).to_le_bytes())?;
-    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
-    for &o in g.offsets() {
-        w.write_all(&o.to_le_bytes())?;
-    }
-    for &t in g.targets() {
-        w.write_all(&t.to_le_bytes())?;
-    }
-    w.flush()
+// v1 magics (no footer checksum). Recognized only to produce a precise
+// "version too old" error instead of a generic bad-magic one.
+const GRAPH_MAGIC_V1: &[u8; 8] = b"BGLGRPH1";
+const PART_MAGIC_V1: &[u8; 8] = b"BGLPART1";
+const FEAT_MAGIC_V1: &[u8; 8] = b"BGLFEAT1";
+
+/// Serialize `bytes` (magic already included) with its footer checksum.
+fn write_checksummed(mut bytes: Vec<u8>, path: &Path) -> Result<(), DiskError> {
+    let sum = fnv1a_64(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+    fs::write(path, &bytes)?;
+    Ok(())
 }
 
-/// Load a graph saved by [`save_graph`].
-pub fn load_graph(path: &Path) -> io::Result<Csr> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != GRAPH_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad graph magic"));
+/// Read a file, verify magic + footer checksum, return the payload between
+/// them. The checksum covers the magic too, so a corrupted header is caught
+/// even when it happens to still spell a valid magic.
+fn read_checksummed(
+    path: &Path,
+    magic: &[u8; 8],
+    v1_magic: &[u8; 8],
+    expected: &'static str,
+    what: &'static str,
+) -> Result<Vec<u8>, DiskError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < 16 {
+        return Err(DiskError::Truncated("file shorter than magic + checksum"));
     }
-    let n = read_u64(&mut r)? as usize;
-    let m = read_u64(&mut r)? as usize;
-    let mut offsets = Vec::with_capacity(n + 1);
-    for _ in 0..=n {
-        offsets.push(read_u64(&mut r)?);
+    if &bytes[..8] != magic {
+        if &bytes[..8] == v1_magic {
+            return Err(DiskError::BadVersion { found: 1 });
+        }
+        return Err(DiskError::BadMagic { expected });
     }
-    let mut targets = Vec::with_capacity(m);
-    for _ in 0..m {
-        targets.push(read_u32(&mut r)?);
+    let (body, foot) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(foot.try_into().unwrap());
+    let found = fnv1a_64(body);
+    if stored != found {
+        return Err(DiskError::ChecksumMismatch { what, expected: stored, found });
+    }
+    let mut payload = bytes;
+    payload.truncate(payload.len() - 8);
+    payload.drain(..8);
+    Ok(payload)
+}
+
+/// Sequential reader over a verified payload. Every `take` is bounds-checked
+/// so header-driven counts can never read (or allocate) past the actual
+/// file contents.
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], DiskError> {
+        if n > self.buf.len() {
+            return Err(DiskError::Truncated(what));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, DiskError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// A header-declared element count: converted to usize and multiplied
+    /// by the element size with overflow checks, then verified to fit in
+    /// the bytes actually present — all BEFORE any allocation happens.
+    fn count(
+        &self,
+        claimed: u64,
+        elem_size: usize,
+        what: &'static str,
+    ) -> Result<usize, DiskError> {
+        let n = usize::try_from(claimed)
+            .map_err(|_| DiskError::Invariant("element count exceeds address space"))?;
+        let need = n
+            .checked_mul(elem_size)
+            .ok_or(DiskError::Invariant("element byte length overflows"))?;
+        if need > self.remaining() {
+            return Err(DiskError::Truncated(what));
+        }
+        Ok(n)
+    }
+
+    fn finish(&self) -> Result<(), DiskError> {
+        if !self.buf.is_empty() {
+            return Err(DiskError::Invariant("trailing bytes after payload"));
+        }
+        Ok(())
+    }
+}
+
+fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn decode_u32s(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Save a graph's CSR arrays.
+pub fn save_graph(g: &Csr, path: &Path) -> Result<(), DiskError> {
+    let mut b = Vec::with_capacity(24 + 8 * g.offsets().len() + 4 * g.targets().len());
+    b.extend_from_slice(GRAPH_MAGIC);
+    b.extend_from_slice(&(g.num_nodes() as u64).to_le_bytes());
+    b.extend_from_slice(&(g.num_edges() as u64).to_le_bytes());
+    for &o in g.offsets() {
+        b.extend_from_slice(&o.to_le_bytes());
+    }
+    for &t in g.targets() {
+        b.extend_from_slice(&t.to_le_bytes());
+    }
+    write_checksummed(b, path)
+}
+
+/// Load a graph saved by [`save_graph`], validating the CSR invariants.
+pub fn load_graph(path: &Path) -> Result<Csr, DiskError> {
+    let payload =
+        read_checksummed(path, GRAPH_MAGIC, GRAPH_MAGIC_V1, "BGLGRPH2", "graph file")?;
+    let mut cur = Cursor::new(&payload);
+    let n = cur.u64("graph header")?;
+    let m = cur.u64("graph header")?;
+    let num_offsets = n.checked_add(1).ok_or(DiskError::Invariant("node count overflows"))?;
+    let noff = cur.count(num_offsets, 8, "graph offsets")?;
+    let offsets = decode_u64s(cur.take(noff * 8, "graph offsets")?);
+    let ntgt = cur.count(m, 4, "graph targets")?;
+    let targets = decode_u32s(cur.take(ntgt * 4, "graph targets")?);
+    cur.finish()?;
+    // Csr::from_parts panics on violated invariants; a corrupted (but
+    // checksum-valid, i.e. maliciously or bug-produced) file must be a
+    // typed error instead.
+    if offsets.first() != Some(&0) {
+        return Err(DiskError::Invariant("offsets must start at zero"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(DiskError::Invariant("offsets must be monotonically non-decreasing"));
+    }
+    if *offsets.last().unwrap() != targets.len() as u64 {
+        return Err(DiskError::Invariant("final offset must equal edge count"));
+    }
+    if targets.iter().any(|&t| u64::from(t) >= n) {
+        return Err(DiskError::Invariant("edge target outside node range"));
     }
     Ok(Csr::from_parts(offsets, targets))
 }
 
 /// Save a partition (k + per-node assignment).
-pub fn save_partition(p: &Partition, path: &Path) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(PART_MAGIC)?;
-    w.write_all(&(p.k as u64).to_le_bytes())?;
-    w.write_all(&(p.assignment.len() as u64).to_le_bytes())?;
+pub fn save_partition(p: &Partition, path: &Path) -> Result<(), DiskError> {
+    let mut b = Vec::with_capacity(24 + 4 * p.assignment.len());
+    b.extend_from_slice(PART_MAGIC);
+    b.extend_from_slice(&(p.k as u64).to_le_bytes());
+    b.extend_from_slice(&(p.assignment.len() as u64).to_le_bytes());
     for &a in &p.assignment {
-        w.write_all(&a.to_le_bytes())?;
+        b.extend_from_slice(&a.to_le_bytes());
     }
-    w.flush()
+    write_checksummed(b, path)
 }
 
 /// Load a partition saved by [`save_partition`].
-pub fn load_partition(path: &Path) -> io::Result<Partition> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != PART_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad partition magic"));
+pub fn load_partition(path: &Path) -> Result<Partition, DiskError> {
+    let payload =
+        read_checksummed(path, PART_MAGIC, PART_MAGIC_V1, "BGLPART2", "partition file")?;
+    let mut cur = Cursor::new(&payload);
+    let k = cur.u64("partition header")?;
+    let n = cur.u64("partition header")?;
+    if k == 0 {
+        return Err(DiskError::Invariant("partition k must be nonzero"));
     }
-    let k = read_u64(&mut r)? as usize;
-    let n = read_u64(&mut r)? as usize;
-    let mut assignment = Vec::with_capacity(n);
-    for _ in 0..n {
-        let a = read_u32(&mut r)?;
-        if a as usize >= k {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "assignment out of range",
-            ));
-        }
-        assignment.push(a);
+    let k = usize::try_from(k)
+        .map_err(|_| DiskError::Invariant("element count exceeds address space"))?;
+    let na = cur.count(n, 4, "partition assignment")?;
+    let assignment = decode_u32s(cur.take(na * 4, "partition assignment")?);
+    cur.finish()?;
+    if assignment.iter().any(|&a| a as usize >= k) {
+        return Err(DiskError::Invariant("assignment out of range"));
     }
     Ok(Partition::new(k, assignment))
 }
 
 /// Save a feature store (dim + row-major f32 rows).
-pub fn save_features(f: &bgl_graph::FeatureStore, path: &Path) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(FEAT_MAGIC)?;
-    w.write_all(&(f.num_nodes() as u64).to_le_bytes())?;
-    w.write_all(&(f.dim() as u64).to_le_bytes())?;
+pub fn save_features(f: &bgl_graph::FeatureStore, path: &Path) -> Result<(), DiskError> {
+    let mut b = Vec::with_capacity(24 + 4 * f.raw().len());
+    b.extend_from_slice(FEAT_MAGIC);
+    b.extend_from_slice(&(f.num_nodes() as u64).to_le_bytes());
+    b.extend_from_slice(&(f.dim() as u64).to_le_bytes());
     for &x in f.raw() {
-        w.write_all(&x.to_le_bytes())?;
+        b.extend_from_slice(&x.to_le_bytes());
     }
-    w.flush()
+    write_checksummed(b, path)
 }
 
 /// Load a feature store saved by [`save_features`].
-pub fn load_features(path: &Path) -> io::Result<bgl_graph::FeatureStore> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != FEAT_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad feature magic"));
-    }
-    let n = read_u64(&mut r)? as usize;
-    let dim = read_u64(&mut r)? as usize;
+pub fn load_features(path: &Path) -> Result<bgl_graph::FeatureStore, DiskError> {
+    let payload =
+        read_checksummed(path, FEAT_MAGIC, FEAT_MAGIC_V1, "BGLFEAT2", "feature file")?;
+    let mut cur = Cursor::new(&payload);
+    let n = cur.u64("feature header")?;
+    let dim = cur.u64("feature header")?;
     if dim == 0 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero feature dim"));
+        return Err(DiskError::Invariant("zero feature dim"));
     }
-    let mut data = Vec::with_capacity(n * dim);
-    let mut buf = [0u8; 4];
-    for _ in 0..n * dim {
-        r.read_exact(&mut buf)?;
-        data.push(f32::from_le_bytes(buf));
-    }
+    let total = n
+        .checked_mul(dim)
+        .ok_or(DiskError::Invariant("element byte length overflows"))?;
+    let nf = cur.count(total, 4, "feature rows")?;
+    let raw = cur.take(nf * 4, "feature rows")?;
+    let mut data = Vec::with_capacity(nf);
+    data.extend(raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())));
+    cur.finish()?;
+    let dim = usize::try_from(dim)
+        .map_err(|_| DiskError::Invariant("element count exceeds address space"))?;
     Ok(bgl_graph::FeatureStore::from_raw(dim, data))
-}
-
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-fn read_u32(r: &mut impl Read) -> io::Result<NodeId> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
 }
 
 #[cfg(test)]
@@ -188,8 +317,17 @@ mod tests {
     fn rejects_wrong_magic() {
         let path = tmp("wrong");
         std::fs::write(&path, b"NOTMAGIC________").unwrap();
-        assert!(load_graph(&path).is_err());
-        assert!(load_partition(&path).is_err());
+        assert!(matches!(load_graph(&path), Err(DiskError::BadMagic { .. })));
+        assert!(matches!(load_partition(&path), Err(DiskError::BadMagic { .. })));
+        assert!(matches!(load_features(&path), Err(DiskError::BadMagic { .. })));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn v1_files_are_reported_as_old_version() {
+        let path = tmp("v1");
+        std::fs::write(&path, b"BGLGRPH1________").unwrap();
+        assert!(matches!(load_graph(&path), Err(DiskError::BadVersion { found: 1 })));
         std::fs::remove_file(path).ok();
     }
 
@@ -198,7 +336,149 @@ mod tests {
         let g = generate::barabasi_albert(50, 3, 7);
         let path = tmp("cross");
         save_graph(&g, &path).unwrap();
-        assert!(load_partition(&path).is_err(), "partition loader must reject graph file");
+        assert!(
+            matches!(load_partition(&path), Err(DiskError::BadMagic { .. })),
+            "partition loader must reject graph file"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn single_bit_flip_fails_the_checksum() {
+        let g = generate::barabasi_albert(60, 2, 9);
+        let path = tmp("flip");
+        save_graph(&g, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit mid-payload; the footer no longer matches.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_graph(&path), Err(DiskError::ChecksumMismatch { .. })));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncation_fails_the_checksum() {
+        let mut f = bgl_graph::FeatureStore::zeros(8, 2);
+        f.row_mut(3)[0] = 7.5;
+        let path = tmp("trunc");
+        save_features(&f, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(
+            load_features(&path),
+            Err(DiskError::ChecksumMismatch { .. } | DiskError::Truncated(_))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_fails_the_checksum() {
+        let g = generate::barabasi_albert(40, 2, 11);
+        let path = tmp("garbage");
+        save_graph(&g, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"junkjunk");
+        std::fs::write(&path, &bytes).unwrap();
+        // The appended bytes displace the footer, so the stored checksum
+        // read from the new tail cannot match.
+        assert!(matches!(load_graph(&path), Err(DiskError::ChecksumMismatch { .. })));
+        std::fs::remove_file(path).ok();
+    }
+
+    /// A tiny file whose header claims 2^60 nodes must produce a typed
+    /// error, not a multi-exabyte allocation. The checksum is made valid on
+    /// purpose so the length check itself is what rejects the file.
+    #[test]
+    fn huge_claimed_counts_do_not_preallocate() {
+        let path = tmp("huge");
+        let mut b = Vec::new();
+        b.extend_from_slice(GRAPH_MAGIC);
+        b.extend_from_slice(&(1u64 << 60).to_le_bytes()); // nodes
+        b.extend_from_slice(&(1u64 << 60).to_le_bytes()); // edges
+        write_checksummed(b, &path).unwrap();
+        assert!(matches!(load_graph(&path), Err(DiskError::Truncated(_))));
+
+        let mut b = Vec::new();
+        b.extend_from_slice(FEAT_MAGIC);
+        b.extend_from_slice(&(1u64 << 60).to_le_bytes()); // nodes
+        b.extend_from_slice(&(1u64 << 33).to_le_bytes()); // dim — product overflows
+        write_checksummed(b, &path).unwrap();
+        assert!(matches!(load_features(&path), Err(DiskError::Invariant(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    /// Checksum-valid but structurally invalid CSR data must be a typed
+    /// error — Csr::from_parts would panic on it.
+    #[test]
+    fn csr_invariants_are_validated_before_construction() {
+        let path = tmp("invariant");
+        // Non-monotonic offsets: n=2, m=2, offsets [0, 2, 1].
+        let mut b = Vec::new();
+        b.extend_from_slice(GRAPH_MAGIC);
+        b.extend_from_slice(&2u64.to_le_bytes());
+        b.extend_from_slice(&2u64.to_le_bytes());
+        for o in [0u64, 2, 1] {
+            b.extend_from_slice(&o.to_le_bytes());
+        }
+        for t in [0u32, 1] {
+            b.extend_from_slice(&t.to_le_bytes());
+        }
+        write_checksummed(b, &path).unwrap();
+        assert_eq!(
+            load_graph(&path).unwrap_err(),
+            DiskError::Invariant("offsets must be monotonically non-decreasing")
+        );
+
+        // Target out of range: n=2, m=1, offsets [0, 1, 1], targets [5].
+        let mut b = Vec::new();
+        b.extend_from_slice(GRAPH_MAGIC);
+        b.extend_from_slice(&2u64.to_le_bytes());
+        b.extend_from_slice(&1u64.to_le_bytes());
+        for o in [0u64, 1, 1] {
+            b.extend_from_slice(&o.to_le_bytes());
+        }
+        b.extend_from_slice(&5u32.to_le_bytes());
+        write_checksummed(b, &path).unwrap();
+        assert_eq!(
+            load_graph(&path).unwrap_err(),
+            DiskError::Invariant("edge target outside node range")
+        );
+
+        // Final offset disagrees with edge count: offsets [0, 1, 1], m=2.
+        let mut b = Vec::new();
+        b.extend_from_slice(GRAPH_MAGIC);
+        b.extend_from_slice(&2u64.to_le_bytes());
+        b.extend_from_slice(&2u64.to_le_bytes());
+        for o in [0u64, 1, 1] {
+            b.extend_from_slice(&o.to_le_bytes());
+        }
+        for t in [0u32, 0] {
+            b.extend_from_slice(&t.to_le_bytes());
+        }
+        write_checksummed(b, &path).unwrap();
+        assert_eq!(
+            load_graph(&path).unwrap_err(),
+            DiskError::Invariant("final offset must equal edge count")
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn out_of_range_assignment_is_rejected() {
+        let path = tmp("badassign");
+        let mut b = Vec::new();
+        b.extend_from_slice(PART_MAGIC);
+        b.extend_from_slice(&2u64.to_le_bytes()); // k = 2
+        b.extend_from_slice(&3u64.to_le_bytes()); // n = 3
+        for a in [0u32, 1, 2] {
+            b.extend_from_slice(&a.to_le_bytes());
+        }
+        write_checksummed(b, &path).unwrap();
+        assert_eq!(
+            load_partition(&path).unwrap_err(),
+            DiskError::Invariant("assignment out of range")
+        );
         std::fs::remove_file(path).ok();
     }
 }

@@ -21,6 +21,11 @@
 use bgl_sim::SimTime;
 use rand::prelude::*;
 
+// The durable disk tier's seeded I/O faults (torn writes, short reads,
+// transient EIO) live next to the pager but belong to the same chaos
+// vocabulary; surface them here too.
+pub use crate::pager::{IoFault, IoFaultInjector, IoFaultPlan};
+
 /// A scheduled server crash: down from global request `at_request` for
 /// `duration` of simulated time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -27,29 +27,42 @@
 //! * [`health`] — [`health::CircuitBreaker`]: per-server failure tracking
 //!   that routes around persistently failing primaries;
 //! * [`disk`] — on-disk persistence of graphs and partitions (the paper's
-//!   "one-time cost, saved to HDFS" step, §3.1).
+//!   "one-time cost, saved to HDFS" step, §3.1), checksummed end to end;
+//! * [`pager`] / [`bufpool`] / [`wal`] / [`tier`] — the durable disk tier
+//!   (DESIGN.md §14): fixed-size checksummed pages behind a pin/unpin
+//!   buffer pool (SIEVE / CLOCK / LRU replacement), a write-ahead log with
+//!   fsync-to-ack discipline, and deterministic I/O fault injection
+//!   ([`pager::IoFaultPlan`]) proving crash-consistent recovery.
 //!
 //! Multi-hour training runs survive partition-server failures through
 //! r-replica placement ([`StoreCluster::with_replication`]): each node's
 //! rows are served by its primary and the `r − 1` successor servers, and
 //! the cluster fails over automatically when the primary is down.
 
+pub mod bufpool;
 pub mod cluster;
 pub mod disk;
 pub mod fault;
 pub mod health;
 pub mod obs;
+pub mod pager;
 pub mod retry;
 pub mod server;
+pub mod tier;
 pub mod transport;
+pub mod wal;
 pub mod wire;
 
+pub use bufpool::{BufPoolStats, BufferPool, DiskPolicyKind, Replacer};
 pub use cluster::{SampleTiming, StoreCluster};
 pub use fault::{FaultInjector, FaultPlan, RobustEvent};
 pub use health::{BreakerState, CircuitBreaker};
+pub use pager::{DiskError, IoFault, IoFaultInjector, IoFaultPlan, Pager, ShadowFile};
 pub use retry::RetryPolicy;
 pub use server::GraphStoreServer;
+pub use tier::{DiskTierConfig, DurableFeatures, RecoveryReport};
 pub use transport::{InProcessTransport, StoreTransport};
+pub use wal::{Wal, WalRecord};
 
 use std::fmt;
 
@@ -76,6 +89,10 @@ pub enum StoreError {
     DeadlineExceeded,
     /// Every replica of the owning server failed.
     AllReplicasFailed { node_owner: usize },
+    /// The durable disk tier failed (checksum mismatch, exhausted EIO
+    /// retries, missing tier). Non-transient at this level: the tier
+    /// already retried transient I/O internally.
+    Storage(&'static str),
 }
 
 impl StoreError {
@@ -120,6 +137,7 @@ impl fmt::Display for StoreError {
             StoreError::AllReplicasFailed { node_owner } => {
                 write!(f, "all replicas of server {} failed", node_owner)
             }
+            StoreError::Storage(what) => write!(f, "durable storage error: {}", what),
         }
     }
 }
@@ -142,5 +160,6 @@ mod tests {
         assert!(!StoreError::EmptyCluster.is_transient());
         assert!(!StoreError::DeadlineExceeded.is_transient());
         assert!(!StoreError::AllReplicasFailed { node_owner: 0 }.is_transient());
+        assert!(!StoreError::Storage("checksum mismatch").is_transient());
     }
 }

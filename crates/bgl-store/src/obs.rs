@@ -5,7 +5,10 @@
 //! deltas against the last published snapshot so repeated publishes never
 //! double-count. A default (unattached) instance is inert.
 
-use bgl_obs::{Counter, Registry};
+use crate::bufpool::BufPoolStats;
+use crate::pager::PagerStats;
+use crate::wal::WalStats;
+use bgl_obs::{Counter, Histogram, Registry};
 use bgl_sim::network::{RobustnessStats, TrafficLedger};
 
 #[derive(Debug, Default)]
@@ -93,6 +96,102 @@ impl StoreMetrics {
     }
 }
 
+/// bgl-obs bindings for the durable disk tier: `store.disk.*` counters plus
+/// the WAL fsync-latency histogram. Same delta-publish discipline as
+/// [`StoreMetrics`].
+#[derive(Debug, Default)]
+pub struct DiskMetrics {
+    obs: Registry,
+    page_reads: Counter,
+    page_writes: Counter,
+    dw_redos: Counter,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    writebacks: Counter,
+    eio_retries: Counter,
+    wal_appends: Counter,
+    wal_syncs: Counter,
+    wal_resets: Counter,
+    wal_replayed: Counter,
+    wal_torn_truncations: Counter,
+    recoveries: Counter,
+    fsync_ns: Histogram,
+    last_pool: BufPoolStats,
+    last_wal: WalStats,
+    last_pager: PagerStats,
+}
+
+impl DiskMetrics {
+    pub fn attach(reg: &Registry) -> Self {
+        let c = |field: &str| reg.counter(&format!("store.disk.{field}"));
+        DiskMetrics {
+            obs: reg.clone(),
+            page_reads: c("page_reads"),
+            page_writes: c("page_writes"),
+            dw_redos: c("dw_redos"),
+            hits: c("hits"),
+            misses: c("misses"),
+            evictions: c("evictions"),
+            writebacks: c("writebacks"),
+            eio_retries: c("eio_retries"),
+            wal_appends: c("wal_appends"),
+            wal_syncs: c("wal_syncs"),
+            wal_resets: c("wal_resets"),
+            wal_replayed: c("wal_replayed"),
+            wal_torn_truncations: c("wal_torn_truncations"),
+            recoveries: c("recoveries"),
+            fsync_ns: reg.histogram("store.disk.wal_fsync_ns"),
+            last_pool: BufPoolStats::default(),
+            last_wal: WalStats::default(),
+            last_pager: PagerStats::default(),
+        }
+    }
+
+    /// The histogram WAL fsyncs record into.
+    pub fn fsync_histogram(&self) -> Histogram {
+        self.fsync_ns.clone()
+    }
+
+    /// Count one recovery (open-with-replay) event.
+    pub fn count_recovery(&self) {
+        self.recoveries.incr();
+    }
+
+    /// Publish whatever accumulated since the previous call.
+    pub fn publish(&mut self, pool: &BufPoolStats, wal: &WalStats, pager: &PagerStats) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.page_reads
+            .add(pager.page_reads.saturating_sub(self.last_pager.page_reads));
+        self.page_writes
+            .add(pager.page_writes.saturating_sub(self.last_pager.page_writes));
+        self.dw_redos.add(pager.dw_redo.saturating_sub(self.last_pager.dw_redo));
+        self.last_pager = *pager;
+
+        self.hits.add(pool.hits.saturating_sub(self.last_pool.hits));
+        self.misses.add(pool.misses.saturating_sub(self.last_pool.misses));
+        self.evictions
+            .add(pool.evictions.saturating_sub(self.last_pool.evictions));
+        self.writebacks
+            .add(pool.writebacks.saturating_sub(self.last_pool.writebacks));
+        self.eio_retries
+            .add(pool.eio_retries.saturating_sub(self.last_pool.eio_retries));
+        self.last_pool = *pool;
+
+        self.wal_appends
+            .add(wal.appends.saturating_sub(self.last_wal.appends));
+        self.wal_syncs.add(wal.syncs.saturating_sub(self.last_wal.syncs));
+        self.wal_resets.add(wal.resets.saturating_sub(self.last_wal.resets));
+        self.wal_replayed
+            .add(wal.replayed.saturating_sub(self.last_wal.replayed));
+        self.wal_torn_truncations
+            .add(wal.torn_truncations.saturating_sub(self.last_wal.torn_truncations));
+        self.last_wal = *wal;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,5 +224,25 @@ mod tests {
         assert_eq!(counters["store.failovers"], 1);
         assert_eq!(counters["store.wire.remote_bytes"], 250);
         assert_eq!(counters["store.wire.remote_messages"], 2);
+    }
+
+    #[test]
+    fn disk_metrics_publish_emits_deltas() {
+        let reg = Registry::enabled();
+        let mut m = DiskMetrics::attach(&reg);
+        let mut pool = BufPoolStats { hits: 10, misses: 4, ..Default::default() };
+        let wal = WalStats { appends: 6, syncs: 6, ..Default::default() };
+        let pager = PagerStats { page_reads: 4, ..Default::default() };
+        m.publish(&pool, &wal, &pager);
+        m.publish(&pool, &wal, &pager); // unchanged: no double-count
+        pool.hits = 15;
+        m.publish(&pool, &wal, &pager);
+        m.count_recovery();
+        let counters: std::collections::BTreeMap<_, _> = reg.counters().into_iter().collect();
+        assert_eq!(counters["store.disk.hits"], 15);
+        assert_eq!(counters["store.disk.misses"], 4);
+        assert_eq!(counters["store.disk.wal_appends"], 6);
+        assert_eq!(counters["store.disk.page_reads"], 4);
+        assert_eq!(counters["store.disk.recoveries"], 1);
     }
 }

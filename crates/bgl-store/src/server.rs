@@ -11,6 +11,8 @@
 //! sampling RNG sits behind a mutex. The in-process transport drives the
 //! same interface single-threaded and pays only uncontended atomic ops.
 
+use crate::pager::DiskError;
+use crate::tier::DurableFeatures;
 use crate::wire::Message;
 use crate::StoreError;
 use bgl_graph::{Csr, FeatureStore, NodeId};
@@ -42,6 +44,25 @@ pub struct GraphStoreServer {
     requests_served: AtomicU64,
     /// Nodes sampled locally by this server's colocated sampler.
     nodes_sampled: AtomicU64,
+    /// Optional durable disk tier. When attached, feature reads go through
+    /// its buffer pool and feature updates go WAL-first (DESIGN.md §14).
+    disk: Mutex<Option<DurableFeatures>>,
+}
+
+/// Flatten a [`DiskError`] into the store's wire-expressible error space.
+/// Transient I/O was already retried inside the tier, so everything that
+/// escapes is a hard storage fault.
+fn storage_err(e: DiskError) -> StoreError {
+    StoreError::Storage(match e {
+        DiskError::Io(_) => "i/o failure",
+        DiskError::TransientIo(_) => "transient i/o retries exhausted",
+        DiskError::BadMagic { .. } => "bad magic",
+        DiskError::BadVersion { .. } => "unsupported version",
+        DiskError::Truncated(_) => "truncated file",
+        DiskError::ChecksumMismatch { .. } => "checksum mismatch",
+        DiskError::Invariant(_) => "storage invariant violated",
+        DiskError::AllFramesPinned => "buffer pool exhausted",
+    })
 }
 
 impl GraphStoreServer {
@@ -65,6 +86,38 @@ impl GraphStoreServer {
             down: AtomicBool::new(false),
             requests_served: AtomicU64::new(0),
             nodes_sampled: AtomicU64::new(0),
+            disk: Mutex::new(None),
+        }
+    }
+
+    /// Attach a durable disk tier: feature reads now come from its buffer
+    /// pool, and feature updates are accepted, WAL-first.
+    pub fn attach_disk_tier(&self, tier: DurableFeatures) {
+        *self.disk.lock().unwrap_or_else(|p| p.into_inner()) = Some(tier);
+    }
+
+    /// Detach and return the disk tier (e.g. to crash it in a chaos test).
+    pub fn detach_disk_tier(&self) -> Option<DurableFeatures> {
+        self.disk.lock().unwrap_or_else(|p| p.into_inner()).take()
+    }
+
+    pub fn has_disk_tier(&self) -> bool {
+        self.disk.lock().unwrap_or_else(|p| p.into_inner()).is_some()
+    }
+
+    /// Checkpoint the attached tier (flush + sync pages, then reset the
+    /// WAL). No-op without a tier.
+    pub fn checkpoint_disk(&self) -> Result<(), StoreError> {
+        match self.disk.lock().unwrap_or_else(|p| p.into_inner()).as_mut() {
+            Some(tier) => tier.checkpoint().map_err(storage_err),
+            None => Ok(()),
+        }
+    }
+
+    /// Mirror the tier's `store.disk.*` counters into its registry.
+    pub fn publish_disk_metrics(&self) {
+        if let Some(tier) = self.disk.lock().unwrap_or_else(|p| p.into_inner()).as_mut() {
+            tier.publish_metrics();
         }
     }
 
@@ -157,15 +210,42 @@ impl GraphStoreServer {
             Message::FeatureReq { nodes } => {
                 let dim = self.features.dim() as u32;
                 let mut rows = Vec::with_capacity(nodes.len() * dim as usize);
+                let mut disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
                 for &v in &nodes {
                     if !self.serves(v) {
                         return Err(StoreError::NotOwned { node: v, server: self.id });
                     }
-                    rows.extend_from_slice(self.features.row(v));
+                    match disk.as_mut() {
+                        Some(tier) => tier.read_row_into(v, &mut rows).map_err(storage_err)?,
+                        None => rows.extend_from_slice(self.features.row(v)),
+                    }
                 }
                 Ok(Message::FeatureResp { dim, rows }.encode())
             }
-            Message::NeighborResp { .. } | Message::FeatureResp { .. } => {
+            Message::FeatureUpdateReq { dim, nodes, rows } => {
+                if dim as usize != self.features.dim() {
+                    return Err(StoreError::Malformed("feature update dim mismatch"));
+                }
+                let mut disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
+                let tier = disk
+                    .as_mut()
+                    .ok_or(StoreError::Storage("no disk tier attached"))?;
+                for &v in &nodes {
+                    if !self.serves(v) {
+                        return Err(StoreError::NotOwned { node: v, server: self.id });
+                    }
+                }
+                for (i, &v) in nodes.iter().enumerate() {
+                    let row = &rows[i * dim as usize..(i + 1) * dim as usize];
+                    // Ack point: update_row returns only after the WAL
+                    // record is fsync-durable.
+                    tier.update_row(v, row).map_err(storage_err)?;
+                }
+                Ok(Message::FeatureUpdateResp { applied: nodes.len() as u32 }.encode())
+            }
+            Message::NeighborResp { .. }
+            | Message::FeatureResp { .. }
+            | Message::FeatureUpdateResp { .. } => {
                 Err(StoreError::Malformed("response sent to server"))
             }
         }
@@ -312,6 +392,72 @@ mod tests {
         let s = GraphStoreServer::new(0, g, f, owner, 7);
         let bogus = Message::NeighborResp { lists: vec![] }.encode();
         assert!(matches!(s.handle(bogus), Err(StoreError::Malformed(_))));
+    }
+
+    #[test]
+    fn updates_without_a_disk_tier_are_a_storage_error() {
+        let (g, f, owner) = setup(1);
+        let s = GraphStoreServer::new(0, g, f, owner, 7);
+        let req = Message::FeatureUpdateReq { dim: 4, nodes: vec![2], rows: vec![0.0; 4] };
+        assert_eq!(
+            s.handle(req.encode()),
+            Err(StoreError::Storage("no disk tier attached"))
+        );
+    }
+
+    #[test]
+    fn disk_tier_serves_reads_and_accepts_wal_first_updates() {
+        use crate::tier::{DiskTierConfig, DurableFeatures};
+        let (g, _, owner) = setup(1);
+        let mut fs = FeatureStore::zeros(100, 2);
+        for v in 0..100u32 {
+            fs.row_mut(v).copy_from_slice(&[v as f32, -(v as f32)]);
+        }
+        let fs = Arc::new(fs);
+        let s = GraphStoreServer::new(0, g, fs.clone(), owner, 7);
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("bgl-server-disk-test-{}", std::process::id()));
+        let cfg = DiskTierConfig::default().with_page_size(64).with_pool_pages(4);
+        s.attach_disk_tier(DurableFeatures::create(&dir, &fs, cfg).unwrap());
+        assert!(s.has_disk_tier());
+
+        // Reads come from the buffer pool and match the RAM image.
+        let req = Message::FeatureReq { nodes: vec![6, 2] }.encode();
+        match Message::decode(s.handle(req).unwrap()).unwrap() {
+            Message::FeatureResp { dim, rows } => {
+                assert_eq!(dim, 2);
+                assert_eq!(rows, vec![6.0, -6.0, 2.0, -2.0]);
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+
+        // An update acks, then reads back through the tier.
+        let upd = Message::FeatureUpdateReq {
+            dim: 2,
+            nodes: vec![6],
+            rows: vec![50.0, 60.0],
+        };
+        match Message::decode(s.handle(upd.encode()).unwrap()).unwrap() {
+            Message::FeatureUpdateResp { applied } => assert_eq!(applied, 1),
+            other => panic!("unexpected {:?}", other),
+        }
+        let req = Message::FeatureReq { nodes: vec![6] }.encode();
+        match Message::decode(s.handle(req).unwrap()).unwrap() {
+            Message::FeatureResp { rows, .. } => assert_eq!(rows, vec![50.0, 60.0]),
+            other => panic!("unexpected {:?}", other),
+        }
+
+        // The update is WAL-durable: a fresh tier over the same directory
+        // replays it.
+        let tier = s.detach_disk_tier().unwrap();
+        drop(tier);
+        let cfg = DiskTierConfig::default().with_page_size(64).with_pool_pages(4);
+        let (mut reopened, report) = DurableFeatures::open(&dir, cfg).unwrap();
+        assert_eq!(report.replayed_updates, 1);
+        let mut out = Vec::new();
+        reopened.read_row_into(6, &mut out).unwrap();
+        assert_eq!(out, vec![50.0, 60.0]);
+        std::fs::remove_dir_all(dir).ok();
     }
 
     /// Satellite: the counters must stay exact when one server is hammered

@@ -1,0 +1,497 @@
+//! The durable feature tier: buffer pool + WAL composed into one
+//! crash-consistent store, the third level under the GPU/CPU feature
+//! caches (DESIGN.md §14).
+//!
+//! ## Update protocol
+//!
+//! 1. append the update's [`WalRecord`] and fsync the log — **this is the
+//!    ack point**;
+//! 2. apply it to the page image through the buffer pool (dirty, lazy,
+//!    unsynced).
+//!
+//! ## Checkpoint protocol
+//!
+//! 1. write back every dirty page and fsync the paged file;
+//! 2. only then reset (truncate + fsync) the WAL.
+//!
+//! ## Recovery invariant
+//!
+//! After any crash, `paged file ∪ full WAL replay = exactly the acked
+//! updates`: the WAL holds every acked update since the last checkpoint
+//! (records are idempotent full-row writes, so replaying on top of
+//! whatever page prefix landed is safe), and the torn tail a crash leaves
+//! mid-append is detected and truncated — nothing behind it was acked.
+//!
+//! In chaos mode ([`DiskTierConfig::with_fault_plan`]) both files sit on
+//! [`ShadowFile`]s behind a shared seeded [`IoFaultInjector`], so
+//! [`DurableFeatures::crash`] can tear the un-synced write stream of each
+//! file at a deterministic byte and the whole recovery path can be proven
+//! bitwise-faithful (see `tests/disk_recovery.rs`).
+
+use crate::bufpool::{BufPoolStats, BufferPool, DiskPolicyKind};
+use crate::obs::DiskMetrics;
+use crate::pager::{
+    BackingFile, DiskError, FaultFile, IoFaultInjector, IoFaultPlan, Pager, PagerStats, RealFile,
+    ShadowFile,
+};
+use crate::wal::{Wal, WalRecord, WalStats};
+use bgl_graph::FeatureStore;
+use bgl_obs::Registry;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// How many times open-time recovery re-attempts after injected EIO.
+const OPEN_RETRIES: u32 = 3;
+
+/// Knobs for [`DurableFeatures`]. The defaults are the production shape;
+/// tests shrink the pool and attach fault plans.
+#[derive(Clone)]
+pub struct DiskTierConfig {
+    pub page_size: u32,
+    pub pool_pages: usize,
+    pub policy: DiskPolicyKind,
+    pub registry: Registry,
+    pub fault_plan: Option<IoFaultPlan>,
+}
+
+impl Default for DiskTierConfig {
+    fn default() -> Self {
+        DiskTierConfig {
+            page_size: 4096,
+            pool_pages: 64,
+            policy: DiskPolicyKind::Sieve,
+            registry: Registry::default(),
+            fault_plan: None,
+        }
+    }
+}
+
+impl DiskTierConfig {
+    pub fn with_page_size(mut self, page_size: u32) -> Self {
+        self.page_size = page_size;
+        self
+    }
+
+    pub fn with_pool_pages(mut self, pool_pages: usize) -> Self {
+        self.pool_pages = pool_pages;
+        self
+    }
+
+    pub fn with_policy(mut self, policy: DiskPolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.registry = registry.clone();
+        self
+    }
+
+    /// Chaos mode: back both files with [`ShadowFile`]s and run every I/O
+    /// through a seeded injector, enabling [`DurableFeatures::crash`].
+    pub fn with_fault_plan(mut self, plan: IoFaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// What open-time recovery found and redid.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    pub replayed_updates: usize,
+    pub replayed_edges: usize,
+    /// Torn WAL tail truncated away.
+    pub torn_wal_bytes: u64,
+    /// Torn page writes redone from the double-write slot.
+    pub dw_redo: u64,
+}
+
+/// The durable disk tier for one store partition's features.
+pub struct DurableFeatures {
+    dir: PathBuf,
+    pool: BufferPool,
+    wal: Wal,
+    dim: usize,
+    num_nodes: u64,
+    /// Edge inserts made durable but not yet folded into a CSR rebuild.
+    pending_edges: Vec<(u32, u32)>,
+    injector: Option<Arc<Mutex<IoFaultInjector>>>,
+    metrics: DiskMetrics,
+}
+
+fn pages_path(dir: &Path) -> PathBuf {
+    dir.join("features.pages")
+}
+
+fn wal_path(dir: &Path) -> PathBuf {
+    dir.join("features.wal")
+}
+
+fn make_file(
+    path: &Path,
+    injector: &Option<Arc<Mutex<IoFaultInjector>>>,
+) -> Result<Box<dyn BackingFile>, DiskError> {
+    Ok(match injector {
+        Some(inj) => Box::new(FaultFile::new(Box::new(ShadowFile::open(path)?), inj.clone())),
+        None => Box::new(RealFile::open(path)?),
+    })
+}
+
+impl DurableFeatures {
+    /// Initialize `dir` with the base feature image (synced) and an empty
+    /// WAL.
+    pub fn create(
+        dir: &Path,
+        features: &FeatureStore,
+        cfg: DiskTierConfig,
+    ) -> Result<DurableFeatures, DiskError> {
+        std::fs::create_dir_all(dir).map_err(DiskError::from)?;
+        let metrics = DiskMetrics::attach(&cfg.registry);
+        let injector =
+            cfg.fault_plan.clone().map(|p| Arc::new(Mutex::new(IoFaultInjector::new(p))));
+        let pager = Pager::create(
+            make_file(&pages_path(dir), &injector)?,
+            features.dim(),
+            features.raw(),
+            cfg.page_size,
+        )?;
+        let wal = Wal::create(make_file(&wal_path(dir), &injector)?, metrics.fsync_histogram())?;
+        Ok(DurableFeatures {
+            dir: dir.to_path_buf(),
+            dim: pager.dim(),
+            num_nodes: pager.num_nodes(),
+            pool: BufferPool::new(pager, cfg.pool_pages, cfg.policy),
+            wal,
+            pending_edges: Vec::new(),
+            injector,
+            metrics,
+        })
+    }
+
+    /// Recover the tier from `dir`: validate the paged file (redoing any
+    /// torn page write from the double-write slot), replay the WAL
+    /// (truncating its torn tail), and re-apply every acked update.
+    /// Injected transient EIO during recovery is retried with fresh file
+    /// handles, like a crashed recovery rerunning — recovery is idempotent.
+    pub fn open(
+        dir: &Path,
+        cfg: DiskTierConfig,
+    ) -> Result<(DurableFeatures, RecoveryReport), DiskError> {
+        let metrics = DiskMetrics::attach(&cfg.registry);
+        let injector =
+            cfg.fault_plan.clone().map(|p| Arc::new(Mutex::new(IoFaultInjector::new(p))));
+        let mut attempts = 0;
+        loop {
+            match Self::open_once(dir, &cfg, &injector, &metrics) {
+                Err(DiskError::TransientIo(_)) if attempts < OPEN_RETRIES => attempts += 1,
+                Ok((tier, report)) => {
+                    tier.metrics.count_recovery();
+                    return Ok((tier, report));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn open_once(
+        dir: &Path,
+        cfg: &DiskTierConfig,
+        injector: &Option<Arc<Mutex<IoFaultInjector>>>,
+        metrics: &DiskMetrics,
+    ) -> Result<(DurableFeatures, RecoveryReport), DiskError> {
+        let pager = Pager::open(make_file(&pages_path(dir), injector)?)?;
+        let dw_redo = pager.stats.dw_redo;
+        let (wal, recovery) =
+            Wal::open(make_file(&wal_path(dir), injector)?, metrics.fsync_histogram())?;
+        let mut tier = DurableFeatures {
+            dir: dir.to_path_buf(),
+            dim: pager.dim(),
+            num_nodes: pager.num_nodes(),
+            pool: BufferPool::new(pager, cfg.pool_pages, cfg.policy),
+            wal,
+            pending_edges: Vec::new(),
+            injector: injector.clone(),
+            metrics: DiskMetrics::attach(&cfg.registry),
+        };
+        let mut report = RecoveryReport { torn_wal_bytes: recovery.torn_bytes, dw_redo, ..Default::default() };
+        for rec in &recovery.records {
+            match rec {
+                WalRecord::FeatureUpdate { node, row } => {
+                    tier.pool.update_row(*node, row)?;
+                    report.replayed_updates += 1;
+                }
+                WalRecord::EdgeInsert { src, dst } => {
+                    tier.pending_edges.push((*src, *dst));
+                    report.replayed_edges += 1;
+                }
+            }
+        }
+        Ok((tier, report))
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn num_nodes(&self) -> u64 {
+        self.num_nodes
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn policy(&self) -> DiskPolicyKind {
+        self.pool.policy()
+    }
+
+    /// Append node `v`'s feature row to `out`.
+    pub fn read_row_into(&mut self, v: u32, out: &mut Vec<f32>) -> Result<(), DiskError> {
+        self.pool.read_row_into(v, out)
+    }
+
+    /// Overwrite node `v`'s feature row. Returns only after the update is
+    /// WAL-durable (the ack point); the page write-back is lazy.
+    pub fn update_row(&mut self, v: u32, row: &[f32]) -> Result<(), DiskError> {
+        if row.len() != self.dim {
+            return Err(DiskError::Invariant("update row has the wrong dim"));
+        }
+        if (v as u64) >= self.num_nodes {
+            return Err(DiskError::Invariant("node out of range"));
+        }
+        self.wal.append(&WalRecord::FeatureUpdate { node: v, row: row.to_vec() })?;
+        self.wal.sync()?;
+        self.pool.update_row(v, row)
+    }
+
+    /// Log one edge insert durably (folded into the graph by a future
+    /// ingest path; retrievable via [`DurableFeatures::pending_edges`]).
+    pub fn insert_edge(&mut self, src: u32, dst: u32) -> Result<(), DiskError> {
+        self.wal.append(&WalRecord::EdgeInsert { src, dst })?;
+        self.wal.sync()?;
+        self.pending_edges.push((src, dst));
+        Ok(())
+    }
+
+    pub fn pending_edges(&self) -> &[(u32, u32)] {
+        &self.pending_edges
+    }
+
+    /// Checkpoint: make the paged file catch up with the WAL, then empty
+    /// the WAL. Ordering is the crash-safety argument — pages are synced
+    /// before the log that covers them is dropped.
+    pub fn checkpoint(&mut self) -> Result<(), DiskError> {
+        self.pool.flush()?;
+        self.wal.reset()
+    }
+
+    /// Materialize the full feature matrix (e.g. to seed an in-RAM store
+    /// after recovery).
+    pub fn to_feature_store(&mut self) -> Result<FeatureStore, DiskError> {
+        let mut data = Vec::with_capacity(self.num_nodes as usize * self.dim);
+        for v in 0..self.num_nodes as u32 {
+            self.read_row_into(v, &mut data)?;
+        }
+        Ok(FeatureStore::from_raw(self.dim, data))
+    }
+
+    /// Verify every page checksum without touching the pool. Returns the
+    /// number of pages scanned.
+    pub fn scrub(&mut self) -> Result<u64, DiskError> {
+        let n = self.pool.pager().num_pages();
+        for pid in 0..n {
+            self.pool.pager_mut().read_page(pid)?;
+        }
+        Ok(n)
+    }
+
+    /// Chaos hook (fault-plan mode only): crash the process image. A
+    /// seeded byte prefix of each file's un-synced write stream lands; the
+    /// rest is torn away. Consumes the tier — the files on disk are all
+    /// that survives, as after a real crash.
+    pub fn crash(mut self) -> Result<(), DiskError> {
+        let inj = self
+            .injector
+            .clone()
+            .ok_or(DiskError::Invariant("crash requires a fault plan"))?;
+        let keep_pages = {
+            let mut inj = inj.lock().unwrap_or_else(|p| p.into_inner());
+            inj.torn_keep(self.pool.pager().pending_bytes())
+        };
+        self.pool.pager_mut().crash(keep_pages)?;
+        let keep_wal = {
+            let mut inj = inj.lock().unwrap_or_else(|p| p.into_inner());
+            inj.torn_keep(self.wal.pending_bytes())
+        };
+        self.wal.crash(keep_wal)?;
+        Ok(())
+    }
+
+    pub fn pool_stats(&self) -> BufPoolStats {
+        self.pool.stats
+    }
+
+    pub fn wal_stats(&self) -> WalStats {
+        self.wal.stats
+    }
+
+    pub fn pager_stats(&self) -> PagerStats {
+        self.pool.pager().stats
+    }
+
+    /// Mirror the tier's counters into its registry (delta-published).
+    pub fn publish_metrics(&mut self) {
+        let pool = self.pool.stats;
+        let wal = self.wal.stats;
+        let pager = self.pool.pager().stats;
+        self.metrics.publish(&pool, &wal, &pager);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bgl-tier-test-{}-{}", std::process::id(), name));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn features(n: usize, dim: usize) -> FeatureStore {
+        FeatureStore::from_raw(dim, (0..n * dim).map(|i| i as f32 * 0.25).collect())
+    }
+
+    fn small_cfg() -> DiskTierConfig {
+        DiskTierConfig::default().with_page_size(64).with_pool_pages(4)
+    }
+
+    #[test]
+    fn create_update_checkpoint_reopen_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let fs = features(40, 2);
+        {
+            let mut t = DurableFeatures::create(&dir, &fs, small_cfg()).unwrap();
+            t.update_row(7, &[100.0, 200.0]).unwrap();
+            t.insert_edge(3, 9).unwrap();
+            t.checkpoint().unwrap();
+        }
+        let (mut t, report) = DurableFeatures::open(&dir, small_cfg()).unwrap();
+        // Checkpoint emptied the WAL: nothing to replay. (The double-write
+        // slot still holds the last page written, so its idempotent redo
+        // may fire — that is not recovery work.)
+        assert_eq!(report.replayed_updates, 0);
+        assert_eq!(report.replayed_edges, 0);
+        assert_eq!(report.torn_wal_bytes, 0);
+        let mut out = Vec::new();
+        t.read_row_into(7, &mut out).unwrap();
+        assert_eq!(out, vec![100.0, 200.0]);
+        assert_eq!(t.scrub().unwrap(), t.pool.pager().num_pages());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn uncheckpointed_updates_recover_from_the_wal() {
+        let dir = tmp_dir("walreplay");
+        let fs = features(40, 2);
+        {
+            let mut t = DurableFeatures::create(&dir, &fs, small_cfg()).unwrap();
+            t.update_row(1, &[-1.0, -2.0]).unwrap();
+            t.update_row(30, &[9.0, 8.0]).unwrap();
+            t.insert_edge(0, 5).unwrap();
+            // Dropped without checkpoint: pages never caught up (RealFile
+            // mode still wrote them through, so force the point with the
+            // WAL's own replay accounting below).
+        }
+        let (mut t, report) = DurableFeatures::open(&dir, small_cfg()).unwrap();
+        assert_eq!(report.replayed_updates, 2);
+        assert_eq!(report.replayed_edges, 1);
+        assert_eq!(t.pending_edges(), &[(0, 5)]);
+        let mut out = Vec::new();
+        t.read_row_into(30, &mut out).unwrap();
+        assert_eq!(out, vec![9.0, 8.0]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// The tier-level crash drill: acked updates survive a seeded torn
+    /// crash; unacked state never corrupts the store. Swept across seeds so
+    /// the torn byte lands all over both files' write streams.
+    #[test]
+    fn crash_at_seeded_points_preserves_every_acked_update() {
+        for seed in 0..24u64 {
+            let dir = tmp_dir(&format!("crash-{seed}"));
+            let fs = features(40, 2);
+            let chaos = small_cfg().with_fault_plan(IoFaultPlan::new(seed));
+            {
+                let mut t = DurableFeatures::create(&dir, &fs, chaos.clone()).unwrap();
+                for k in 0..6u32 {
+                    t.update_row(k * 5, &[k as f32, -(k as f32)]).unwrap(); // acked
+                }
+                t.crash().unwrap();
+            }
+            let (mut t, report) = DurableFeatures::open(&dir, small_cfg()).unwrap();
+            assert_eq!(report.replayed_updates, 6, "seed {seed}");
+            for k in 0..6u32 {
+                let mut out = Vec::new();
+                t.read_row_into(k * 5, &mut out).unwrap();
+                assert_eq!(out, vec![k as f32, -(k as f32)], "seed {seed} node {}", k * 5);
+            }
+            // Untouched rows kept their base values.
+            let mut out = Vec::new();
+            t.read_row_into(1, &mut out).unwrap();
+            assert_eq!(out, vec![0.5, 0.75]);
+            t.scrub().unwrap();
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn transient_eio_during_recovery_is_retried() {
+        let dir = tmp_dir("eio-open");
+        let fs = features(40, 2);
+        {
+            let mut t = DurableFeatures::create(&dir, &fs, small_cfg()).unwrap();
+            t.update_row(2, &[5.0, 6.0]).unwrap();
+        }
+        // Fault the opening read stream itself.
+        let plan = IoFaultPlan::new(11).eio_read(0).eio_read(3);
+        let (mut t, report) =
+            DurableFeatures::open(&dir, small_cfg().with_fault_plan(plan)).unwrap();
+        assert_eq!(report.replayed_updates, 1);
+        let mut out = Vec::new();
+        t.read_row_into(2, &mut out).unwrap();
+        assert_eq!(out, vec![5.0, 6.0]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn crash_without_fault_plan_is_an_error() {
+        let dir = tmp_dir("nocrash");
+        let t = DurableFeatures::create(&dir, &features(10, 2), small_cfg()).unwrap();
+        assert!(matches!(t.crash(), Err(DiskError::Invariant(_))));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn metrics_flow_into_the_registry() {
+        let dir = tmp_dir("metrics");
+        let reg = Registry::enabled();
+        let cfg = small_cfg().with_registry(&reg);
+        let mut t = DurableFeatures::create(&dir, &features(40, 2), cfg).unwrap();
+        t.update_row(0, &[1.0, 2.0]).unwrap();
+        let mut out = Vec::new();
+        t.read_row_into(0, &mut out).unwrap();
+        t.publish_metrics();
+        let counters: std::collections::BTreeMap<_, _> = reg.counters().into_iter().collect();
+        assert_eq!(counters["store.disk.wal_appends"], 1);
+        assert!(counters["store.disk.misses"] >= 1);
+        let (_, fsync) = reg
+            .histograms()
+            .into_iter()
+            .find(|(n, _)| n == "store.disk.wal_fsync_ns")
+            .expect("fsync histogram registered");
+        assert_eq!(fsync.count, 1);
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

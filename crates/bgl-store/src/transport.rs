@@ -52,6 +52,14 @@ pub trait StoreTransport: Send {
 
     /// Per-server request counts (sampling load balance, Table 3's cause).
     fn requests_per_server(&mut self) -> Result<Vec<u64>, StoreError>;
+
+    /// Downcast hook: the in-process transport exposes its servers so
+    /// chaos harnesses can attach (and crash) durable disk tiers behind
+    /// the cluster's back. Remote transports return `None` — their
+    /// servers live in other processes.
+    fn in_process(&self) -> Option<&InProcessTransport> {
+        None
+    }
 }
 
 /// Servers in the same address space: `call` is a method dispatch that
@@ -127,6 +135,10 @@ impl StoreTransport for InProcessTransport {
 
     fn requests_per_server(&mut self) -> Result<Vec<u64>, StoreError> {
         Ok(self.servers.iter().map(|s| s.requests_served()).collect())
+    }
+
+    fn in_process(&self) -> Option<&InProcessTransport> {
+        Some(self)
     }
 }
 

@@ -1,0 +1,437 @@
+//! Write-ahead log for the durable disk tier.
+//!
+//! An append-only log of feature/graph updates with length-prefixed,
+//! checksummed records and an explicit fsync discipline: an update is
+//! *acked* only after its record is appended **and** synced. Page
+//! write-back (`crate::bufpool`) is lazy and unsynced, so after a crash the
+//! paged file may hold any prefix of the acked updates — replaying the
+//! whole log (records are idempotent full-row writes) restores exactly the
+//! acked state. The log is truncated only by [`Wal::reset`], which the tier
+//! calls *after* flushing and syncing the paged file at a checkpoint.
+//!
+//! Frame format, after a 16-byte header (`BGLWAL01` + version + reserved):
+//!
+//! ```text
+//! [payload len u32][fnv1a-64 of payload][payload]
+//! ```
+//!
+//! Replay walks frames from the header. The first frame that is incomplete
+//! or fails its checksum marks the torn tail — everything from there is
+//! truncated (a crash mid-append tears the last record; nothing behind it
+//! was acked). A frame that passes its checksum but decodes to garbage is a
+//! hard error, not a tail: checksummed bytes do not tear.
+
+use crate::pager::{fnv1a_64, read_exact_at, BackingFile, DiskError};
+use bgl_obs::Histogram;
+use std::time::Instant;
+
+pub const WAL_MAGIC: &[u8; 8] = b"BGLWAL01";
+pub const WAL_VERSION: u32 = 1;
+pub const WAL_HEADER_LEN: u64 = 16;
+const FRAME_OVERHEAD: usize = 12;
+/// Cap on a single record: a torn length field cannot drive allocation.
+const MAX_RECORD_LEN: u32 = 1 << 24;
+
+const TAG_FEATURE_UPDATE: u8 = 1;
+const TAG_EDGE_INSERT: u8 = 2;
+
+/// One logged update.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// Set node `node`'s full feature row (idempotent, so at-least-once
+    /// client retry after a crash is safe).
+    FeatureUpdate { node: u32, row: Vec<f32> },
+    /// A graph mutation made durable for a future ingest path.
+    EdgeInsert { src: u32, dst: u32 },
+}
+
+impl WalRecord {
+    /// Encode the record payload (what the frame checksum covers).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        match self {
+            WalRecord::FeatureUpdate { node, row } => {
+                let mut out = Vec::with_capacity(9 + 4 * row.len());
+                out.push(TAG_FEATURE_UPDATE);
+                out.extend_from_slice(&node.to_le_bytes());
+                out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                for &x in row {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+                out
+            }
+            WalRecord::EdgeInsert { src, dst } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(TAG_EDGE_INSERT);
+                out.extend_from_slice(&src.to_le_bytes());
+                out.extend_from_slice(&dst.to_le_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decode a payload. Shape is validated exactly — trailing garbage or a
+    /// row count that disagrees with the payload length is corrupt.
+    pub fn decode_payload(bytes: &[u8]) -> Result<WalRecord, DiskError> {
+        let (&tag, rest) = bytes
+            .split_first()
+            .ok_or(DiskError::Truncated("empty WAL payload"))?;
+        match tag {
+            TAG_FEATURE_UPDATE => {
+                if rest.len() < 8 {
+                    return Err(DiskError::Truncated("WAL feature-update header"));
+                }
+                let node = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+                let n = u32::from_le_bytes(rest[4..8].try_into().unwrap()) as usize;
+                if rest.len() != 8 + 4 * n {
+                    return Err(DiskError::Invariant("WAL feature-update row length"));
+                }
+                let row = rest[8..]
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                Ok(WalRecord::FeatureUpdate { node, row })
+            }
+            TAG_EDGE_INSERT => {
+                if rest.len() != 8 {
+                    return Err(DiskError::Invariant("WAL edge-insert length"));
+                }
+                Ok(WalRecord::EdgeInsert {
+                    src: u32::from_le_bytes(rest[0..4].try_into().unwrap()),
+                    dst: u32::from_le_bytes(rest[4..8].try_into().unwrap()),
+                })
+            }
+            _ => Err(DiskError::Invariant("unknown WAL record tag")),
+        }
+    }
+
+    /// Encode the full frame: `[len][fnv64][payload]`.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut frame = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a_64(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+}
+
+/// Cumulative WAL counters (mirrored into `store.disk.*` by the tier).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    pub appends: u64,
+    pub syncs: u64,
+    pub resets: u64,
+    pub replayed: u64,
+    pub torn_truncations: u64,
+}
+
+/// What replay found at open.
+#[derive(Clone, Debug, Default)]
+pub struct WalRecovery {
+    pub records: Vec<WalRecord>,
+    /// Bytes of torn tail truncated away (0 for a clean log).
+    pub torn_bytes: u64,
+}
+
+/// The log itself.
+pub struct Wal {
+    file: Box<dyn BackingFile>,
+    /// Append position (== logical length of the valid log).
+    tail: u64,
+    pub stats: WalStats,
+    fsync_ns: Histogram,
+}
+
+impl Wal {
+    /// Create an empty log (header only), synced.
+    pub fn create(mut file: Box<dyn BackingFile>, fsync_ns: Histogram) -> Result<Wal, DiskError> {
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN as usize);
+        header.extend_from_slice(WAL_MAGIC);
+        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        file.truncate(0)?;
+        file.write_at(0, &header)?;
+        file.sync()?;
+        Ok(Wal { file, tail: WAL_HEADER_LEN, stats: WalStats::default(), fsync_ns })
+    }
+
+    /// Open an existing log and replay it: every complete, checksum-valid
+    /// record is returned; the torn tail (if any) is truncated and synced
+    /// so a second open sees a clean log.
+    pub fn open(
+        mut file: Box<dyn BackingFile>,
+        fsync_ns: Histogram,
+    ) -> Result<(Wal, WalRecovery), DiskError> {
+        let len = file.file_len()?;
+        if len < WAL_HEADER_LEN {
+            return Err(DiskError::Truncated("WAL header"));
+        }
+        let mut header = [0u8; WAL_HEADER_LEN as usize];
+        read_exact_at(file.as_mut(), 0, &mut header)?;
+        if &header[0..8] != WAL_MAGIC {
+            return Err(DiskError::BadMagic { expected: "BGLWAL01" });
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != WAL_VERSION {
+            return Err(DiskError::BadVersion { found: version });
+        }
+        let mut recovery = WalRecovery::default();
+        let mut off = WAL_HEADER_LEN;
+        let mut torn = false;
+        while off < len {
+            let remaining = len - off;
+            if remaining < FRAME_OVERHEAD as u64 {
+                torn = true;
+                break;
+            }
+            let mut fh = [0u8; FRAME_OVERHEAD];
+            read_exact_at(file.as_mut(), off, &mut fh)?;
+            let plen = u32::from_le_bytes(fh[0..4].try_into().unwrap());
+            let stored = u64::from_le_bytes(fh[4..12].try_into().unwrap());
+            if plen > MAX_RECORD_LEN || remaining < FRAME_OVERHEAD as u64 + plen as u64 {
+                torn = true;
+                break;
+            }
+            let mut payload = vec![0u8; plen as usize];
+            read_exact_at(file.as_mut(), off + FRAME_OVERHEAD as u64, &mut payload)?;
+            if fnv1a_64(&payload) != stored {
+                torn = true;
+                break;
+            }
+            // Checksummed bytes that fail to decode are a hard error, not a
+            // torn tail: tearing cannot produce a valid checksum.
+            recovery.records.push(WalRecord::decode_payload(&payload)?);
+            off += FRAME_OVERHEAD as u64 + plen as u64;
+        }
+        let mut wal = Wal { file, tail: off, stats: WalStats::default(), fsync_ns };
+        wal.stats.replayed = recovery.records.len() as u64;
+        if torn {
+            recovery.torn_bytes = len - off;
+            wal.stats.torn_truncations = 1;
+            wal.file.truncate(off)?;
+            wal.sync()?;
+        }
+        Ok((wal, recovery))
+    }
+
+    /// Append one record at the tail. NOT durable until [`Wal::sync`].
+    pub fn append(&mut self, rec: &WalRecord) -> Result<(), DiskError> {
+        let frame = rec.encode_frame();
+        self.file.write_at(self.tail, &frame)?;
+        self.tail += frame.len() as u64;
+        self.stats.appends += 1;
+        Ok(())
+    }
+
+    /// fsync the log — the ack point of the update protocol. Latency lands
+    /// in the `store.disk.wal_fsync_ns` histogram.
+    pub fn sync(&mut self) -> Result<(), DiskError> {
+        let t0 = Instant::now();
+        self.file.sync()?;
+        self.fsync_ns.record(t0.elapsed().as_nanos() as u64);
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    /// Truncate to an empty log. Only safe after the paged file has been
+    /// flushed and synced (checkpoint protocol).
+    pub fn reset(&mut self) -> Result<(), DiskError> {
+        self.file.truncate(WAL_HEADER_LEN)?;
+        self.tail = WAL_HEADER_LEN;
+        self.stats.resets += 1;
+        self.sync()
+    }
+
+    /// Current logical length (header + valid records).
+    pub fn tail_bytes(&self) -> u64 {
+        self.tail
+    }
+
+    /// Un-synced bytes in the backing file (chaos introspection).
+    pub fn pending_bytes(&self) -> usize {
+        self.file.pending_bytes()
+    }
+
+    /// Chaos hook: crash the backing file keeping a `keep`-byte prefix of
+    /// its un-synced writes.
+    pub fn crash(&mut self, keep: usize) -> Result<(), DiskError> {
+        self.file.crash(keep)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::{RealFile, ShadowFile};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("bgl-wal-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn recs() -> Vec<WalRecord> {
+        vec![
+            WalRecord::FeatureUpdate { node: 3, row: vec![1.0, -2.5] },
+            WalRecord::EdgeInsert { src: 1, dst: 9 },
+            WalRecord::FeatureUpdate { node: 0, row: vec![0.0, 7.5] },
+        ]
+    }
+
+    #[test]
+    fn append_sync_replay_roundtrip() {
+        let path = tmp("roundtrip");
+        {
+            let f = Box::new(RealFile::open(&path).unwrap());
+            let mut w = Wal::create(f, Histogram::noop()).unwrap();
+            for r in recs() {
+                w.append(&r).unwrap();
+                w.sync().unwrap();
+            }
+            assert_eq!(w.stats.appends, 3);
+            assert_eq!(w.stats.syncs, 3);
+        }
+        let f = Box::new(RealFile::open(&path).unwrap());
+        let (w, rec) = Wal::open(f, Histogram::noop()).unwrap();
+        assert_eq!(rec.records, recs());
+        assert_eq!(rec.torn_bytes, 0);
+        assert_eq!(w.stats.replayed, 3);
+        std::fs::remove_file(path).ok();
+    }
+
+    /// Torn-tail detection proven exhaustively: truncate the log at EVERY
+    /// byte offset; replay must return exactly the records whose frames
+    /// survive whole, and truncate the rest.
+    #[test]
+    fn truncation_at_every_offset_keeps_the_whole_prefix() {
+        let path = tmp("everyoffset");
+        {
+            let f = Box::new(RealFile::open(&path).unwrap());
+            let mut w = Wal::create(f, Histogram::noop()).unwrap();
+            for r in recs() {
+                w.append(&r).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Frame boundaries, to predict how many records survive a cut.
+        let mut bounds = vec![WAL_HEADER_LEN as usize];
+        for r in recs() {
+            bounds.push(bounds.last().unwrap() + r.encode_frame().len());
+        }
+        for cut in WAL_HEADER_LEN as usize..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let f = Box::new(RealFile::open(&path).unwrap());
+            let (_, rec) = Wal::open(f, Histogram::noop()).unwrap();
+            let expect = bounds[1..].iter().filter(|&&b| b <= cut).count();
+            assert_eq!(rec.records.len(), expect, "cut at {}", cut);
+            assert_eq!(rec.records[..], recs()[..expect]);
+            // Replay healed the file: a second open is clean.
+            let f = Box::new(RealFile::open(&path).unwrap());
+            let (_, rec2) = Wal::open(f, Histogram::noop()).unwrap();
+            assert_eq!(rec2.torn_bytes, 0);
+            assert_eq!(rec2.records.len(), expect);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn tail_bitflip_is_truncated_but_mid_log_decode_garbage_errors() {
+        let path = tmp("bitflip");
+        {
+            let f = Box::new(RealFile::open(&path).unwrap());
+            let mut w = Wal::create(f, Histogram::noop()).unwrap();
+            for r in recs() {
+                w.append(&r).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x10; // payload of the LAST record
+        std::fs::write(&path, &bytes).unwrap();
+        let f = Box::new(RealFile::open(&path).unwrap());
+        let (_, rec) = Wal::open(f, Histogram::noop()).unwrap();
+        assert_eq!(rec.records.len(), 2, "flip in the tail record truncates it");
+        assert!(rec.torn_bytes > 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn checksum_valid_garbage_payload_is_a_hard_error() {
+        let path = tmp("garbage");
+        {
+            let f = Box::new(RealFile::open(&path).unwrap());
+            Wal::create(f, Histogram::noop()).unwrap();
+        }
+        // Hand-craft a frame whose payload checksums fine but has a bogus tag.
+        let payload = [99u8, 1, 2, 3];
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a_64(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, &bytes).unwrap();
+        let f = Box::new(RealFile::open(&path).unwrap());
+        assert!(matches!(
+            Wal::open(f, Histogram::noop()),
+            Err(DiskError::Invariant("unknown WAL record tag"))
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = tmp("reset");
+        {
+            let f = Box::new(RealFile::open(&path).unwrap());
+            let mut w = Wal::create(f, Histogram::noop()).unwrap();
+            for r in recs() {
+                w.append(&r).unwrap();
+            }
+            w.sync().unwrap();
+            w.reset().unwrap();
+            assert_eq!(w.tail_bytes(), WAL_HEADER_LEN);
+        }
+        let f = Box::new(RealFile::open(&path).unwrap());
+        let (_, rec) = Wal::open(f, Histogram::noop()).unwrap();
+        assert!(rec.records.is_empty());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn crash_before_sync_loses_only_unacked_appends() {
+        let path = tmp("crashsync");
+        {
+            let f = Box::new(ShadowFile::open(&path).unwrap());
+            let mut w = Wal::create(f, Histogram::noop()).unwrap();
+            w.append(&recs()[0]).unwrap();
+            w.sync().unwrap(); // acked
+            w.append(&recs()[1]).unwrap(); // NOT acked
+            assert!(w.pending_bytes() > 0);
+            w.crash(0).unwrap(); // crash before fsync: nothing pending lands
+        }
+        let f = Box::new(RealFile::open(&path).unwrap());
+        let (_, rec) = Wal::open(f, Histogram::noop()).unwrap();
+        assert_eq!(rec.records, vec![recs()[0].clone()]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn huge_length_prefix_does_not_allocate() {
+        let path = tmp("hugelen");
+        {
+            let f = Box::new(RealFile::open(&path).unwrap());
+            Wal::create(f, Histogram::noop()).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let f = Box::new(RealFile::open(&path).unwrap());
+        let (_, rec) = Wal::open(f, Histogram::noop()).unwrap();
+        assert!(rec.records.is_empty());
+        assert!(rec.torn_bytes > 0, "absurd length reads as a torn tail");
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -15,6 +15,8 @@ const TAG_NEIGHBOR_REQ: u8 = 1;
 const TAG_NEIGHBOR_RESP: u8 = 2;
 const TAG_FEATURE_REQ: u8 = 3;
 const TAG_FEATURE_RESP: u8 = 4;
+const TAG_FEATURE_UPDATE_REQ: u8 = 5;
+const TAG_FEATURE_UPDATE_RESP: u8 = 6;
 
 /// A decoded store message.
 #[derive(Clone, Debug, PartialEq)]
@@ -27,6 +29,12 @@ pub enum Message {
     FeatureReq { nodes: Vec<NodeId> },
     /// Feature rows (`nodes.len() × dim`), in request order.
     FeatureResp { dim: u32, rows: Vec<f32> },
+    /// Overwrite the full feature row of each node (`rows` is
+    /// `nodes.len() × dim`, in request order). Idempotent, so a client may
+    /// retry after an ambiguous failure.
+    FeatureUpdateReq { dim: u32, nodes: Vec<NodeId>, rows: Vec<f32> },
+    /// Ack: how many rows were applied (always all of them, or an error).
+    FeatureUpdateResp { applied: u32 },
 }
 
 impl Message {
@@ -67,6 +75,21 @@ impl Message {
                     buf.put_f32_le(x);
                 }
             }
+            Message::FeatureUpdateReq { dim, nodes, rows } => {
+                buf.put_u8(TAG_FEATURE_UPDATE_REQ);
+                buf.put_u32_le(*dim);
+                buf.put_u32_le(nodes.len() as u32);
+                for &v in nodes {
+                    buf.put_u32_le(v);
+                }
+                for &x in rows {
+                    buf.put_f32_le(x);
+                }
+            }
+            Message::FeatureUpdateResp { applied } => {
+                buf.put_u8(TAG_FEATURE_UPDATE_RESP);
+                buf.put_u32_le(*applied);
+            }
         }
         buf.freeze()
     }
@@ -81,6 +104,10 @@ impl Message {
             }
             Message::FeatureReq { nodes } => 1 + 4 + 4 * nodes.len(),
             Message::FeatureResp { rows, .. } => 1 + 4 + 4 + 4 * rows.len(),
+            Message::FeatureUpdateReq { nodes, rows, .. } => {
+                1 + 4 + 4 + 4 * nodes.len() + 4 * rows.len()
+            }
+            Message::FeatureUpdateResp { .. } => 1 + 4,
         }
     }
 
@@ -130,6 +157,29 @@ impl Message {
                     rows.push(buf.get_f32_le());
                 }
                 Ok(Message::FeatureResp { dim, rows })
+            }
+            TAG_FEATURE_UPDATE_REQ => {
+                let dim = get_u32(&mut buf, "dim")?;
+                if dim == 0 {
+                    return Err(StoreError::Malformed("feature update with zero dim"));
+                }
+                let n = get_u32(&mut buf, "count")? as usize;
+                let nodes = get_ids(&mut buf, n)?;
+                let want = n.checked_mul(dim as usize).ok_or(StoreError::Malformed(
+                    "feature update row payload overflows",
+                ))?;
+                if buf.remaining() != want * 4 {
+                    return Err(StoreError::Malformed("feature update rows mismatch count×dim"));
+                }
+                let mut rows = Vec::with_capacity(want.min(1 << 20));
+                for _ in 0..want {
+                    rows.push(buf.get_f32_le());
+                }
+                Ok(Message::FeatureUpdateReq { dim, nodes, rows })
+            }
+            TAG_FEATURE_UPDATE_RESP => {
+                let applied = get_u32(&mut buf, "applied")?;
+                Ok(Message::FeatureUpdateResp { applied })
             }
             _ => Err(StoreError::Malformed("unknown tag")),
         }
@@ -244,6 +294,47 @@ mod tests {
         assert_eq!(
             Message::decode(bad.freeze()),
             Err(StoreError::Malformed("truncated id list"))
+        );
+    }
+
+    #[test]
+    fn feature_update_roundtrip() {
+        let m = Message::FeatureUpdateReq {
+            dim: 2,
+            nodes: vec![4, 9],
+            rows: vec![1.0, 2.0, 3.0, 4.0],
+        };
+        let enc = m.encode();
+        assert_eq!(enc.len(), m.encoded_len());
+        assert_eq!(Message::decode(enc).unwrap(), m);
+        let ack = Message::FeatureUpdateResp { applied: 2 };
+        let enc = ack.encode();
+        assert_eq!(enc.len(), ack.encoded_len());
+        assert_eq!(Message::decode(enc).unwrap(), ack);
+    }
+
+    #[test]
+    fn feature_update_shape_is_validated() {
+        // Rows payload disagreeing with count×dim is malformed.
+        let mut bad = BytesMut::new();
+        bad.put_u8(TAG_FEATURE_UPDATE_REQ);
+        bad.put_u32_le(2); // dim
+        bad.put_u32_le(2); // count
+        bad.put_u32_le(4);
+        bad.put_u32_le(9);
+        bad.put_f32_le(1.0); // only 1 float, need 4
+        assert_eq!(
+            Message::decode(bad.freeze()),
+            Err(StoreError::Malformed("feature update rows mismatch count×dim"))
+        );
+        // Zero dim can never carry an update.
+        let mut bad = BytesMut::new();
+        bad.put_u8(TAG_FEATURE_UPDATE_REQ);
+        bad.put_u32_le(0);
+        bad.put_u32_le(0);
+        assert_eq!(
+            Message::decode(bad.freeze()),
+            Err(StoreError::Malformed("feature update with zero dim"))
         );
     }
 

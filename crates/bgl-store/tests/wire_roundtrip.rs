@@ -20,7 +20,7 @@ fn random_ids(rng: &mut StdRng, max_len: usize) -> Vec<u32> {
 }
 
 fn random_message(rng: &mut StdRng) -> Message {
-    match rng.random_range(0..4u32) {
+    match rng.random_range(0..6u32) {
         0 => Message::NeighborReq {
             fanout: rng.random_range(0..64),
             nodes: random_ids(rng, 40),
@@ -32,7 +32,7 @@ fn random_message(rng: &mut StdRng) -> Message {
             Message::NeighborResp { lists }
         }
         2 => Message::FeatureReq { nodes: random_ids(rng, 40) },
-        _ => {
+        3 => {
             // Rows must be whole: n_rows × dim floats.
             let dim = rng.random_range(1..16u32);
             let n_rows = rng.random_range(0..10usize);
@@ -41,13 +41,22 @@ fn random_message(rng: &mut StdRng) -> Message {
                 .collect();
             Message::FeatureResp { dim, rows }
         }
+        4 => {
+            let dim = rng.random_range(1..16u32);
+            let nodes = random_ids(rng, 10);
+            let rows = (0..nodes.len() * dim as usize)
+                .map(|_| rng.random::<f32>() * 100.0 - 50.0)
+                .collect();
+            Message::FeatureUpdateReq { dim, nodes, rows }
+        }
+        _ => Message::FeatureUpdateResp { applied: rng.random_range(0..1024) },
     }
 }
 
 #[test]
 fn every_variant_roundtrips() {
     let mut rng = StdRng::seed_from_u64(SEED);
-    let mut seen = [0usize; 4];
+    let mut seen = [0usize; 6];
     for _ in 0..CASES {
         let m = random_message(&mut rng);
         seen[match &m {
@@ -55,6 +64,8 @@ fn every_variant_roundtrips() {
             Message::NeighborResp { .. } => 1,
             Message::FeatureReq { .. } => 2,
             Message::FeatureResp { .. } => 3,
+            Message::FeatureUpdateReq { .. } => 4,
+            Message::FeatureUpdateResp { .. } => 5,
         }] += 1;
         let encoded = m.encode();
         assert_eq!(encoded.len(), m.encoded_len(), "encoded_len mismatch for {:?}", m);
@@ -62,7 +73,7 @@ fn every_variant_roundtrips() {
     }
     assert!(
         seen.iter().all(|&c| c > 0),
-        "all four variants must be exercised: {:?}",
+        "all six variants must be exercised: {:?}",
         seen
     );
 }

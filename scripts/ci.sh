@@ -44,3 +44,13 @@ cargo bench -p bgl-net --bench loopback -- --test
 env -u RUST_TEST_THREADS cargo test -q -p bgl --test ckpt_recovery
 env -u RUST_TEST_THREADS cargo test -q --release -p bgl --test ckpt_recovery
 cargo bench -p bgl-exec --bench checkpoint -- --test
+
+# Durable disk tier: the disk/WAL chaos suite crashes shadow-filed tiers
+# at seeded torn points behind both the in-process and TCP transports and
+# proves recovery bitwise-faithful — real server threads again, so
+# uncapped, and once under --release where the epoch replay that checks
+# bitwise identity runs at full speed. The page/WAL microbench runs in
+# --test mode as a smoke gate on the encode/checksum/fsync path.
+env -u RUST_TEST_THREADS cargo test -q -p bgl --test disk_recovery
+env -u RUST_TEST_THREADS cargo test -q --release -p bgl --test disk_recovery
+cargo bench -p bgl-store --bench disk -- --test
