@@ -1,0 +1,186 @@
+//! Kernel before/after bench: the naive matmul kernels this repo shipped
+//! with (re-implemented here as the baseline) vs the blocked, k-unrolled,
+//! pool-parallel kernels in `bgl_tensor::Matrix`, on the matmul shapes the
+//! fig14/fig16 pipelines actually run (GNN layer forward, weight-gradient,
+//! and input-gradient products). `cargo bench -p bench --bench kernels --
+//! --test` runs one smoke pass; a full run writes the measured speedups to
+//! `results/BENCH_kernels.json`.
+
+use bgl_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use std::time::{Duration, Instant};
+
+/// (label, m, k, n): fig16 train-step layer shapes (products-like dim 100,
+/// hidden 32/128, ~600-row sampled frontiers) and the fig14-scale gather
+/// batch pushed through a layer.
+const SHAPES: &[(&str, usize, usize, usize)] = &[
+    ("fig16-l1-forward", 600, 100, 32),
+    ("fig16-l2-forward", 311, 64, 32),
+    ("fig16-wide-hidden", 311, 96, 32),
+    ("fig14-batch-layer", 1024, 128, 128),
+];
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.random::<f32>() - 0.5).collect())
+}
+
+/// The pre-blocking `matmul`: per-row axpy with a zero-skip branch.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (p, &av) in a_row.iter().enumerate().take(k) {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for j in 0..n {
+                out_row[j] += av * b_row[j];
+            }
+        }
+    }
+    out
+}
+
+/// The pre-blocking `matmul_tn` (weight gradients).
+fn naive_matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (i, &av) in a_row.iter().enumerate().take(m) {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(i);
+            for j in 0..n {
+                out_row[j] += av * b_row[j];
+            }
+        }
+    }
+    out
+}
+
+/// The pre-blocking `matmul_nt` (input gradients): per-element dot.
+fn naive_matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (j, o) in out_row.iter_mut().enumerate().take(n) {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a_row[p] * b_row[p];
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// Median wall time of `reps` runs of `f`, in nanoseconds.
+fn time_ns(reps: usize, mut f: impl FnMut() -> f32) -> u64 {
+    let mut samples = Vec::with_capacity(reps);
+    let mut sink = 0.0f32;
+    for _ in 0..reps {
+        let t = Instant::now();
+        sink += f();
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    std::hint::black_box(sink);
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn measure_and_record(smoke: bool) {
+    let mut rng = StdRng::seed_from_u64(14);
+    let reps = if smoke { 1 } else { 51 };
+    let threads = bgl_tensor::pool::global().threads();
+    let mut rows = Vec::new();
+    println!(
+        "{:<20} {:>10} {:>12} {:>12} {:>8}",
+        "kernel", "shape", "naive ns", "blocked ns", "speedup"
+    );
+    for &(label, m, k, n) in SHAPES {
+        let a = random_matrix(m, k, &mut rng);
+        let b = random_matrix(k, n, &mut rng);
+        let at = random_matrix(k, m, &mut rng); // (k,m) operand for tn
+        let bt = random_matrix(n, k, &mut rng); // (n,k) operand for nt
+        let cases: [(&str, u64, u64); 3] = [
+            (
+                "matmul",
+                time_ns(reps, || naive_matmul(&a, &b).raw()[0]),
+                time_ns(reps, || a.matmul(&b).raw()[0]),
+            ),
+            (
+                "matmul_tn",
+                time_ns(reps, || naive_matmul_tn(&at, &b).raw()[0]),
+                time_ns(reps, || at.matmul_tn(&b).raw()[0]),
+            ),
+            (
+                "matmul_nt",
+                time_ns(reps, || naive_matmul_nt(&a, &bt).raw()[0]),
+                time_ns(reps, || a.matmul_nt(&bt).raw()[0]),
+            ),
+        ];
+        for (kernel, naive_ns, blocked_ns) in cases {
+            let speedup = naive_ns as f64 / blocked_ns.max(1) as f64;
+            println!(
+                "{:<20} {:>10} {:>12} {:>12} {:>7.2}x",
+                format!("{label}/{kernel}"),
+                format!("{m}x{k}x{n}"),
+                naive_ns,
+                blocked_ns,
+                speedup
+            );
+            rows.push(serde_json::json!({
+                "shape": label,
+                "kernel": kernel,
+                "m": m, "k": k, "n": n,
+                "threads": threads,
+                "naive_ns": naive_ns,
+                "blocked_ns": blocked_ns,
+                "speedup": speedup,
+            }));
+        }
+    }
+    if smoke {
+        return;
+    }
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/BENCH_kernels.json");
+    std::fs::write(&out, serde_json::to_string_pretty(&rows).expect("serialize"))
+        .expect("write BENCH_kernels.json");
+    eprintln!("[saved {}]", out.display());
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for &(label, m, k, n) in SHAPES {
+        let a = random_matrix(m, k, &mut rng);
+        let b = random_matrix(k, n, &mut rng);
+        group.bench_function(format!("naive/{label}"), |bch| {
+            bch.iter(|| naive_matmul(&a, &b).raw()[0])
+        });
+        group.bench_function(format!("blocked/{label}"), |bch| {
+            bch.iter(|| a.matmul(&b).raw()[0])
+        });
+    }
+    group.finish();
+
+    // The smoke flag criterion itself honors (`-- --test`) also gates the
+    // measured-summary pass: one rep, no results artifact.
+    let smoke = std::env::args().any(|a| a == "--test");
+    measure_and_record(smoke);
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

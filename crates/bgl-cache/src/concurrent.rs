@@ -28,6 +28,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::engine::Shard;
+use bgl_graph::FeaturePrecision;
 
 /// Common front-end of the queue and mutex sharded caches, so the §3.2.3
 /// ablation (and tests) can drive both through one interface.
@@ -105,7 +106,7 @@ impl QueueShardedCache {
             let (tx, rx): (Sender<CacheOp>, Receiver<CacheOp>) = unbounded();
             let shared = Arc::clone(&shared);
             let handle = std::thread::spawn(move || {
-                let mut shard = Shard::new(kind, capacity, dim, &[]);
+                let mut shard = Shard::new(kind, capacity, dim, &[], FeaturePrecision::F32);
                 while let Ok(op) = rx.recv() {
                     match op {
                         CacheOp::Query { keys, reply } => {
@@ -116,7 +117,9 @@ impl QueueShardedCache {
                                 match shard.policy.lookup(k) {
                                     Some(slot) => {
                                         delta.gpu_local_hits += 1;
-                                        hits.push((i, shard.slot(slot).to_vec()));
+                                        let mut row = vec![0.0f32; dim];
+                                        shard.read_slot_into(slot, &mut row);
+                                        hits.push((i, row));
                                     }
                                     None => {
                                         delta.misses += 1;
@@ -287,7 +290,7 @@ pub struct MutexShardedCache {
 impl MutexShardedCache {
     pub fn new(num_shards: usize, dim: usize, capacity: usize, kind: PolicyKind) -> Self {
         let shards = (0..num_shards)
-            .map(|_| Arc::new(Mutex::new(Shard::new(kind, capacity, dim, &[]))))
+            .map(|_| Arc::new(Mutex::new(Shard::new(kind, capacity, dim, &[], FeaturePrecision::F32))))
             .collect();
         MutexShardedCache {
             shards,
@@ -323,9 +326,8 @@ impl ShardedCache for MutexShardedCache {
             match shard.policy.lookup(v) {
                 Some(slot) => {
                     delta.gpu_local_hits += 1;
-                    let row = shard.slot(slot);
                     for &pos in &positions[u] {
-                        out[pos * dim..(pos + 1) * dim].copy_from_slice(row);
+                        shard.read_slot_into(slot, &mut out[pos * dim..(pos + 1) * dim]);
                     }
                 }
                 None => {

@@ -11,31 +11,84 @@ use crate::cost::CacheCostModel;
 use crate::metrics::CacheMetricSet;
 use crate::policy::{make_policy, CachePolicy, PolicyKind};
 use crate::stats::CacheStats;
-use bgl_graph::{FeatureStore, NodeId};
+use bgl_graph::half::{f16_bits_to_f32, f32_to_f16_bits};
+use bgl_graph::{FeatureBlock, FeaturePrecision, FeatureStore, NodeId};
 use std::collections::HashMap;
+
+/// Slot storage at the shard's configured precision. f16 slots hold the
+/// same number of rows in half the bytes — narrowing happens once at
+/// admit, widening on every hit.
+pub(crate) enum SlotBuf {
+    F32(Vec<f32>),
+    F16(Vec<u16>),
+}
+
+impl SlotBuf {
+    fn new(precision: FeaturePrecision, scalars: usize) -> Self {
+        match precision {
+            FeaturePrecision::F32 => SlotBuf::F32(vec![0.0; scalars]),
+            FeaturePrecision::F16 => SlotBuf::F16(vec![0; scalars]),
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            SlotBuf::F32(b) => b.len() * 4,
+            SlotBuf::F16(b) => b.len() * 2,
+        }
+    }
+}
 
 /// One cache shard: a policy plus the slot buffer it indexes.
 pub(crate) struct Shard {
     pub policy: Box<dyn CachePolicy>,
-    pub buffer: Vec<f32>,
+    buffer: SlotBuf,
     dim: usize,
 }
 
 impl Shard {
-    pub(crate) fn new(kind: PolicyKind, capacity: usize, dim: usize, hot: &[NodeId]) -> Self {
+    pub(crate) fn new(
+        kind: PolicyKind,
+        capacity: usize,
+        dim: usize,
+        hot: &[NodeId],
+        precision: FeaturePrecision,
+    ) -> Self {
         let policy = make_policy(kind, capacity, hot);
-        let buffer = vec![0.0; policy.capacity() * dim];
+        let buffer = SlotBuf::new(precision, policy.capacity() * dim);
         Shard { policy, buffer, dim }
     }
 
-    pub(crate) fn slot(&self, slot: u32) -> &[f32] {
+    /// Widen slot `slot` into `dst` (length `dim`).
+    pub(crate) fn read_slot_into(&self, slot: u32, dst: &mut [f32]) {
         let s = slot as usize;
-        &self.buffer[s * self.dim..(s + 1) * self.dim]
+        let range = s * self.dim..(s + 1) * self.dim;
+        match &self.buffer {
+            SlotBuf::F32(b) => dst.copy_from_slice(&b[range]),
+            SlotBuf::F16(b) => {
+                for (d, &h) in dst.iter_mut().zip(&b[range]) {
+                    *d = f16_bits_to_f32(h);
+                }
+            }
+        }
     }
 
     pub(crate) fn write_slot(&mut self, slot: u32, row: &[f32]) {
         let s = slot as usize;
-        self.buffer[s * self.dim..(s + 1) * self.dim].copy_from_slice(row);
+        let range = s * self.dim..(s + 1) * self.dim;
+        match &mut self.buffer {
+            SlotBuf::F32(b) => b[range].copy_from_slice(row),
+            SlotBuf::F16(b) => {
+                for (d, &x) in b[range].iter_mut().zip(row) {
+                    *d = f32_to_f16_bits(x);
+                }
+            }
+        }
+    }
+
+    /// Resident slot bytes at this shard's precision.
+    pub(crate) fn buffer_bytes(&self) -> usize {
+        self.buffer.bytes()
     }
 
     /// Admit `key` with feature `row`; returns true if cached.
@@ -99,11 +152,12 @@ pub struct FeatureCacheEngine {
     gpu_cost: CacheCostModel,
     totals: CacheStats,
     kind: PolicyKind,
+    precision: FeaturePrecision,
     metrics: CacheMetricSet,
 }
 
 impl FeatureCacheEngine {
-    /// Build an engine.
+    /// Build an engine storing rows at full f32 precision.
     ///
     /// * `gpu_capacity` — slots *per GPU shard*;
     /// * `cpu_capacity` — slots in the CPU level (0 disables it);
@@ -117,6 +171,30 @@ impl FeatureCacheEngine {
         kind: PolicyKind,
         hot_nodes: &[NodeId],
     ) -> Self {
+        Self::with_precision(
+            num_gpus,
+            dim,
+            gpu_capacity,
+            cpu_capacity,
+            kind,
+            hot_nodes,
+            FeaturePrecision::F32,
+        )
+    }
+
+    /// [`FeatureCacheEngine::new`] with an explicit slot precision. With
+    /// [`FeaturePrecision::F16`] every resident row costs half the cache
+    /// bytes (same slot count), and `miss_bytes` accounting assumes the
+    /// store ships rows at the same precision.
+    pub fn with_precision(
+        num_gpus: usize,
+        dim: usize,
+        gpu_capacity: usize,
+        cpu_capacity: usize,
+        kind: PolicyKind,
+        hot_nodes: &[NodeId],
+        precision: FeaturePrecision,
+    ) -> Self {
         assert!(num_gpus >= 1, "need at least one GPU shard");
         assert!(dim >= 1, "feature dim must be positive");
         let gpu_shards = (0..num_gpus)
@@ -126,11 +204,11 @@ impl FeatureCacheEngine {
                     .copied()
                     .filter(|&v| (v as usize) % num_gpus == g)
                     .collect();
-                Shard::new(kind, gpu_capacity, dim, &hot)
+                Shard::new(kind, gpu_capacity, dim, &hot, precision)
             })
             .collect();
         let cpu_shard = if cpu_capacity > 0 {
-            Some(Shard::new(kind, cpu_capacity, dim, hot_nodes))
+            Some(Shard::new(kind, cpu_capacity, dim, hot_nodes, precision))
         } else {
             None
         };
@@ -142,6 +220,7 @@ impl FeatureCacheEngine {
             gpu_cost: CacheCostModel::for_policy(kind),
             totals: CacheStats::default(),
             kind,
+            precision,
             metrics: CacheMetricSet::default(),
         }
     }
@@ -179,6 +258,21 @@ impl FeatureCacheEngine {
         self.kind
     }
 
+    /// Slot storage precision.
+    pub fn precision(&self) -> FeaturePrecision {
+        self.precision
+    }
+
+    /// Total resident slot bytes across all levels, at the configured
+    /// precision (what f16 halves).
+    pub fn resident_bytes(&self) -> usize {
+        self.gpu_shards
+            .iter()
+            .chain(self.cpu_shard.iter())
+            .map(Shard::buffer_bytes)
+            .sum()
+    }
+
     /// Feature dimensionality.
     pub fn dim(&self) -> usize {
         self.dim
@@ -200,11 +294,11 @@ impl FeatureCacheEngine {
     ) -> FetchResult {
         let pending = self.lookup_batch(worker, nodes);
         let rows = if pending.missing_keys.is_empty() {
-            Vec::new()
+            FeatureBlock::new(self.dim, 0)
         } else {
-            source(&pending.missing_keys)
+            FeatureBlock::from_rows(self.dim, source(&pending.missing_keys))
         };
-        self.complete_batch(pending, rows)
+        self.complete_batch(pending, &rows)
     }
 
     /// First half of [`FeatureCacheEngine::fetch_batch`]: serve `nodes` from
@@ -237,22 +331,25 @@ impl FeatureCacheEngine {
                 } else {
                     stats.gpu_peer_hits += 1;
                 }
-                let row = self.gpu_shards[shard_id].slot(slot);
-                out[i * dim..(i + 1) * dim].copy_from_slice(row);
+                self.gpu_shards[shard_id].read_slot_into(slot, &mut out[i * dim..(i + 1) * dim]);
                 continue;
             }
-            // GPU miss: try the CPU level.
+            // GPU miss: try the CPU level. The row lands directly in the
+            // batch buffer and is promoted from there — the old path
+            // round-tripped every CPU hit through a fresh `Vec`.
+            let mut cpu_hit = false;
             if let Some(cpu) = self.cpu_shard.as_mut() {
                 if let Some(slot) = cpu.policy.lookup(v) {
                     stats.cpu_hits += 1;
-                    let row = cpu.slot(slot).to_vec();
-                    out[i * dim..(i + 1) * dim].copy_from_slice(&row);
-                    // Promote into the owning GPU shard.
-                    if self.gpu_shards[shard_id].admit(v, &row) {
-                        gpu_inserts += 1;
-                    }
-                    continue;
+                    cpu.read_slot_into(slot, &mut out[i * dim..(i + 1) * dim]);
+                    cpu_hit = true;
                 }
+            }
+            if cpu_hit {
+                if self.gpu_shards[shard_id].admit(v, &out[i * dim..(i + 1) * dim]) {
+                    gpu_inserts += 1;
+                }
+                continue;
             }
             let idx = *miss_index.entry(v).or_insert_with(|| {
                 missing_keys.push(v);
@@ -276,8 +373,10 @@ impl FeatureCacheEngine {
     /// Second half of [`FeatureCacheEngine::fetch_batch`]: fan the fetched
     /// `rows` (one per [`PendingFetch::missing_keys`] entry, in order) out
     /// to every position they fill, admit them into both levels, and fold
-    /// the batch's counters into the engine totals.
-    pub fn complete_batch(&mut self, pending: PendingFetch, rows: Vec<f32>) -> FetchResult {
+    /// the batch's counters into the engine totals. The rows arrive as a
+    /// [`FeatureBlock`], so decoded transport buffers are referenced in
+    /// place rather than re-gathered into a flat `Vec`.
+    pub fn complete_batch(&mut self, pending: PendingFetch, rows: &FeatureBlock) -> FetchResult {
         let dim = self.dim;
         let PendingFetch {
             features: mut out,
@@ -290,15 +389,17 @@ impl FeatureCacheEngine {
         } = pending;
 
         if !missing_keys.is_empty() {
+            assert_eq!(rows.dim(), dim, "source block has the wrong dim");
             assert_eq!(
                 rows.len(),
-                missing_keys.len() * dim,
+                missing_keys.len(),
                 "source returned wrong row count"
             );
             stats.misses += missing_keys.len() as u64;
-            stats.miss_bytes += (rows.len() * std::mem::size_of::<f32>()) as u64;
+            stats.miss_bytes +=
+                (missing_keys.len() * dim * self.precision.bytes_per_scalar()) as u64;
             for (j, &v) in missing_keys.iter().enumerate() {
-                let row = &rows[j * dim..(j + 1) * dim];
+                let row = rows.row(j);
                 for &i in &missing_pos[j] {
                     out[i * dim..(i + 1) * dim].copy_from_slice(row);
                 }
@@ -481,5 +582,54 @@ mod tests {
         let mut src = store_source(&f);
         let res = eng.fetch_batch(0, &[1, 2], &mut src);
         assert_eq!(res.stats.miss_bytes, 2 * 8 * 4);
+    }
+
+    #[test]
+    fn f16_slots_halve_resident_bytes_and_serve_quantized_rows() {
+        let f = features(100, 4);
+        let mut eng32 = FeatureCacheEngine::new(2, 4, 10, 5, PolicyKind::Fifo, &[]);
+        let mut eng16 = FeatureCacheEngine::with_precision(
+            2,
+            4,
+            10,
+            5,
+            PolicyKind::Fifo,
+            &[],
+            bgl_graph::FeaturePrecision::F16,
+        );
+        assert_eq!(eng16.resident_bytes() * 2, eng32.resident_bytes());
+        let mut src = store_source(&f);
+        // Integers below 2048 are exact in f16, so these rows roundtrip.
+        eng16.fetch_batch(0, &[3, 7], &mut src);
+        let res = eng16.fetch_batch(0, &[3, 7], &mut src);
+        assert_eq!(res.stats.misses, 0);
+        assert_eq!(&res.features[0..4], f.row(3));
+        assert_eq!(&res.features[4..8], f.row(7));
+        // Miss traffic is charged at wire precision: half the f32 bytes.
+        let r32 = eng32.fetch_batch(0, &[9], &mut store_source(&f));
+        let r16 = eng16.fetch_batch(0, &[9], &mut store_source(&f));
+        assert_eq!(r16.stats.miss_bytes * 2, r32.stats.miss_bytes);
+    }
+
+    #[test]
+    fn split_fetch_with_feature_block_matches_closure_path() {
+        use bgl_graph::FeatureBlock;
+        let f = features(100, 4);
+        let mut eng = FeatureCacheEngine::new(2, 4, 10, 0, PolicyKind::Fifo, &[]);
+        let pending = eng.lookup_batch(0, &[3, 7, 3, 42]);
+        assert_eq!(pending.missing_keys(), &[3, 7, 42]);
+        // Build the block the way the cluster does: adopt the transport
+        // buffer and place rows by index, no per-row copies.
+        let mut block = FeatureBlock::new(4, 3);
+        let seg = block.adopt_segment(f.gather(pending.missing_keys()));
+        for j in 0..3 {
+            block.place(j, seg, j);
+        }
+        let res = eng.complete_batch(pending, &block);
+        assert_eq!(&res.features[0..4], f.row(3));
+        assert_eq!(&res.features[4..8], f.row(7));
+        assert_eq!(&res.features[8..12], f.row(3));
+        assert_eq!(&res.features[12..16], f.row(42));
+        assert_eq!(res.stats.misses, 3);
     }
 }

@@ -65,7 +65,7 @@ proptest! {
                 }
             } else {
                 let hit = cache.lookup(key).is_some();
-                let model_hit = reference.iter().any(|&k| k == key);
+                let model_hit = reference.contains(&key);
                 prop_assert_eq!(hit, model_hit);
                 if model_hit {
                     let pos = reference.iter().position(|&k| k == key).unwrap();

@@ -82,6 +82,10 @@ pub struct ExperimentCtx {
     /// synthetic datasets (papers/User-Item stand-ins exceed it, products
     /// does not — mirroring §5.1).
     pub machine_memory: usize,
+    /// Scalar precision feature rows travel and cache at. [`FeaturePrecision::F16`]
+    /// halves D_II wire bytes and resident cache bytes at a bounded
+    /// accuracy cost (Table 5 harness pins the delta).
+    pub feature_precision: bgl_graph::FeaturePrecision,
 }
 
 impl ExperimentCtx {
@@ -103,6 +107,7 @@ impl ExperimentCtx {
             traces: RefCell::new(HashMap::new()),
             streams: RefCell::new(HashMap::new()),
             machine_memory: 24 << 20,
+            feature_precision: bgl_graph::FeaturePrecision::default(),
         }
     }
 
@@ -124,6 +129,7 @@ impl ExperimentCtx {
             traces: RefCell::new(HashMap::new()),
             streams: RefCell::new(HashMap::new()),
             machine_memory: 3 << 19, // 1.5 MiB
+            feature_precision: bgl_graph::FeaturePrecision::default(),
         }
     }
 
@@ -737,7 +743,20 @@ impl ExperimentCtx {
         epochs: usize,
         hidden: usize,
     ) -> Vec<AccuracyRow> {
-        let ds = self.dataset(id);
+        let mut ds = self.dataset(id);
+        // Table 5 pins the accuracy cost of the f16 feature path: train on
+        // exactly the rows the store would serve, i.e. features squeezed
+        // through the f16 wire/cache representation.
+        if self.feature_precision == bgl_graph::FeaturePrecision::F16 {
+            let quantized: Vec<f32> = ds
+                .features
+                .raw()
+                .iter()
+                .map(|&x| bgl_graph::half::quantize_f16(x))
+                .collect();
+            ds.features =
+                std::sync::Arc::new(bgl_graph::FeatureStore::from_raw(ds.features.dim(), quantized));
+        }
         let layers = self.fanouts.len();
         let cfg = bgl_gnn::TrainConfig {
             model: model.to_gnn(),

@@ -39,6 +39,7 @@ pub mod profiler;
 pub mod report;
 pub mod systems;
 
+pub use bgl_graph::{FeatureBlock, FeaturePrecision};
 pub use config::SystemConfig;
 pub use measure::{measure_data_path, DataPathTrace, MeasuredSystem};
 pub use profiler::{CacheScalingSample, MeasuredProfile};

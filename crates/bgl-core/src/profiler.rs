@@ -48,6 +48,8 @@ pub struct MeasuredProfile {
     pub fit_residual: f64,
     /// Total wall time of the profiling run.
     pub wall_seconds: f64,
+    /// Wire/cache precision D_II was charged at.
+    pub feature_precision: bgl_graph::FeaturePrecision,
 }
 
 /// Least-squares fit of `T(c) = a/c + d` over `(cores, seconds)` samples:
@@ -137,7 +139,9 @@ impl ExperimentCtx {
             ordering.epoch_batches(&ds.graph, &ds.split.train, self.batch_size, 0);
 
         let dim = ds.features.dim();
-        let bytes_per_node = (dim * 4) as f64;
+        // Missed-feature bytes at the configured wire precision: f16 rows
+        // cost half of f32, which is exactly what halves D_II.
+        let bytes_per_node = (dim * self.feature_precision.bytes_per_scalar()) as f64;
         let hidden = 128usize;
         let mut dims = vec![dim];
         dims.extend(std::iter::repeat_n(hidden, self.fanouts.len().saturating_sub(1)));
@@ -287,6 +291,7 @@ impl ExperimentCtx {
             cache_samples,
             fit_residual,
             wall_seconds: wall0.elapsed().as_secs_f64(),
+            feature_precision: self.feature_precision,
         }
     }
 }
@@ -317,6 +322,16 @@ impl MeasuredProfile {
             ("batch_size".to_string(), Json::U64(self.batch_size as u64)),
             ("wall_seconds".to_string(), Json::F64(self.wall_seconds)),
             ("fit_residual".to_string(), Json::F64(self.fit_residual)),
+            (
+                "feature_precision".to_string(),
+                Json::Str(
+                    match self.feature_precision {
+                        bgl_graph::FeaturePrecision::F32 => "f32",
+                        bgl_graph::FeaturePrecision::F16 => "f16",
+                    }
+                    .to_string(),
+                ),
+            ),
             ("cache_samples".to_string(), Json::Arr(samples)),
             (
                 "profile".to_string(),
@@ -372,6 +387,24 @@ mod tests {
         let (a, d, r) = fit_inverse_cores(&[s(4, 0.25)]);
         assert_eq!((a, r), (0.0, 0.0));
         assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f16_precision_halves_profiled_d_ii() {
+        let ctx32 = ExperimentCtx::small();
+        let mut ctx16 = ExperimentCtx::small();
+        ctx16.feature_precision = bgl_graph::FeaturePrecision::F16;
+        let p32 = ctx32.profile_stages(DatasetId::Products, &[1]);
+        let p16 = ctx16.profile_stages(DatasetId::Products, &[1]);
+        // Same seed, same streams, same miss counts — only the per-node
+        // byte width differs, so D_II halves exactly.
+        assert!(p32.profile.d_ii > 0.0);
+        assert_eq!(p16.profile.d_ii * 2.0, p32.profile.d_ii);
+        let art = bgl_obs::json::parse(&p16.to_json()).expect("artifact parses");
+        assert_eq!(
+            art.get("feature_precision").and_then(|j| j.as_str()),
+            Some("f16")
+        );
     }
 
     #[test]

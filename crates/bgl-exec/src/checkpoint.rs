@@ -290,7 +290,9 @@ fn read_matrix(r: &mut Reader<'_>) -> Result<Matrix, CkptError> {
     let rows = r.u64()? as usize;
     let cols = r.u64()? as usize;
     let data = r.f32_vec()?;
-    if data.len() != rows * cols {
+    // Checked product: a crafted rows×cols header must not overflow the
+    // shape arithmetic before the comparison rejects it.
+    if rows.checked_mul(cols) != Some(data.len()) {
         return Err(CkptError::Mismatch(format!(
             "matrix payload {} != {rows}x{cols}",
             data.len()
@@ -404,7 +406,8 @@ impl Checkpoint {
             let beta1 = r.f32()?;
             let beta2 = r.f32()?;
             let eps = r.f32()?;
-            let t = r.i64()? as i32;
+            let t = i32::try_from(r.i64()?)
+                .map_err(|_| CkptError::Mismatch("optimizer step does not fit i32".into()))?;
             let slots = r.u64()? as usize;
             if slots > 1 << 20 {
                 return Err(CkptError::Mismatch(format!("implausible slot count {slots}")));

@@ -568,7 +568,7 @@ struct Fetched {
     labels: Vec<u16>,
     structure_bytes: u64,
     pending: bgl_cache::PendingFetch,
-    rows: Vec<f32>,
+    rows: bgl_graph::FeatureBlock,
 }
 
 struct Ready {
@@ -621,7 +621,7 @@ fn stage_lookup(sh: &Shared, b: Built) -> Result<Looked, ExecError> {
 
 fn stage_fetch(sh: &Shared, l: Looked) -> Result<Fetched, ExecError> {
     let rows = if l.pending.is_complete() {
-        Vec::new()
+        bgl_graph::FeatureBlock::new(sh.dim, 0)
     } else {
         let missing = l.pending.missing_keys();
         let (rows, _elapsed) = sh
@@ -642,7 +642,7 @@ fn stage_fetch(sh: &Shared, l: Looked) -> Result<Fetched, ExecError> {
 }
 
 fn stage_admit(sh: &Shared, f: Fetched) -> Result<Ready, ExecError> {
-    let res = sh.lock_cache().complete_batch(f.pending, f.rows);
+    let res = sh.lock_cache().complete_batch(f.pending, &f.rows);
     Ok(Ready {
         idx: f.idx,
         mb: f.mb,

@@ -215,6 +215,48 @@ mod tests {
     }
 
     #[test]
+    fn evaluate_survives_nan_logits() {
+        // Regression: a diverged training step used to poison evaluation —
+        // `accuracy` folded with `partial_cmp(..).unwrap()` and panicked on
+        // the first NaN logit. A NaN row must instead score as a wrong
+        // prediction so the epoch loop keeps running.
+        struct NanModel {
+            dims: Vec<usize>,
+        }
+        impl crate::GnnModel for NanModel {
+            fn kind(&self) -> ModelKind {
+                ModelKind::Gcn
+            }
+            fn dims(&self) -> &[usize] {
+                &self.dims
+            }
+            fn forward(
+                &mut self,
+                batch: &bgl_sampler::MiniBatch,
+                _input: &Matrix,
+            ) -> Matrix {
+                let classes = *self.dims.last().unwrap();
+                let rows = batch.blocks.last().unwrap().dst_nodes.len();
+                Matrix::from_vec(rows, classes, vec![f32::NAN; rows * classes])
+            }
+            fn backward(&mut self, _grad_logits: &Matrix) {}
+            fn load_param_vec(&mut self, _flat: &[f32]) {}
+            fn apply(&mut self, _opt: &mut dyn bgl_tensor::Optimizer) {}
+            fn param_vec(&self) -> Vec<f32> {
+                Vec::new()
+            }
+        }
+
+        let ds = small_ds();
+        let trainer = Trainer::new(&ds, quick_cfg(ModelKind::Gcn));
+        let mut model = NanModel { dims: vec![ds.features.dim(), 16, ds.num_classes] };
+        let mut rng = StdRng::seed_from_u64(7);
+        let acc = trainer.evaluate(&mut model, &mut rng);
+        assert!(acc.is_finite());
+        assert!(acc < 0.5, "all-NaN logits must not look accurate: {}", acc);
+    }
+
+    #[test]
     fn proximity_ordering_reaches_similar_accuracy() {
         // The paper's Table 5 claim at laptop scale: PO ≈ random shuffle.
         let ds = small_ds();

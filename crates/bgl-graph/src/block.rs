@@ -1,0 +1,202 @@
+//! Arena-backed feature rows: reference, don't re-`Vec`.
+//!
+//! The old fetch path copied every feature row three times on its way into a
+//! minibatch: wire frame → per-server row buffer → batch-order reassembly
+//! buffer → minibatch matrix. [`FeatureBlock`] kills the middle copies. A
+//! decoded buffer (one per store-server response) is *adopted* as a segment
+//! — ownership moves, bytes don't — and a `(segment, row)` index maps each
+//! logical batch row onto the segment that holds it. Consumers read rows by
+//! reference ([`FeatureBlock::row`]) straight out of the adopted buffers;
+//! the only remaining copy is the one that materializes the minibatch
+//! matrix / cache slot, which must happen anyway.
+//!
+//! ## Ownership rules
+//!
+//! * A segment buffer, once adopted, is immutable and owned by the block —
+//!   the producer must not keep any handle to it.
+//! * Rows never span segments; `buf.len()` must be a multiple of `dim`.
+//! * Unplaced rows read as zeros (segment 0 is a shared zero row). This is
+//!   exactly the degraded-fetch semantic: a row the cluster could not fetch
+//!   stays all-zero without a dedicated buffer.
+
+/// A batch of feature rows backed by adopted segments.
+#[derive(Debug, Clone)]
+pub struct FeatureBlock {
+    dim: usize,
+    /// Segment 0 is one shared zero row; adopted segments follow.
+    segments: Vec<Vec<f32>>,
+    /// `(segment, row-within-segment)` per logical row.
+    index: Vec<(u32, u32)>,
+}
+
+impl FeatureBlock {
+    /// A block of `rows` logical rows of width `dim`, all initially zero
+    /// (i.e. unplaced / degraded).
+    pub fn new(dim: usize, rows: usize) -> Self {
+        FeatureBlock {
+            dim,
+            segments: vec![vec![0.0; dim]],
+            index: vec![(0, 0); rows],
+        }
+    }
+
+    /// Wrap an already batch-ordered row buffer (e.g. a test fixture or a
+    /// single-source fetch) without copying it.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` is not a multiple of `dim` (for `dim > 0`).
+    pub fn from_rows(dim: usize, buf: Vec<f32>) -> Self {
+        let rows = if dim == 0 {
+            0
+        } else {
+            assert_eq!(buf.len() % dim, 0, "buffer is not whole rows");
+            buf.len() / dim
+        };
+        let mut b = FeatureBlock::new(dim, rows);
+        let seg = b.adopt_segment(buf);
+        for i in 0..rows {
+            b.index[i] = (seg as u32, i as u32);
+        }
+        b
+    }
+
+    /// Take ownership of a decoded row buffer; returns its segment id for
+    /// use with [`FeatureBlock::place`]. The bytes are not copied.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` is not a multiple of `dim` (for `dim > 0`).
+    pub fn adopt_segment(&mut self, buf: Vec<f32>) -> usize {
+        if self.dim > 0 {
+            assert_eq!(buf.len() % self.dim, 0, "segment is not whole rows");
+        }
+        self.segments.push(buf);
+        self.segments.len() - 1
+    }
+
+    /// Map logical row `pos` onto row `row` of segment `seg`.
+    ///
+    /// # Panics
+    /// Panics if `pos`, `seg` or `row` is out of range.
+    pub fn place(&mut self, pos: usize, seg: usize, row: usize) {
+        assert!(seg < self.segments.len(), "segment {seg} not adopted");
+        if let Some(nrows) = self.segments[seg].len().checked_div(self.dim) {
+            assert!(row < nrows, "row {row} out of segment ({nrows} rows)");
+        }
+        self.index[pos] = (seg as u32, row as u32);
+    }
+
+    /// Row width.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of logical rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the block holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Borrow logical row `i` out of whichever segment holds it.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        let (seg, row) = self.index[i];
+        let start = row as usize * self.dim;
+        &self.segments[seg as usize][start..start + self.dim]
+    }
+
+    /// Copy every row, in order, into `out` (must be `len·dim` long). The
+    /// single materialization copy consumers are allowed.
+    pub fn copy_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len() * self.dim, "output size mismatch");
+        for (i, chunk) in out.chunks_exact_mut(self.dim.max(1)).enumerate() {
+            if self.dim > 0 {
+                chunk.copy_from_slice(self.row(i));
+            }
+        }
+    }
+
+    /// Flatten to a fresh batch-ordered `Vec` (tests / compatibility).
+    pub fn to_vec(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.len() * self.dim];
+        self.copy_into(&mut out);
+        out
+    }
+
+    /// Bytes held by adopted segments (excludes the shared zero row).
+    pub fn segment_bytes(&self) -> usize {
+        self.segments[1..]
+            .iter()
+            .map(|s| s.len() * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unplaced_rows_read_zero() {
+        let b = FeatureBlock::new(3, 4);
+        assert_eq!(b.len(), 4);
+        for i in 0..4 {
+            assert_eq!(b.row(i), &[0.0, 0.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn adopted_segments_are_referenced_not_copied() {
+        let mut b = FeatureBlock::new(2, 4);
+        // Two "server responses" in arbitrary order.
+        let s1 = b.adopt_segment(vec![1.0, 2.0, 3.0, 4.0]); // rows for pos 2, 0
+        let s2 = b.adopt_segment(vec![5.0, 6.0]); // row for pos 3
+        b.place(2, s1, 0);
+        b.place(0, s1, 1);
+        b.place(3, s2, 0);
+        assert_eq!(b.row(0), &[3.0, 4.0]);
+        assert_eq!(b.row(1), &[0.0, 0.0]); // degraded
+        assert_eq!(b.row(2), &[1.0, 2.0]);
+        assert_eq!(b.row(3), &[5.0, 6.0]);
+        assert_eq!(b.to_vec(), vec![3.0, 4.0, 0.0, 0.0, 1.0, 2.0, 5.0, 6.0]);
+        assert_eq!(b.segment_bytes(), 6 * 4);
+    }
+
+    #[test]
+    fn from_rows_is_identity_order() {
+        let b = FeatureBlock::from_rows(3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.row(0), &[1., 2., 3.]);
+        assert_eq!(b.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    fn copy_into_round_trips() {
+        let b = FeatureBlock::from_rows(2, vec![9., 8., 7., 6.]);
+        let mut out = [0.0f32; 4];
+        b.copy_into(&mut out);
+        assert_eq!(out, [9., 8., 7., 6.]);
+    }
+
+    #[test]
+    fn empty_and_zero_dim_blocks() {
+        let b = FeatureBlock::from_rows(4, Vec::new());
+        assert!(b.is_empty());
+        assert_eq!(b.to_vec(), Vec::<f32>::new());
+        let z = FeatureBlock::new(0, 0);
+        assert_eq!(z.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn ragged_segment_is_rejected() {
+        let mut b = FeatureBlock::new(3, 1);
+        b.adopt_segment(vec![1.0, 2.0]);
+    }
+}

@@ -18,22 +18,31 @@
 //! * [`traversal`] — BFS, multi-source BFS and connected components, the
 //!   primitives behind both proximity-aware ordering (§3.2.2) and the
 //!   BFS-coarsening partitioner (§3.3).
+//! * [`half`] / [`FeaturePrecision`] — IEEE 754 binary16 row storage, which
+//!   halves feature bytes on the wire, in caches and on disk.
+//! * [`FeatureBlock`] — arena-backed feature rows: decoded fetch buffers are
+//!   adopted as segments and referenced through to the minibatch instead of
+//!   being re-copied at every hop.
 //!
 //! Node identifiers are `u32` ([`NodeId`]); this supports graphs up to
 //! ~4.2 B nodes, enough for the 1.2 B-node User-Item graph in the paper.
 
+pub mod block;
 pub mod builder;
 pub mod csr;
 pub mod dataset;
 pub mod features;
 pub mod generate;
+pub mod half;
 pub mod subgraph;
 pub mod traversal;
 
+pub use block::FeatureBlock;
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use dataset::{Dataset, DatasetSpec, Split};
 pub use features::FeatureStore;
+pub use half::FeaturePrecision;
 pub use subgraph::{khop_neighborhood, InducedSubgraph};
 
 /// Node identifier. `u32` keeps adjacency arrays compact while still

@@ -2,7 +2,7 @@
 
 use bgl_graph::generate::{self, RmatConfig};
 use bgl_graph::traversal::{bfs_full_order, connected_components, multi_source_bfs};
-use bgl_graph::{Csr, GraphBuilder, InducedSubgraph, NodeId};
+use bgl_graph::{GraphBuilder, InducedSubgraph, NodeId};
 use proptest::prelude::*;
 
 /// Arbitrary small graph as (node count, arc list).
@@ -131,6 +131,84 @@ proptest! {
         prop_assert_eq!(g.num_nodes(), n);
         // Undirected insertion: at most 2 arcs per drawn edge.
         prop_assert!(g.num_edges() <= 2 * ef * n);
+    }
+
+    /// f16 round-trip: widening a narrowed value must be a fixed point
+    /// (idempotent quantization) with bounded error, for arbitrary bit
+    /// patterns — covering subnormals, ±inf and NaN payloads.
+    #[test]
+    fn f16_quantization_is_idempotent_and_bounded(bits in any::<u32>()) {
+        use bgl_graph::half::quantize_f16;
+        let x = f32::from_bits(bits);
+        let q = quantize_f16(x);
+        // Idempotence: a value already representable in f16 is unchanged.
+        prop_assert_eq!(
+            quantize_f16(q).to_bits(),
+            q.to_bits(),
+            "re-quantizing {} moved the bits",
+            q
+        );
+        if x.is_nan() {
+            prop_assert!(q.is_nan(), "NaN payload collapsed to {}", q);
+        } else if x.is_infinite() {
+            prop_assert_eq!(q, x);
+        } else if x.abs() >= 65520.0 {
+            // Beyond the f16 rounding boundary: overflow to same-sign inf.
+            prop_assert!(q.is_infinite() && q.is_sign_positive() == x.is_sign_positive());
+        } else if x.abs() >= 6.104e-5 {
+            // Normal f16 range: relative error ≤ 2^-11.
+            prop_assert!(((q - x) / x).abs() <= 4.9e-4, "x={} q={}", x, q);
+        } else {
+            // Subnormal range: absolute error ≤ half the subnormal step.
+            prop_assert!((q - x).abs() <= 2.0f32.powi(-25), "x={} q={}", x, q);
+        }
+        // Sign is always preserved (including on zeros and NaNs).
+        prop_assert_eq!(q.is_sign_positive(), x.is_sign_positive());
+    }
+
+    /// Row encode/decode agrees with scalar quantization elementwise.
+    #[test]
+    fn f16_row_codec_matches_scalar_quantization(
+        row in proptest::collection::vec(any::<u32>(), 0..64),
+    ) {
+        use bgl_graph::half::{decode_row_f16, encode_row_f16, quantize_f16};
+        let row: Vec<f32> = row.into_iter().map(f32::from_bits).collect();
+        let mut bits = Vec::new();
+        encode_row_f16(&row, &mut bits);
+        prop_assert_eq!(bits.len(), row.len());
+        let mut back = Vec::new();
+        decode_row_f16(&bits, &mut back);
+        for (&x, &b) in row.iter().zip(&back) {
+            prop_assert_eq!(b.to_bits(), quantize_f16(x).to_bits());
+        }
+    }
+
+    /// FeatureBlock: arbitrary placements read back the exact placed row,
+    /// unplaced positions read zeros.
+    #[test]
+    fn feature_block_placement_round_trips(
+        dim in 1usize..6,
+        rows in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        use bgl_graph::FeatureBlock;
+        let mut b = FeatureBlock::new(dim, rows);
+        // Deterministic pseudo-random placement of a single segment.
+        let seg_rows = (seed as usize % rows).max(1);
+        let buf: Vec<f32> = (0..seg_rows * dim).map(|i| i as f32 + 0.5).collect();
+        let seg = b.adopt_segment(buf.clone());
+        let mut placed = vec![None; rows];
+        for r in 0..seg_rows {
+            let pos = (seed as usize + r * 7) % rows;
+            b.place(pos, seg, r);
+            placed[pos] = Some(r);
+        }
+        for (pos, p) in placed.iter().enumerate() {
+            match p {
+                Some(r) => prop_assert_eq!(b.row(pos), &buf[r * dim..(r + 1) * dim]),
+                None => prop_assert!(b.row(pos).iter().all(|&x| x == 0.0)),
+            }
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn dataset() -> (Arc<bgl_graph::Csr>, Arc<FeatureStore>, Arc<Vec<u32>>) {
 
 fn req(i: u32) -> bytes::Bytes {
     let base = (i * 37) % (NODES as u32 - 64);
-    Message::FeatureReq { nodes: (base..base + 64).collect() }.encode()
+    Message::FeatureReq { nodes: (base..base + 64).collect() }.encode().expect("req encodes")
 }
 
 fn bench_loopback(c: &mut Criterion) {
@@ -70,7 +70,7 @@ fn bench_loopback(c: &mut Criterion) {
     // TCP, 16 requests pipelined per batch.
     for depth in [4usize, 16] {
         let mut k = 0u32;
-        group.bench_function(&format!("tcp_pipelined_depth{}", depth), |b| {
+        group.bench_function(format!("tcp_pipelined_depth{}", depth), |b| {
             b.iter(|| {
                 let payloads: Vec<bytes::Bytes> = (0..depth as u32)
                     .map(|d| {

@@ -102,7 +102,7 @@ impl Frame {
         out.extend_from_slice(&self.corr_id.to_le_bytes());
         out.push(self.kind as u8);
         out.push(self.flags);
-        out.extend_from_slice(&self.payload.to_vec());
+        out.extend_from_slice(&self.payload);
         out
     }
 
@@ -311,6 +311,7 @@ const ERR_EMPTY_CLUSTER: u8 = 8;
 const ERR_DEADLINE_EXCEEDED: u8 = 9;
 const ERR_ALL_REPLICAS_FAILED: u8 = 10;
 const ERR_STORAGE: u8 = 11;
+const ERR_TOO_LARGE: u8 = 12;
 
 /// The `Malformed` messages the store actually produces. `StoreError::
 /// Malformed` holds a `&'static str`, so the decoder resolves the wire
@@ -359,6 +360,19 @@ const KNOWN_STORAGE: &[&str] = &[
     "no disk tier attached",
 ];
 
+/// The `TooLarge` messages the wire codec actually produces (a count or
+/// payload that does not fit its u32 length header), resolved the same way
+/// as `KNOWN_MALFORMED`.
+const KNOWN_TOO_LARGE: &[&str] = &[
+    "neighbor req count",
+    "neighbor resp count",
+    "neighbor list len",
+    "feature req count",
+    "feature row payload",
+    "feature update count",
+    "feature update ack count",
+];
+
 /// Encode a [`StoreError`] for an `Err` frame payload.
 pub fn encode_store_error(e: &StoreError) -> Bytes {
     let mut buf = BytesMut::with_capacity(16);
@@ -401,6 +415,11 @@ pub fn encode_store_error(e: &StoreError) -> Bytes {
         }
         StoreError::Storage(what) => {
             buf.put_u8(ERR_STORAGE);
+            buf.put_u32_le(what.len() as u32);
+            buf.put_slice(what.as_bytes());
+        }
+        StoreError::TooLarge(what) => {
+            buf.put_u8(ERR_TOO_LARGE);
             buf.put_u32_le(what.len() as u32);
             buf.put_slice(what.as_bytes());
         }
@@ -461,6 +480,19 @@ pub fn decode_store_error(mut buf: Bytes) -> Result<StoreError, NetError> {
                 .copied()
                 .unwrap_or("storage error (reported by remote)");
             Ok(StoreError::Storage(what))
+        }
+        ERR_TOO_LARGE => {
+            let len = get_u32(&mut buf)? as usize;
+            if buf.remaining() < len {
+                return Err(NetError::Malformed("short error payload"));
+            }
+            let raw = buf.to_vec();
+            let what = KNOWN_TOO_LARGE
+                .iter()
+                .find(|k| k.as_bytes() == &raw[..len])
+                .copied()
+                .unwrap_or("too large (reported by remote)");
+            Ok(StoreError::TooLarge(what))
         }
         _ => Err(NetError::Malformed("unknown error code")),
     }
@@ -549,6 +581,7 @@ mod tests {
             StoreError::DeadlineExceeded,
             StoreError::AllReplicasFailed { node_owner: 2 },
             StoreError::Storage("no disk tier attached"),
+            StoreError::TooLarge("feature row payload"),
         ];
         for e in all {
             let decoded = decode_store_error(encode_store_error(&e)).unwrap();
@@ -575,6 +608,14 @@ mod tests {
         buf.put_slice(b"mystic");
         let decoded = decode_store_error(buf.freeze()).unwrap();
         assert_eq!(decoded, StoreError::Storage("storage error (reported by remote)"));
+
+        // And for too-large errors.
+        let mut buf = BytesMut::new();
+        buf.put_u8(12);
+        buf.put_u32_le(6);
+        buf.put_slice(b"mystic");
+        let decoded = decode_store_error(buf.freeze()).unwrap();
+        assert_eq!(decoded, StoreError::TooLarge("too large (reported by remote)"));
     }
 
     #[test]

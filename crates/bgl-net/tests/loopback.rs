@@ -64,8 +64,8 @@ fn feature_fetch_over_tcp_matches_in_process() {
 
     let mut client = NetClient::new(&lc.addrs(), NetClientConfig::default(), &reg).unwrap();
     let req = Message::FeatureReq { nodes: vec![0, 2, 4, 8] };
-    let over_tcp = client.request(0, req.encode()).expect("tcp fetch");
-    let in_proc = local.handle(req.encode()).expect("local fetch");
+    let over_tcp = client.request(0, req.encode().unwrap()).expect("tcp fetch");
+    let in_proc = local.handle(req.encode().unwrap()).expect("local fetch");
     assert_eq!(over_tcp.to_vec(), in_proc.to_vec());
     lc.shutdown();
 }
@@ -82,8 +82,8 @@ fn neighbor_sampling_over_tcp_matches_in_process_sequence() {
     let mut client = NetClient::new(&lc.addrs(), NetClientConfig::default(), &reg).unwrap();
     for round in 0..5u32 {
         let req = Message::NeighborReq { fanout: 3, nodes: vec![round, round + 10, round + 20] };
-        let over_tcp = client.request(0, req.encode()).expect("tcp sample");
-        let in_proc = local.handle(req.encode()).expect("local sample");
+        let over_tcp = client.request(0, req.encode().unwrap()).expect("tcp sample");
+        let in_proc = local.handle(req.encode().unwrap()).expect("local sample");
         assert_eq!(over_tcp.to_vec(), in_proc.to_vec(), "round {}", round);
     }
     lc.shutdown();
@@ -96,7 +96,7 @@ fn pipelined_requests_return_in_request_order() {
     let mut client = NetClient::new(&lc.addrs(), NetClientConfig::default(), &reg).unwrap();
 
     let payloads: Vec<bytes::Bytes> = (0..16u32)
-        .map(|i| Message::FeatureReq { nodes: vec![i] }.encode())
+        .map(|i| Message::FeatureReq { nodes: vec![i] }.encode().unwrap())
         .collect();
     let replies = client.request_pipelined(0, &payloads).expect("pipeline");
     assert_eq!(replies.len(), 16);
@@ -121,9 +121,9 @@ fn pipelined_store_errors_surface_per_slot() {
     // Node 1 is owned by server 1; asking server 0 for it must fail that
     // slot only.
     let payloads = vec![
-        Message::FeatureReq { nodes: vec![0] }.encode(),
-        Message::FeatureReq { nodes: vec![1] }.encode(),
-        Message::FeatureReq { nodes: vec![2] }.encode(),
+        Message::FeatureReq { nodes: vec![0] }.encode().unwrap(),
+        Message::FeatureReq { nodes: vec![1] }.encode().unwrap(),
+        Message::FeatureReq { nodes: vec![2] }.encode().unwrap(),
     ];
     let replies = client.request_pipelined(0, &payloads).expect("pipeline");
     assert!(replies[0].is_ok());
@@ -140,7 +140,7 @@ fn set_down_control_injects_typed_failures() {
     let reg = Registry::disabled();
     let lc = cluster(1, NetServerConfig::default(), &reg);
     let mut client = NetClient::new(&lc.addrs(), NetClientConfig::default(), &reg).unwrap();
-    let req = Message::FeatureReq { nodes: vec![0] }.encode();
+    let req = Message::FeatureReq { nodes: vec![0] }.encode().unwrap();
 
     assert!(client.request(0, req.clone()).is_ok());
     client.control(0, ControlOp::SetDown(true)).expect("control");
@@ -160,7 +160,7 @@ fn stats_control_reports_request_counts() {
     let mut client = NetClient::new(&lc.addrs(), NetClientConfig::default(), &reg).unwrap();
     for i in 0..7u32 {
         client
-            .request(0, Message::NeighborReq { fanout: 2, nodes: vec![i] }.encode())
+            .request(0, Message::NeighborReq { fanout: 2, nodes: vec![i] }.encode().unwrap())
             .expect("request");
     }
     let stats = client.control(0, ControlOp::Stats).expect("stats").expect("reply");
@@ -175,7 +175,7 @@ fn replication_control_propagates_to_the_store() {
     let lc = cluster(2, NetServerConfig::default(), &reg);
     let mut client = NetClient::new(&lc.addrs(), NetClientConfig::default(), &reg).unwrap();
     // Without replication server 1 refuses server 0's node...
-    let req = Message::FeatureReq { nodes: vec![0] }.encode();
+    let req = Message::FeatureReq { nodes: vec![0] }.encode().unwrap();
     assert!(matches!(
         client.request(1, req.clone()).unwrap_err(),
         NetError::Store(StoreError::NotOwned { .. })
@@ -193,7 +193,7 @@ fn killed_server_fails_fast_and_reconnect_is_counted() {
     let reg = Registry::enabled();
     let mut lc = cluster(2, NetServerConfig::default(), &reg);
     let mut client = NetClient::new(&lc.addrs(), NetClientConfig::default(), &reg).unwrap();
-    let req = Message::FeatureReq { nodes: vec![0] }.encode();
+    let req = Message::FeatureReq { nodes: vec![0] }.encode().unwrap();
     assert!(client.request(0, req.clone()).is_ok());
 
     lc.kill(0);
@@ -213,7 +213,7 @@ fn killed_server_fails_fast_and_reconnect_is_counted() {
     assert!(counter(&reg, "net.connect_failures") >= 1);
 
     // The other server is untouched.
-    assert!(client.request(1, Message::FeatureReq { nodes: vec![1] }.encode()).is_ok());
+    assert!(client.request(1, Message::FeatureReq { nodes: vec![1] }.encode().unwrap()).is_ok());
     lc.shutdown();
 }
 
@@ -224,7 +224,7 @@ fn version_mismatch_is_refused_at_the_handshake() {
     let config = NetClientConfig { protocol_version: 99, ..NetClientConfig::default() };
     let mut client = NetClient::new(&lc.addrs(), config, &reg).unwrap();
     let err = client
-        .request(0, Message::FeatureReq { nodes: vec![0] }.encode())
+        .request(0, Message::FeatureReq { nodes: vec![0] }.encode().unwrap())
         .unwrap_err();
     assert!(
         matches!(err, NetError::Handshake(_)),
@@ -247,12 +247,12 @@ fn connection_bound_refuses_the_excess_client() {
 
     let mut first = NetClient::new(&lc.addrs(), NetClientConfig::default(), &reg).unwrap();
     assert!(first
-        .request(0, Message::FeatureReq { nodes: vec![0] }.encode())
+        .request(0, Message::FeatureReq { nodes: vec![0] }.encode().unwrap())
         .is_ok());
 
     let mut second = NetClient::new(&lc.addrs(), NetClientConfig::default(), &reg).unwrap();
     let err = second
-        .request(0, Message::FeatureReq { nodes: vec![0] }.encode())
+        .request(0, Message::FeatureReq { nodes: vec![0] }.encode().unwrap())
         .unwrap_err();
     assert!(
         matches!(err, NetError::Handshake(_)),
@@ -263,7 +263,7 @@ fn connection_bound_refuses_the_excess_client() {
 
     // The first client is unaffected.
     assert!(first
-        .request(0, Message::FeatureReq { nodes: vec![1] }.encode())
+        .request(0, Message::FeatureReq { nodes: vec![1] }.encode().unwrap())
         .is_ok());
     lc.shutdown();
 }
@@ -281,7 +281,7 @@ fn slow_server_trips_the_client_read_deadline() {
         .control(0, ControlOp::SetSlow { micros: 400_000 })
         .expect("control is never delayed");
     let err = client
-        .request(0, Message::FeatureReq { nodes: vec![0] }.encode())
+        .request(0, Message::FeatureReq { nodes: vec![0] }.encode().unwrap())
         .unwrap_err();
     assert_eq!(err, NetError::Timeout("response read"));
     assert!(err.into_store_error(0).is_transient());
@@ -289,7 +289,7 @@ fn slow_server_trips_the_client_read_deadline() {
     // Clearing the delay restores service on a fresh connection.
     client.control(0, ControlOp::SetSlow { micros: 0 }).expect("control");
     assert!(client
-        .request(0, Message::FeatureReq { nodes: vec![0] }.encode())
+        .request(0, Message::FeatureReq { nodes: vec![0] }.encode().unwrap())
         .is_ok());
     lc.shutdown();
 }
@@ -304,19 +304,19 @@ fn idle_connections_are_closed_by_the_server_deadline() {
     let lc = cluster(1, config, &reg);
     let mut client = NetClient::new(&lc.addrs(), NetClientConfig::default(), &reg).unwrap();
     assert!(client
-        .request(0, Message::FeatureReq { nodes: vec![0] }.encode())
+        .request(0, Message::FeatureReq { nodes: vec![0] }.encode().unwrap())
         .is_ok());
     std::thread::sleep(Duration::from_millis(250));
     assert!(counter(&reg, "net.server.idle_closed") >= 1);
     // The stale pooled connection surfaces a transient failure (the
     // cluster's retry layer owns retries, not the pool)…
     let err = client
-        .request(0, Message::FeatureReq { nodes: vec![0] }.encode())
+        .request(0, Message::FeatureReq { nodes: vec![0] }.encode().unwrap())
         .unwrap_err();
     assert!(err.into_store_error(0).is_transient());
     // …and the very next call redials successfully.
     assert!(client
-        .request(0, Message::FeatureReq { nodes: vec![0] }.encode())
+        .request(0, Message::FeatureReq { nodes: vec![0] }.encode().unwrap())
         .is_ok());
     assert!(counter(&reg, "net.reconnects") >= 1);
     lc.shutdown();
@@ -330,7 +330,7 @@ fn wire_byte_counters_reconcile_across_both_sides() {
     for i in 0..10u32 {
         let s = (i % 2) as usize;
         client
-            .request(s, Message::FeatureReq { nodes: vec![i] }.encode())
+            .request(s, Message::FeatureReq { nodes: vec![i] }.encode().unwrap())
             .expect("request");
     }
     // Every request was answered, so both directions have fully drained:
@@ -362,14 +362,14 @@ fn graceful_shutdown_answers_before_closing() {
     let mut client = NetClient::new(&lc.addrs(), NetClientConfig::default(), &reg).unwrap();
     // A full pipelined batch answered, then shutdown: nothing lost.
     let payloads: Vec<bytes::Bytes> = (0..8u32)
-        .map(|i| Message::FeatureReq { nodes: vec![i] }.encode())
+        .map(|i| Message::FeatureReq { nodes: vec![i] }.encode().unwrap())
         .collect();
     let replies = client.request_pipelined(0, &payloads).expect("pipeline");
     assert!(replies.iter().all(|r| r.is_ok()));
     lc.shutdown();
     // After shutdown the port is gone: reconnect fails cleanly.
     let err = client
-        .request(0, Message::FeatureReq { nodes: vec![0] }.encode())
+        .request(0, Message::FeatureReq { nodes: vec![0] }.encode().unwrap())
         .unwrap_err();
     assert!(err.into_store_error(0).is_transient());
 }

@@ -22,13 +22,16 @@ fn all_messages() -> Vec<Message> {
         Message::FeatureReq { nodes: (0..300).collect() },
         Message::FeatureResp { dim: 4, rows: (0..1200).map(|i| i as f32).collect() },
         Message::FeatureResp { dim: 0, rows: Vec::new() },
+        // Half-precision variants: same framing, half the row bytes.
+        Message::FeatureReqF16 { nodes: (0..300).collect() },
+        Message::FeatureRespF16 { dim: 4, rows: (0..1200u32).map(|i| i as u16).collect() },
     ]
 }
 
 #[test]
 fn every_message_survives_one_byte_reads() {
     for (i, msg) in all_messages().into_iter().enumerate() {
-        let frame = Frame::new(i as u64, FrameKind::Req, msg.encode());
+        let frame = Frame::new(i as u64, FrameKind::Req, msg.encode().unwrap());
         let wire = frame.encode();
         let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
         for b in &wire {
@@ -51,7 +54,7 @@ fn every_message_survives_randomized_chunk_reads() {
         let mut wire = Vec::new();
         for (i, msg) in msgs.iter().enumerate() {
             wire.extend_from_slice(
-                &Frame::new(round * 100 + i as u64, FrameKind::Resp, msg.encode()).encode(),
+                &Frame::new(round * 100 + i as u64, FrameKind::Resp, msg.encode().unwrap()).encode(),
             );
         }
         let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
@@ -79,7 +82,7 @@ fn truncated_frame_yields_no_frame_and_no_error() {
     // A truncated-but-well-formed prefix is just an incomplete frame:
     // the decoder waits for the rest (the connection deadline, not the
     // codec, handles a peer that never sends it).
-    let wire = Frame::new(9, FrameKind::Req, Message::FeatureReq { nodes: vec![1] }.encode())
+    let wire = Frame::new(9, FrameKind::Req, Message::FeatureReq { nodes: vec![1] }.encode().unwrap())
         .encode();
     for cut in 0..wire.len() {
         let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
@@ -92,7 +95,7 @@ fn truncated_frame_yields_no_frame_and_no_error() {
 fn truncated_payload_is_rejected_by_the_message_codec() {
     // The frame layer delivers exactly the announced bytes; a payload
     // that lies about its own contents must fail in Message::decode.
-    let payload = Message::FeatureReq { nodes: vec![1, 2, 3] }.encode();
+    let payload = Message::FeatureReq { nodes: vec![1, 2, 3] }.encode().unwrap();
     let cut = Bytes::from(payload.to_vec()[..payload.len() - 2].to_vec());
     let frame = Frame::new(1, FrameKind::Req, cut);
     let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
@@ -105,7 +108,7 @@ fn truncated_payload_is_rejected_by_the_message_codec() {
 #[test]
 fn corrupt_kind_byte_is_rejected_without_panic() {
     let mut wire =
-        Frame::new(2, FrameKind::Req, Message::FeatureReq { nodes: vec![7] }.encode()).encode();
+        Frame::new(2, FrameKind::Req, Message::FeatureReq { nodes: vec![7] }.encode().unwrap()).encode();
     wire[12] = 0xEE;
     let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
     dec.feed(&wire);

@@ -30,7 +30,7 @@ fn bench_disk(c: &mut Criterion) {
     let pager_path = tmp("pager");
     let file = Box::new(RealFile::open(&pager_path).expect("open pager file"));
     let mut pager = Pager::create(file, DIM, &rows, PAGE_SIZE).expect("create pager");
-    let rows_per_page = pager.rows_per_page() as usize;
+    let rows_per_page = pager.rows_per_page();
     println!(
         "paged file: {} pages of {} bytes, {} rows/page",
         pager.num_pages(),

@@ -35,7 +35,7 @@ use crate::server::GraphStoreServer;
 use crate::transport::{InProcessTransport, StoreTransport};
 use crate::wire::Message;
 use crate::StoreError;
-use bgl_graph::{Csr, FeatureStore, NodeId};
+use bgl_graph::{Csr, FeatureBlock, FeaturePrecision, FeatureStore, NodeId};
 use bgl_partition::Partition;
 use bgl_sampler::neighbor::{LayerBlock, MiniBatch};
 use bgl_sim::network::{NetworkModel, RobustnessStats, TrafficLedger};
@@ -71,6 +71,9 @@ pub struct StoreCluster {
     retry: RetryPolicy,
     breakers: Vec<CircuitBreaker>,
     degrade_features: bool,
+    /// Wire precision of feature rows: f16 halves the bytes every feature
+    /// RPC puts on the network (the D_II term of §3.4).
+    feature_precision: FeaturePrecision,
     /// Sequential simulated clock: every attempt's wire time and every
     /// backoff wait advances it, in issue order. Fault windows, breaker
     /// cooldowns and retry deadlines are all evaluated against this clock.
@@ -118,6 +121,7 @@ impl StoreCluster {
             retry: RetryPolicy::none(),
             breakers,
             degrade_features: false,
+            feature_precision: FeaturePrecision::default(),
             clock: 0,
             robustness: RobustnessStats::default(),
             events: Vec::new(),
@@ -203,6 +207,25 @@ impl StoreCluster {
         self
     }
 
+    /// Choose the wire precision of feature rows (builder form).
+    pub fn with_feature_precision(mut self, precision: FeaturePrecision) -> Self {
+        self.feature_precision = precision;
+        self
+    }
+
+    /// Choose the wire precision of feature rows. With
+    /// [`FeaturePrecision::F16`], feature responses carry binary16 rows —
+    /// half the bytes per row on the wire and in the ledger — widened back
+    /// to f32 on receipt.
+    pub fn set_feature_precision(&mut self, precision: FeaturePrecision) {
+        self.feature_precision = precision;
+    }
+
+    /// Wire precision currently in effect for feature fetches.
+    pub fn feature_precision(&self) -> FeaturePrecision {
+        self.feature_precision
+    }
+
     /// Number of servers (= partitions).
     pub fn num_servers(&self) -> usize {
         self.transport.num_servers()
@@ -267,7 +290,7 @@ impl StoreCluster {
         if to >= self.transport.num_servers() {
             return Err(StoreError::InvalidServer(to));
         }
-        let req_frame = req.encode();
+        let req_frame = req.encode()?;
         let clock = self.clock;
         let mut action = FaultAction::Deliver { latency_mult: 1.0 };
         let mut injected_down = false;
@@ -589,18 +612,21 @@ impl StoreCluster {
 
     /// Fetch feature rows for `nodes` on behalf of a requester at location
     /// `from` (use [`StoreCluster::worker_location`] for a worker machine).
-    /// Rows come back in `nodes` order; elapsed is the max over the
-    /// parallel per-server RPCs.
+    /// Rows come back as a [`FeatureBlock`] indexed in `nodes` order:
+    /// each per-server response buffer is adopted as a block segment —
+    /// decoded once off the wire, then *referenced* (not re-copied) by
+    /// downstream consumers. Elapsed is the max over the parallel
+    /// per-server RPCs.
     ///
     /// With [`StoreCluster::with_degraded_features`] on, a group whose
-    /// every replica fails transiently (or whose budget ran out) is served
-    /// as zero rows and counted in
+    /// every replica fails transiently (or whose budget ran out) is left
+    /// as zero rows (the block's unplaced-row semantic) and counted in
     /// [`RobustnessStats::degraded_rows`] instead of failing the batch.
     pub fn fetch_features(
         &mut self,
         nodes: &[NodeId],
         from: usize,
-    ) -> Result<(Vec<f32>, SimTime), StoreError> {
+    ) -> Result<(FeatureBlock, SimTime), StoreError> {
         let span = self.metrics.registry().span("store.fetch_features");
         let result = self.fetch_features_inner(nodes, from);
         self.metrics.publish(&self.robustness, &self.ledger);
@@ -612,12 +638,12 @@ impl StoreCluster {
         &mut self,
         nodes: &[NodeId],
         from: usize,
-    ) -> Result<(Vec<f32>, SimTime), StoreError> {
+    ) -> Result<(FeatureBlock, SimTime), StoreError> {
         let dim = self.transport.features_dim()?;
         if nodes.is_empty() {
-            return Ok((Vec::new(), 0));
+            return Ok((FeatureBlock::new(dim, 0), 0));
         }
-        let mut out = vec![0.0f32; nodes.len() * dim];
+        let mut out = FeatureBlock::new(dim, nodes.len());
         let mut groups: BTreeMap<usize, (Vec<usize>, Vec<NodeId>)> = BTreeMap::new();
         for (i, &v) in nodes.iter().enumerate() {
             let o = self.owner_of(v)?;
@@ -628,12 +654,16 @@ impl StoreCluster {
         let mut elapsed: SimTime = 0;
         let mut batch_degraded = false;
         for (server, (positions, ids)) in groups {
-            let req = Message::FeatureReq { nodes: ids };
+            let req = match self.feature_precision {
+                FeaturePrecision::F32 => Message::FeatureReq { nodes: ids },
+                FeaturePrecision::F16 => Message::FeatureReqF16 { nodes: ids },
+            };
             let (resp, t) = match self.rpc_robust(from, server, &req) {
                 Ok(ok) => ok,
                 Err(e) if self.degrade_features && degradable(&e) => {
-                    // Every replica failed within budget: deliver zeros for
-                    // this group rather than stalling the training step.
+                    // Every replica failed within budget: leave this group's
+                    // positions unplaced (zero rows) rather than stalling
+                    // the training step.
                     let rows = positions.len() as u64;
                     self.robustness.degraded_rows += rows;
                     batch_degraded = true;
@@ -643,17 +673,27 @@ impl StoreCluster {
                 Err(e) => return Err(e),
             };
             elapsed = elapsed.max(t);
-            match resp {
+            // Widen f16 payloads once (the decode copy), then adopt the
+            // buffer into the block; f32 payloads are adopted as-is. Either
+            // way, no per-row reassembly copy happens here.
+            let rows = match resp {
                 Message::FeatureResp { dim: d, rows } => {
                     if d as usize != dim || rows.len() != positions.len() * dim {
                         return Err(StoreError::Malformed("bad feature payload"));
                     }
-                    for (j, &pos) in positions.iter().enumerate() {
-                        out[pos * dim..(pos + 1) * dim]
-                            .copy_from_slice(&rows[j * dim..(j + 1) * dim]);
+                    rows
+                }
+                Message::FeatureRespF16 { dim: d, rows } => {
+                    if d as usize != dim || rows.len() != positions.len() * dim {
+                        return Err(StoreError::Malformed("bad feature payload"));
                     }
+                    Message::decode_f16_rows(&rows)
                 }
                 _ => return Err(StoreError::Malformed("unexpected response")),
+            };
+            let seg = out.adopt_segment(rows);
+            for (j, &pos) in positions.iter().enumerate() {
+                out.place(pos, seg, j);
             }
         }
         if batch_degraded {
@@ -789,10 +829,45 @@ mod tests {
         );
         let w = cluster.worker_location();
         let (rows, elapsed) = cluster.fetch_features(&[7, 3, 10], w).unwrap();
-        assert_eq!(rows, vec![7.0, 7.5, 3.0, 3.5, 10.0, 10.5]);
+        assert_eq!(rows.to_vec(), vec![7.0, 7.5, 3.0, 3.5, 10.0, 10.5]);
         assert!(elapsed > 0);
         // Worker traffic is always remote.
         assert_eq!(cluster.ledger.local.messages, 0);
+    }
+
+    #[test]
+    fn f16_precision_halves_feature_response_bytes() {
+        let g = Arc::new(bgl_graph::generate::barabasi_albert(50, 3, 5));
+        let mut f = FeatureStore::zeros(50, 4);
+        for v in 0..50u32 {
+            // Values exact in binary16, so the fetched rows match bitwise.
+            for (j, x) in f.row_mut(v).iter_mut().enumerate() {
+                *x = v as f32 + j as f32 * 0.25;
+            }
+        }
+        let f = Arc::new(f);
+        let p = RoundRobinPartitioner.partition(&g, &[], 2);
+        let fetch_bytes = |precision: FeaturePrecision| {
+            let mut cluster = StoreCluster::new(
+                g.clone(),
+                f.clone(),
+                &p,
+                NetworkModel::paper_fabric(),
+                1,
+            )
+            .with_feature_precision(precision);
+            let w = cluster.worker_location();
+            let (rows, _) = cluster.fetch_features(&[7, 3, 10, 21], w).unwrap();
+            (rows.to_vec(), cluster.ledger.remote.bytes)
+        };
+        let (rows32, bytes32) = fetch_bytes(FeaturePrecision::F32);
+        let (rows16, bytes16) = fetch_bytes(FeaturePrecision::F16);
+        // Same values (exact in f16), half the response payload. Request
+        // frames are identical in size, and each of the 2 contacted servers
+        // returns 9 bytes of header either way.
+        assert_eq!(rows32, rows16);
+        let row_payload32 = 4 * 4 * 4; // 4 nodes × dim 4 × 4 B
+        assert_eq!(bytes32 - bytes16, (row_payload32 / 2) as u64);
     }
 
     #[test]
@@ -908,7 +983,10 @@ mod tests {
         // Nodes 1 and 3 live on the downed server: their rows degrade to
         // zeros; nodes on server 0 are served normally.
         let (rows, _) = cluster.fetch_features(&[0, 1, 3], w).unwrap();
-        assert_eq!(rows.len(), 3 * 4);
+        assert_eq!((rows.len(), rows.dim()), (3, 4));
+        // The degraded positions read as zero rows (unplaced in the block).
+        assert!(rows.row(1).iter().all(|&x| x == 0.0));
+        assert!(rows.row(2).iter().all(|&x| x == 0.0));
         assert_eq!(cluster.robustness.degraded_rows, 2);
         assert_eq!(cluster.robustness.degraded_batches, 1);
         assert!(cluster
@@ -1018,7 +1096,7 @@ mod tests {
         assert!(elapsed > 0);
         // Reads (which may land on either replica) see the new rows.
         let (rows, _) = cluster.fetch_features(&[3, 4], w).unwrap();
-        assert_eq!(rows, vec![30.0, 31.0, 40.0, 41.0]);
+        assert_eq!(rows.to_vec(), vec![30.0, 31.0, 40.0, 41.0]);
         drop(cluster);
         // Both replicas hold the update WAL-durably: reopen each tier cold.
         for dir in &dirs {

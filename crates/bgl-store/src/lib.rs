@@ -79,6 +79,10 @@ pub enum StoreError {
     NotOwned { node: u32, server: usize },
     /// A frame failed to decode (protocol-level corruption or misuse).
     Malformed(&'static str),
+    /// A value does not fit its wire/header field (e.g. a batch larger
+    /// than a `u32` count). Checked at encode time instead of silently
+    /// truncating with `as`.
+    TooLarge(&'static str),
     /// A node id outside the partition map was named.
     InvalidNode(u32),
     /// A server index outside the cluster was named.
@@ -124,6 +128,9 @@ impl fmt::Display for StoreError {
                 write!(f, "node {} is not owned by server {}", node, server)
             }
             StoreError::Malformed(what) => write!(f, "malformed frame: {}", what),
+            StoreError::TooLarge(what) => {
+                write!(f, "value does not fit wire field: {}", what)
+            }
             StoreError::InvalidNode(v) => {
                 write!(f, "node {} is outside the partition map", v)
             }

@@ -10,9 +10,16 @@
 //! [page 0][page 1]…[page num_pages−1]
 //! ```
 //!
-//! Each page is `[page id u64][rows_per_page × dim f32 rows][zero pad]
+//! Each page is `[page id u64][rows_per_page × dim scalars][zero pad]
 //! [fnv1a-64 of everything before it]`. A page that fails its checksum is
 //! never silently served.
+//!
+//! The header version doubles as the scalar encoding: version 1 stores
+//! rows as little-endian f32 (4 bytes/scalar), version 2 as IEEE 754
+//! binary16 (2 bytes/scalar, [`bgl_graph::half`]), halving on-disk bytes
+//! per row. In-memory [`PageBuf`]s are always f32 — narrowing happens at
+//! encode, widening at decode — so the buffer pool, WAL, and every caller
+//! above the pager are precision-agnostic.
 //!
 //! ## Crash atomicity of page write-back
 //!
@@ -33,8 +40,14 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+use bgl_graph::half::{f16_bits_to_f32, f32_to_f16_bits};
+use bgl_graph::FeaturePrecision;
+
 pub const PAGE_MAGIC: &[u8; 8] = b"BGLPAGE1";
+/// Header version for pages holding f32 rows.
 pub const PAGE_VERSION: u32 = 1;
+/// Header version for pages holding binary16 (f16) rows.
+pub const PAGE_VERSION_F16: u32 = 2;
 /// Header: magic(8) + version(4) + page_size(4) + dim(4) + rows_per_page(4)
 /// + num_nodes(8) + num_pages(8).
 pub const PAGE_HEADER_LEN: u64 = 40;
@@ -518,6 +531,7 @@ pub struct Pager {
     rows_per_page: u32,
     num_nodes: u64,
     num_pages: u64,
+    precision: FeaturePrecision,
     pub stats: PagerStats,
 }
 
@@ -525,10 +539,24 @@ impl Pager {
     /// Create a paged file holding `rows` (`num_nodes × dim`, row-major),
     /// then sync it: the base image is durable before any update runs.
     pub fn create(
+        file: Box<dyn BackingFile>,
+        dim: usize,
+        rows: &[f32],
+        page_size: u32,
+    ) -> Result<Pager, DiskError> {
+        Self::create_with_precision(file, dim, rows, page_size, FeaturePrecision::F32)
+    }
+
+    /// [`Pager::create`] with an explicit on-disk scalar encoding. With
+    /// [`FeaturePrecision::F16`] each row costs half the bytes (so twice
+    /// the rows fit per page); values are narrowed round-to-nearest-even
+    /// once at creation and widened back on every read.
+    pub fn create_with_precision(
         mut file: Box<dyn BackingFile>,
         dim: usize,
         rows: &[f32],
         page_size: u32,
+        precision: FeaturePrecision,
     ) -> Result<Pager, DiskError> {
         if dim == 0 {
             return Err(DiskError::Invariant("zero feature dim"));
@@ -536,16 +564,24 @@ impl Pager {
         if !rows.len().is_multiple_of(dim) {
             return Err(DiskError::Invariant("feature rows not a multiple of dim"));
         }
+        let bps = precision.bytes_per_scalar();
         let payload = page_size as usize;
-        if payload < PAGE_OVERHEAD + 4 * dim || page_size > MAX_PAGE_SIZE {
+        if payload < PAGE_OVERHEAD + bps * dim || page_size > MAX_PAGE_SIZE {
             return Err(DiskError::Invariant("page size cannot hold one row"));
         }
-        let rows_per_page = ((payload - PAGE_OVERHEAD) / (4 * dim)) as u32;
+        let rows_per_page = ((payload - PAGE_OVERHEAD) / (bps * dim)) as u32;
         let num_nodes = (rows.len() / dim) as u64;
+        if num_nodes > u64::from(u32::MAX) {
+            return Err(DiskError::Invariant("node count exceeds NodeId (u32) range"));
+        }
         let num_pages = num_nodes.div_ceil(rows_per_page as u64);
+        let version = match precision {
+            FeaturePrecision::F32 => PAGE_VERSION,
+            FeaturePrecision::F16 => PAGE_VERSION_F16,
+        };
         let mut header = Vec::with_capacity(PAGE_HEADER_LEN as usize);
         header.extend_from_slice(PAGE_MAGIC);
-        header.extend_from_slice(&PAGE_VERSION.to_le_bytes());
+        header.extend_from_slice(&version.to_le_bytes());
         header.extend_from_slice(&page_size.to_le_bytes());
         header.extend_from_slice(&(dim as u32).to_le_bytes());
         header.extend_from_slice(&rows_per_page.to_le_bytes());
@@ -563,6 +599,7 @@ impl Pager {
             rows_per_page,
             num_nodes,
             num_pages,
+            precision,
             stats: PagerStats::default(),
         };
         let per_page = (rows_per_page as usize) * dim;
@@ -593,9 +630,12 @@ impl Pager {
         }
         let word = |at: usize| u32::from_le_bytes(header[at..at + 4].try_into().unwrap());
         let version = word(8);
-        if version != PAGE_VERSION {
-            return Err(DiskError::BadVersion { found: version });
-        }
+        let precision = match version {
+            PAGE_VERSION => FeaturePrecision::F32,
+            PAGE_VERSION_F16 => FeaturePrecision::F16,
+            found => return Err(DiskError::BadVersion { found }),
+        };
+        let bps = precision.bytes_per_scalar();
         let page_size = word(12);
         let dim = word(16);
         let rows_per_page = word(20);
@@ -603,15 +643,21 @@ impl Pager {
         let num_pages = u64::from_le_bytes(header[32..40].try_into().unwrap());
         if dim == 0
             || page_size > MAX_PAGE_SIZE
-            || (page_size as usize) < PAGE_OVERHEAD + 4 * dim as usize
+            || (page_size as usize) < PAGE_OVERHEAD + bps * dim as usize
         {
             return Err(DiskError::Invariant("implausible page geometry"));
         }
-        if rows_per_page != ((page_size as usize - PAGE_OVERHEAD) / (4 * dim as usize)) as u32 {
+        if rows_per_page != ((page_size as usize - PAGE_OVERHEAD) / (bps * dim as usize)) as u32 {
             return Err(DiskError::Invariant("rows_per_page disagrees with geometry"));
         }
         if num_pages != num_nodes.div_ceil(rows_per_page.max(1) as u64) {
             return Err(DiskError::Invariant("num_pages disagrees with num_nodes"));
+        }
+        // Node ids are u32 everywhere above this layer (`page_of` takes a
+        // `NodeId`); a header claiming more rows than u32 can address would
+        // otherwise be silently truncated by `as` casts downstream.
+        if num_nodes > u64::from(u32::MAX) {
+            return Err(DiskError::Invariant("node count exceeds NodeId (u32) range"));
         }
         // Length check BEFORE any per-page allocation: a 40-byte file
         // claiming 2^50 pages fails here, it cannot drive allocations
@@ -630,6 +676,7 @@ impl Pager {
             rows_per_page,
             num_nodes,
             num_pages,
+            precision,
             stats: PagerStats::default(),
         };
         // Double-write redo: if the slot holds a checksum-valid page, the
@@ -656,8 +703,17 @@ impl Pager {
         let ps = self.page_size as usize;
         let mut image = vec![0u8; ps];
         image[0..8].copy_from_slice(&page.pid.to_le_bytes());
-        for (chunk, &x) in image[8..].chunks_exact_mut(4).zip(page.rows.iter()) {
-            chunk.copy_from_slice(&x.to_le_bytes());
+        match self.precision {
+            FeaturePrecision::F32 => {
+                for (chunk, &x) in image[8..].chunks_exact_mut(4).zip(page.rows.iter()) {
+                    chunk.copy_from_slice(&x.to_le_bytes());
+                }
+            }
+            FeaturePrecision::F16 => {
+                for (chunk, &x) in image[8..].chunks_exact_mut(2).zip(page.rows.iter()) {
+                    chunk.copy_from_slice(&f32_to_f16_bits(x).to_le_bytes());
+                }
+            }
         }
         let sum = fnv1a_64(&image[..ps - 8]);
         image[ps - 8..].copy_from_slice(&sum.to_le_bytes());
@@ -683,10 +739,16 @@ impl Pager {
             }
         }
         let per_page = (self.rows_per_page * self.dim) as usize;
-        let rows = image[8..8 + 4 * per_page]
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let rows = match self.precision {
+            FeaturePrecision::F32 => image[8..8 + 4 * per_page]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+            FeaturePrecision::F16 => image[8..8 + 2 * per_page]
+                .chunks_exact(2)
+                .map(|c| f16_bits_to_f32(u16::from_le_bytes(c.try_into().unwrap())))
+                .collect(),
+        };
         Ok(PageBuf { pid, rows })
     }
 
@@ -746,6 +808,11 @@ impl Pager {
 
     pub fn rows_per_page(&self) -> usize {
         self.rows_per_page as usize
+    }
+
+    /// On-disk scalar encoding of this file (from the header version).
+    pub fn precision(&self) -> FeaturePrecision {
+        self.precision
     }
 
     /// Un-synced bytes in the backing file (chaos introspection).
@@ -846,21 +913,80 @@ mod tests {
         std::fs::remove_file(path).ok();
     }
 
-    #[test]
-    fn huge_claimed_page_count_fails_fast_without_allocating() {
-        let path = tmp("huge");
+    fn crafted_header(num_nodes: u64) -> Vec<u8> {
         let mut header = Vec::new();
         header.extend_from_slice(PAGE_MAGIC);
         header.extend_from_slice(&PAGE_VERSION.to_le_bytes());
         header.extend_from_slice(&64u32.to_le_bytes());
         header.extend_from_slice(&2u32.to_le_bytes());
         header.extend_from_slice(&6u32.to_le_bytes());
-        header.extend_from_slice(&(u64::MAX / 2).to_le_bytes()); // 2^63 nodes
-        header.extend_from_slice(&((u64::MAX / 2).div_ceil(6)).to_le_bytes());
-        std::fs::write(&path, &header).unwrap();
+        header.extend_from_slice(&num_nodes.to_le_bytes());
+        header.extend_from_slice(&num_nodes.div_ceil(6).to_le_bytes());
+        header
+    }
+
+    #[test]
+    fn huge_claimed_page_count_fails_fast_without_allocating() {
+        // A header claiming more nodes than NodeId (u32) can address is
+        // rejected before any size arithmetic — `as u32` downstream would
+        // silently truncate such an id.
+        let path = tmp("huge");
+        std::fs::write(&path, crafted_header(u64::from(u32::MAX) + 1)).unwrap();
+        let f = Box::new(RealFile::open(&path).unwrap());
+        assert!(matches!(Pager::open(f), Err(DiskError::Invariant(_))));
+
+        // A node count that IS addressable but implies a body far larger
+        // than the file still fails the length check without allocating.
+        std::fs::write(&path, crafted_header(u64::from(u32::MAX))).unwrap();
         let f = Box::new(RealFile::open(&path).unwrap());
         assert!(matches!(Pager::open(f), Err(DiskError::Truncated(_))));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn f16_pages_halve_row_bytes_and_roundtrip_quantized() {
+        let dim = 5usize;
+        let rows = sample_rows(37, dim);
+        let path32 = tmp("f16-as32");
+        let path16 = tmp("f16");
+        {
+            let f = Box::new(RealFile::open(&path32).unwrap());
+            Pager::create(f, dim, &rows, 128).unwrap();
+        }
+        {
+            let f = Box::new(RealFile::open(&path16).unwrap());
+            Pager::create_with_precision(f, dim, &rows, 128, FeaturePrecision::F16).unwrap();
+        }
+        let f = Box::new(RealFile::open(&path16).unwrap());
+        let mut p = Pager::open(f).unwrap();
+        assert_eq!(p.precision(), FeaturePrecision::F16);
+        // Twice the rows fit in the same page: (128-16)/(4*5)=5 vs /(2*5)=11.
+        let f = Box::new(RealFile::open(&path32).unwrap());
+        let p32 = Pager::open(f).unwrap();
+        assert!(p.rows_per_page() >= 2 * p32.rows_per_page());
+        // Every row reads back as its f16 quantization (exact for these
+        // small half-integer sample values).
+        for v in 0..37u32 {
+            let (pid, slot) = p.page_of(v);
+            let page = p.read_page(pid).unwrap();
+            let got = &page.rows[slot * dim..(slot + 1) * dim];
+            let want: Vec<f32> = rows[v as usize * dim..(v as usize + 1) * dim]
+                .iter()
+                .map(|&x| bgl_graph::half::quantize_f16(x))
+                .collect();
+            assert_eq!(got, &want[..], "node {}", v);
+        }
+        // Write-back keeps the f16 encoding: mutate a page, reopen, reread.
+        let mut page = p.read_page(0).unwrap();
+        page.rows[0] = 123.5; // exactly representable in f16
+        p.write_page(&page).unwrap();
+        p.sync().unwrap();
+        drop(p);
+        let f = Box::new(RealFile::open(&path16).unwrap());
+        let mut p = Pager::open(f).unwrap();
+        assert_eq!(p.read_page(0).unwrap().rows[0], 123.5);
+        std::fs::remove_file(path32).ok();
+        std::fs::remove_file(path16).ok();
     }
 
     /// The tentpole's page-atomicity claim, proven exhaustively: crash at

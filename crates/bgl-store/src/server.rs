@@ -205,22 +205,20 @@ impl GraphStoreServer {
                     }
                     lists.push(self.sample_neighbors(&mut rng, v, fanout as usize));
                 }
-                Ok(Message::NeighborResp { lists }.encode())
+                Message::NeighborResp { lists }.encode()
             }
             Message::FeatureReq { nodes } => {
-                let dim = self.features.dim() as u32;
-                let mut rows = Vec::with_capacity(nodes.len() * dim as usize);
-                let mut disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
-                for &v in &nodes {
-                    if !self.serves(v) {
-                        return Err(StoreError::NotOwned { node: v, server: self.id });
-                    }
-                    match disk.as_mut() {
-                        Some(tier) => tier.read_row_into(v, &mut rows).map_err(storage_err)?,
-                        None => rows.extend_from_slice(self.features.row(v)),
-                    }
-                }
-                Ok(Message::FeatureResp { dim, rows }.encode())
+                let (dim, rows) = self.gather_rows(&nodes)?;
+                Message::FeatureResp { dim, rows }.encode()
+            }
+            Message::FeatureReqF16 { nodes } => {
+                // Narrow at the serving edge: the response frame carries
+                // binary16, halving the feature bytes this RPC puts on the
+                // wire (and therefore the D_II the network model charges).
+                let (dim, rows) = self.gather_rows(&nodes)?;
+                let mut half_rows = Vec::new();
+                bgl_graph::half::encode_row_f16(&rows, &mut half_rows);
+                Message::FeatureRespF16 { dim, rows: half_rows }.encode()
             }
             Message::FeatureUpdateReq { dim, nodes, rows } => {
                 if dim as usize != self.features.dim() {
@@ -241,14 +239,35 @@ impl GraphStoreServer {
                     // record is fsync-durable.
                     tier.update_row(v, row).map_err(storage_err)?;
                 }
-                Ok(Message::FeatureUpdateResp { applied: nodes.len() as u32 }.encode())
+                let applied = u32::try_from(nodes.len())
+                    .map_err(|_| StoreError::TooLarge("feature update ack count"))?;
+                Message::FeatureUpdateResp { applied }.encode()
             }
             Message::NeighborResp { .. }
             | Message::FeatureResp { .. }
+            | Message::FeatureRespF16 { .. }
             | Message::FeatureUpdateResp { .. } => {
                 Err(StoreError::Malformed("response sent to server"))
             }
         }
+    }
+
+    /// Gather the f32 feature rows for `nodes` (from the disk tier when one
+    /// is attached, else the in-memory store), validating ownership.
+    fn gather_rows(&self, nodes: &[NodeId]) -> Result<(u32, Vec<f32>), StoreError> {
+        let dim = self.features.dim() as u32;
+        let mut rows = Vec::with_capacity(nodes.len() * dim as usize);
+        let mut disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
+        for &v in nodes {
+            if !self.serves(v) {
+                return Err(StoreError::NotOwned { node: v, server: self.id });
+            }
+            match disk.as_mut() {
+                Some(tier) => tier.read_row_into(v, &mut rows).map_err(storage_err)?,
+                None => rows.extend_from_slice(self.features.row(v)),
+            }
+        }
+        Ok((dim, rows))
     }
 
     /// Fanout-sample `v`'s neighbors (all of them when degree ≤ fanout).
@@ -289,7 +308,7 @@ mod tests {
     fn serves_owned_neighbors() {
         let (g, f, owner) = setup(2);
         let s = GraphStoreServer::new(0, g.clone(), f, owner, 7);
-        let req = Message::NeighborReq { fanout: 3, nodes: vec![2, 4] }.encode();
+        let req = Message::NeighborReq { fanout: 3, nodes: vec![2, 4] }.encode().unwrap();
         let resp = Message::decode(s.handle(req).unwrap()).unwrap();
         match resp {
             Message::NeighborResp { lists } => {
@@ -312,7 +331,7 @@ mod tests {
     fn rejects_foreign_nodes() {
         let (g, f, owner) = setup(2);
         let s = GraphStoreServer::new(0, g, f, owner, 7);
-        let req = Message::NeighborReq { fanout: 3, nodes: vec![1] }.encode(); // odd -> server 1
+        let req = Message::NeighborReq { fanout: 3, nodes: vec![1] }.encode().unwrap(); // odd -> server 1
         assert_eq!(
             s.handle(req),
             Err(StoreError::NotOwned { node: 1, server: 0 })
@@ -324,10 +343,10 @@ mod tests {
         let (g, f, owner) = setup(2);
         let s = GraphStoreServer::new(0, g, f, owner, 7);
         s.set_down(true);
-        let req = Message::FeatureReq { nodes: vec![2] }.encode();
+        let req = Message::FeatureReq { nodes: vec![2] }.encode().unwrap();
         assert_eq!(s.handle(req), Err(StoreError::ServerDown(0)));
         s.set_down(false);
-        assert!(s.handle(Message::FeatureReq { nodes: vec![2] }.encode()).is_ok());
+        assert!(s.handle(Message::FeatureReq { nodes: vec![2] }.encode().unwrap()).is_ok());
     }
 
     #[test]
@@ -338,7 +357,7 @@ mod tests {
             fs.row_mut(v).copy_from_slice(&[v as f32, -(v as f32)]);
         }
         let s = GraphStoreServer::new(0, g, Arc::new(fs), owner, 7);
-        let req = Message::FeatureReq { nodes: vec![6, 2] }.encode();
+        let req = Message::FeatureReq { nodes: vec![6, 2] }.encode().unwrap();
         match Message::decode(s.handle(req).unwrap()).unwrap() {
             Message::FeatureResp { dim, rows } => {
                 assert_eq!(dim, 2);
@@ -358,9 +377,9 @@ mod tests {
         assert!(s.serves(0)); // replica of server 0's nodes
         assert!(!s.serves(2)); // server 2's nodes: not in the chain
         assert!(!s.owns(0)); // replica, not primary
-        let req = Message::NeighborReq { fanout: 2, nodes: vec![0, 4] }.encode();
+        let req = Message::NeighborReq { fanout: 2, nodes: vec![0, 4] }.encode().unwrap();
         assert!(s.handle(req).is_ok());
-        let foreign = Message::FeatureReq { nodes: vec![2] }.encode();
+        let foreign = Message::FeatureReq { nodes: vec![2] }.encode().unwrap();
         assert_eq!(
             s.handle(foreign),
             Err(StoreError::NotOwned { node: 2, server: 1 })
@@ -390,7 +409,7 @@ mod tests {
     fn rejects_response_frames() {
         let (g, f, owner) = setup(1);
         let s = GraphStoreServer::new(0, g, f, owner, 7);
-        let bogus = Message::NeighborResp { lists: vec![] }.encode();
+        let bogus = Message::NeighborResp { lists: vec![] }.encode().unwrap();
         assert!(matches!(s.handle(bogus), Err(StoreError::Malformed(_))));
     }
 
@@ -400,7 +419,7 @@ mod tests {
         let s = GraphStoreServer::new(0, g, f, owner, 7);
         let req = Message::FeatureUpdateReq { dim: 4, nodes: vec![2], rows: vec![0.0; 4] };
         assert_eq!(
-            s.handle(req.encode()),
+            s.handle(req.encode().unwrap()),
             Err(StoreError::Storage("no disk tier attached"))
         );
     }
@@ -422,7 +441,7 @@ mod tests {
         assert!(s.has_disk_tier());
 
         // Reads come from the buffer pool and match the RAM image.
-        let req = Message::FeatureReq { nodes: vec![6, 2] }.encode();
+        let req = Message::FeatureReq { nodes: vec![6, 2] }.encode().unwrap();
         match Message::decode(s.handle(req).unwrap()).unwrap() {
             Message::FeatureResp { dim, rows } => {
                 assert_eq!(dim, 2);
@@ -437,11 +456,11 @@ mod tests {
             nodes: vec![6],
             rows: vec![50.0, 60.0],
         };
-        match Message::decode(s.handle(upd.encode()).unwrap()).unwrap() {
+        match Message::decode(s.handle(upd.encode().unwrap()).unwrap()).unwrap() {
             Message::FeatureUpdateResp { applied } => assert_eq!(applied, 1),
             other => panic!("unexpected {:?}", other),
         }
-        let req = Message::FeatureReq { nodes: vec![6] }.encode();
+        let req = Message::FeatureReq { nodes: vec![6] }.encode().unwrap();
         match Message::decode(s.handle(req).unwrap()).unwrap() {
             Message::FeatureResp { rows, .. } => assert_eq!(rows, vec![50.0, 60.0]),
             other => panic!("unexpected {:?}", other),
@@ -474,7 +493,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..REQS {
                         let v = ((t * REQS + i) % 100) as u32;
-                        let req = Message::NeighborReq { fanout: 2, nodes: vec![v] }.encode();
+                        let req = Message::NeighborReq { fanout: 2, nodes: vec![v] }.encode().unwrap();
                         let resp = s.handle(req).expect("request served");
                         assert!(matches!(
                             Message::decode(resp),

@@ -35,7 +35,7 @@ use crate::pager::{
     ShadowFile,
 };
 use crate::wal::{Wal, WalRecord, WalStats};
-use bgl_graph::FeatureStore;
+use bgl_graph::{FeaturePrecision, FeatureStore};
 use bgl_obs::Registry;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
@@ -52,6 +52,9 @@ pub struct DiskTierConfig {
     pub policy: DiskPolicyKind,
     pub registry: Registry,
     pub fault_plan: Option<IoFaultPlan>,
+    /// On-disk scalar encoding for feature pages (`create` only; `open`
+    /// reads the precision from the file header).
+    pub precision: FeaturePrecision,
 }
 
 impl Default for DiskTierConfig {
@@ -62,6 +65,7 @@ impl Default for DiskTierConfig {
             policy: DiskPolicyKind::Sieve,
             registry: Registry::default(),
             fault_plan: None,
+            precision: FeaturePrecision::F32,
         }
     }
 }
@@ -91,6 +95,13 @@ impl DiskTierConfig {
     /// through a seeded injector, enabling [`DurableFeatures::crash`].
     pub fn with_fault_plan(mut self, plan: IoFaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Store feature pages at the given scalar precision (f16 halves the
+    /// bytes per row on disk; rows widen back to f32 on every read).
+    pub fn with_precision(mut self, precision: FeaturePrecision) -> Self {
+        self.precision = precision;
         self
     }
 }
@@ -149,11 +160,12 @@ impl DurableFeatures {
         let metrics = DiskMetrics::attach(&cfg.registry);
         let injector =
             cfg.fault_plan.clone().map(|p| Arc::new(Mutex::new(IoFaultInjector::new(p))));
-        let pager = Pager::create(
+        let pager = Pager::create_with_precision(
             make_file(&pages_path(dir), &injector)?,
             features.dim(),
             features.raw(),
             cfg.page_size,
+            cfg.precision,
         )?;
         let wal = Wal::create(make_file(&wal_path(dir), &injector)?, metrics.fsync_histogram())?;
         Ok(DurableFeatures {
@@ -387,6 +399,33 @@ mod tests {
         let mut out = Vec::new();
         t.read_row_into(7, &mut out).unwrap();
         assert_eq!(out, vec![100.0, 200.0]);
+        assert_eq!(t.scrub().unwrap(), t.pool.pager().num_pages());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn f16_tier_roundtrips_quantized_rows_through_reopen() {
+        let dir = tmp_dir("f16tier");
+        let fs = features(40, 2);
+        {
+            let mut t = DurableFeatures::create(
+                &dir,
+                &fs,
+                small_cfg().with_precision(FeaturePrecision::F16),
+            )
+            .unwrap();
+            // 0.25 steps are exact in f16 up to 2048, so base rows survive.
+            let mut out = Vec::new();
+            t.read_row_into(13, &mut out).unwrap();
+            assert_eq!(out, fs.row(13));
+            t.update_row(7, &[100.5, -200.25]).unwrap();
+            t.checkpoint().unwrap();
+        }
+        // open() learns the precision from the header, not the config.
+        let (mut t, _) = DurableFeatures::open(&dir, small_cfg()).unwrap();
+        let mut out = Vec::new();
+        t.read_row_into(7, &mut out).unwrap();
+        assert_eq!(out, vec![100.5, -200.25]);
         assert_eq!(t.scrub().unwrap(), t.pool.pager().num_pages());
         std::fs::remove_dir_all(dir).ok();
     }

@@ -158,7 +158,7 @@ mod tests {
     #[test]
     fn dispatches_frames_to_the_named_server() {
         let mut t = transport(2);
-        let req = Message::FeatureReq { nodes: vec![0, 2] }.encode();
+        let req = Message::FeatureReq { nodes: vec![0, 2] }.encode().unwrap();
         let resp = Message::decode(t.call(0, req).unwrap()).unwrap();
         assert!(matches!(resp, Message::FeatureResp { dim: 4, .. }));
         assert_eq!(t.requests_per_server().unwrap(), vec![1, 0]);
@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn invalid_server_and_empty_cluster_error() {
         let mut t = transport(2);
-        let req = Message::FeatureReq { nodes: vec![0] }.encode();
+        let req = Message::FeatureReq { nodes: vec![0] }.encode().unwrap();
         assert_eq!(t.call(9, req).unwrap_err(), StoreError::InvalidServer(9));
         assert_eq!(
             t.set_down(9, true).unwrap_err(),
@@ -184,7 +184,7 @@ mod tests {
     fn down_flag_round_trips_through_the_transport() {
         let mut t = transport(2);
         t.set_down(1, true).unwrap();
-        let req = Message::FeatureReq { nodes: vec![1] }.encode();
+        let req = Message::FeatureReq { nodes: vec![1] }.encode().unwrap();
         assert_eq!(t.call(1, req.clone()).unwrap_err(), StoreError::ServerDown(1));
         t.set_down(1, false).unwrap();
         assert!(t.call(1, req).is_ok());
@@ -195,7 +195,7 @@ mod tests {
         let mut t = transport(4);
         t.set_replication(2, 4).unwrap();
         // Server 1 now serves server 0's nodes as a replica.
-        let req = Message::FeatureReq { nodes: vec![0] }.encode();
+        let req = Message::FeatureReq { nodes: vec![0] }.encode().unwrap();
         assert!(t.call(1, req).is_ok());
     }
 }

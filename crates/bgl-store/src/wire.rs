@@ -5,9 +5,18 @@
 //! Format: one type byte, then type-specific little-endian payload. The
 //! decoder is defensive — truncated or corrupt frames return
 //! [`StoreError::Malformed`] instead of panicking (failure-injection tests
-//! feed it garbage).
+//! feed it garbage) — and the encoder is checked: counts that do not fit
+//! their `u32` wire fields return [`StoreError::TooLarge`] instead of
+//! silently truncating with `as`.
+//!
+//! Feature rows travel in either precision: [`Message::FeatureResp`]
+//! carries f32 scalars (4 B each), [`Message::FeatureRespF16`] carries
+//! IEEE 754 binary16 (2 B each) — the f16 response to an
+//! [`Message::FeatureReqF16`] is literally half the bytes on the wire,
+//! which is what halves D_II in the §3.4 profile.
 
 use crate::StoreError;
+use bgl_graph::half::decode_row_f16;
 use bgl_graph::NodeId;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -17,6 +26,8 @@ const TAG_FEATURE_REQ: u8 = 3;
 const TAG_FEATURE_RESP: u8 = 4;
 const TAG_FEATURE_UPDATE_REQ: u8 = 5;
 const TAG_FEATURE_UPDATE_RESP: u8 = 6;
+const TAG_FEATURE_REQ_F16: u8 = 7;
+const TAG_FEATURE_RESP_F16: u8 = 8;
 
 /// A decoded store message.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,7 +36,7 @@ pub enum Message {
     NeighborReq { fanout: u32, nodes: Vec<NodeId> },
     /// Per-node sampled neighbor lists, in request order.
     NeighborResp { lists: Vec<Vec<NodeId>> },
-    /// Fetch feature rows for `nodes`.
+    /// Fetch feature rows for `nodes` (full f32 precision).
     FeatureReq { nodes: Vec<NodeId> },
     /// Feature rows (`nodes.len() × dim`), in request order.
     FeatureResp { dim: u32, rows: Vec<f32> },
@@ -35,26 +46,37 @@ pub enum Message {
     FeatureUpdateReq { dim: u32, nodes: Vec<NodeId>, rows: Vec<f32> },
     /// Ack: how many rows were applied (always all of them, or an error).
     FeatureUpdateResp { applied: u32 },
+    /// Fetch feature rows for `nodes`, narrowed to binary16 on the wire.
+    FeatureReqF16 { nodes: Vec<NodeId> },
+    /// binary16 feature rows (`nodes.len() × dim` half-floats, 2 B each),
+    /// in request order. Decode with [`Message::decode_f16_rows`].
+    FeatureRespF16 { dim: u32, rows: Vec<u16> },
+}
+
+/// Checked narrowing for wire count fields.
+fn u32_len(len: usize, what: &'static str) -> Result<u32, StoreError> {
+    u32::try_from(len).map_err(|_| StoreError::TooLarge(what))
 }
 
 impl Message {
-    /// Encode into a frame.
-    pub fn encode(&self) -> Bytes {
+    /// Encode into a frame. Fails with [`StoreError::TooLarge`] if any
+    /// count exceeds its `u32` wire field.
+    pub fn encode(&self) -> Result<Bytes, StoreError> {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
         match self {
             Message::NeighborReq { fanout, nodes } => {
                 buf.put_u8(TAG_NEIGHBOR_REQ);
                 buf.put_u32_le(*fanout);
-                buf.put_u32_le(nodes.len() as u32);
+                buf.put_u32_le(u32_len(nodes.len(), "neighbor req count")?);
                 for &v in nodes {
                     buf.put_u32_le(v);
                 }
             }
             Message::NeighborResp { lists } => {
                 buf.put_u8(TAG_NEIGHBOR_RESP);
-                buf.put_u32_le(lists.len() as u32);
+                buf.put_u32_le(u32_len(lists.len(), "neighbor resp count")?);
                 for list in lists {
-                    buf.put_u32_le(list.len() as u32);
+                    buf.put_u32_le(u32_len(list.len(), "neighbor list len")?);
                     for &v in list {
                         buf.put_u32_le(v);
                     }
@@ -62,7 +84,7 @@ impl Message {
             }
             Message::FeatureReq { nodes } => {
                 buf.put_u8(TAG_FEATURE_REQ);
-                buf.put_u32_le(nodes.len() as u32);
+                buf.put_u32_le(u32_len(nodes.len(), "feature req count")?);
                 for &v in nodes {
                     buf.put_u32_le(v);
                 }
@@ -70,7 +92,7 @@ impl Message {
             Message::FeatureResp { dim, rows } => {
                 buf.put_u8(TAG_FEATURE_RESP);
                 buf.put_u32_le(*dim);
-                buf.put_u32_le(rows.len() as u32);
+                buf.put_u32_le(u32_len(rows.len(), "feature row payload")?);
                 for &x in rows {
                     buf.put_f32_le(x);
                 }
@@ -78,7 +100,7 @@ impl Message {
             Message::FeatureUpdateReq { dim, nodes, rows } => {
                 buf.put_u8(TAG_FEATURE_UPDATE_REQ);
                 buf.put_u32_le(*dim);
-                buf.put_u32_le(nodes.len() as u32);
+                buf.put_u32_le(u32_len(nodes.len(), "feature update count")?);
                 for &v in nodes {
                     buf.put_u32_le(v);
                 }
@@ -90,8 +112,23 @@ impl Message {
                 buf.put_u8(TAG_FEATURE_UPDATE_RESP);
                 buf.put_u32_le(*applied);
             }
+            Message::FeatureReqF16 { nodes } => {
+                buf.put_u8(TAG_FEATURE_REQ_F16);
+                buf.put_u32_le(u32_len(nodes.len(), "feature req count")?);
+                for &v in nodes {
+                    buf.put_u32_le(v);
+                }
+            }
+            Message::FeatureRespF16 { dim, rows } => {
+                buf.put_u8(TAG_FEATURE_RESP_F16);
+                buf.put_u32_le(*dim);
+                buf.put_u32_le(u32_len(rows.len(), "feature row payload")?);
+                for &h in rows {
+                    buf.put_slice(&h.to_le_bytes());
+                }
+            }
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
     /// Exact encoded size in bytes — used for network-time accounting
@@ -108,7 +145,16 @@ impl Message {
                 1 + 4 + 4 + 4 * nodes.len() + 4 * rows.len()
             }
             Message::FeatureUpdateResp { .. } => 1 + 4,
+            Message::FeatureReqF16 { nodes } => 1 + 4 + 4 * nodes.len(),
+            Message::FeatureRespF16 { rows, .. } => 1 + 4 + 4 + 2 * rows.len(),
         }
+    }
+
+    /// Widen an f16 response payload to f32 rows (the one decode copy).
+    pub fn decode_f16_rows(rows: &[u16]) -> Vec<f32> {
+        let mut out = Vec::new();
+        decode_row_f16(rows, &mut out);
+        out
     }
 
     /// Decode a frame.
@@ -138,17 +184,15 @@ impl Message {
                 let nodes = get_ids(&mut buf, n)?;
                 Ok(Message::FeatureReq { nodes })
             }
+            TAG_FEATURE_REQ_F16 => {
+                let n = get_u32(&mut buf, "count")? as usize;
+                let nodes = get_ids(&mut buf, n)?;
+                Ok(Message::FeatureReqF16 { nodes })
+            }
             TAG_FEATURE_RESP => {
                 let dim = get_u32(&mut buf, "dim")?;
                 let n = get_u32(&mut buf, "row len")? as usize;
-                // Shape is validated at the codec boundary, not just by the
-                // fetch path: a payload that is not whole rows is corrupt.
-                if dim == 0 && n != 0 {
-                    return Err(StoreError::Malformed("feature rows with zero dim"));
-                }
-                if dim != 0 && !n.is_multiple_of(dim as usize) {
-                    return Err(StoreError::Malformed("feature rows not a multiple of dim"));
-                }
+                check_row_shape(dim, n)?;
                 if buf.remaining() < n * 4 {
                     return Err(StoreError::Malformed("truncated feature rows"));
                 }
@@ -157,6 +201,21 @@ impl Message {
                     rows.push(buf.get_f32_le());
                 }
                 Ok(Message::FeatureResp { dim, rows })
+            }
+            TAG_FEATURE_RESP_F16 => {
+                let dim = get_u32(&mut buf, "dim")?;
+                let n = get_u32(&mut buf, "row len")? as usize;
+                check_row_shape(dim, n)?;
+                if buf.remaining() < n * 2 {
+                    return Err(StoreError::Malformed("truncated feature rows"));
+                }
+                let mut rows = Vec::with_capacity(n.min(1 << 20));
+                let mut pair = [0u8; 2];
+                for _ in 0..n {
+                    buf.copy_to_slice(&mut pair);
+                    rows.push(u16::from_le_bytes(pair));
+                }
+                Ok(Message::FeatureRespF16 { dim, rows })
             }
             TAG_FEATURE_UPDATE_REQ => {
                 let dim = get_u32(&mut buf, "dim")?;
@@ -186,6 +245,18 @@ impl Message {
     }
 }
 
+/// Shape is validated at the codec boundary, not just by the fetch path: a
+/// payload that is not whole rows is corrupt.
+fn check_row_shape(dim: u32, n: usize) -> Result<(), StoreError> {
+    if dim == 0 && n != 0 {
+        return Err(StoreError::Malformed("feature rows with zero dim"));
+    }
+    if dim != 0 && !n.is_multiple_of(dim as usize) {
+        return Err(StoreError::Malformed("feature rows not a multiple of dim"));
+    }
+    Ok(())
+}
+
 fn get_u32(buf: &mut Bytes, what: &'static str) -> Result<u32, StoreError> {
     if buf.remaining() < 4 {
         return Err(StoreError::Malformed(what));
@@ -210,11 +281,12 @@ fn get_ids(buf: &mut Bytes, n: usize) -> Result<Vec<NodeId>, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bgl_graph::half::f32_to_f16_bits;
 
     #[test]
     fn neighbor_req_roundtrip() {
         let m = Message::NeighborReq { fanout: 15, nodes: vec![1, 2, 99] };
-        let encoded = m.encode();
+        let encoded = m.encode().unwrap();
         assert_eq!(encoded.len(), m.encoded_len());
         assert_eq!(Message::decode(encoded).unwrap(), m);
     }
@@ -224,7 +296,7 @@ mod tests {
         let m = Message::NeighborResp {
             lists: vec![vec![5, 6], vec![], vec![7]],
         };
-        let encoded = m.encode();
+        let encoded = m.encode().unwrap();
         assert_eq!(encoded.len(), m.encoded_len());
         assert_eq!(Message::decode(encoded).unwrap(), m);
     }
@@ -232,11 +304,68 @@ mod tests {
     #[test]
     fn feature_roundtrip() {
         let req = Message::FeatureReq { nodes: vec![3] };
-        assert_eq!(Message::decode(req.encode()).unwrap(), req);
+        assert_eq!(Message::decode(req.encode().unwrap()).unwrap(), req);
         let resp = Message::FeatureResp { dim: 2, rows: vec![1.5, -2.5] };
-        let enc = resp.encode();
+        let enc = resp.encode().unwrap();
         assert_eq!(enc.len(), resp.encoded_len());
         assert_eq!(Message::decode(enc).unwrap(), resp);
+    }
+
+    #[test]
+    fn f16_feature_roundtrip_halves_the_wire_bytes() {
+        let req = Message::FeatureReqF16 { nodes: vec![3, 8] };
+        assert_eq!(Message::decode(req.encode().unwrap()).unwrap(), req);
+
+        let rows_f32 = vec![1.5f32, -2.5, 0.0, 100.25];
+        let rows: Vec<u16> = rows_f32.iter().map(|&x| f32_to_f16_bits(x)).collect();
+        let resp = Message::FeatureRespF16 { dim: 2, rows: rows.clone() };
+        let enc = resp.encode().unwrap();
+        assert_eq!(enc.len(), resp.encoded_len());
+        assert_eq!(Message::decode(enc).unwrap(), resp);
+
+        // Exactly half the row payload of the equivalent f32 response.
+        let f32_resp = Message::FeatureResp { dim: 2, rows: rows_f32.clone() };
+        assert_eq!(resp.encoded_len() - 9, (f32_resp.encoded_len() - 9) / 2);
+
+        // These small values are exact in f16, so widening restores them.
+        assert_eq!(Message::decode_f16_rows(&rows), rows_f32);
+    }
+
+    #[test]
+    fn f16_resp_shape_is_validated() {
+        let mut bad = BytesMut::new();
+        bad.put_u8(TAG_FEATURE_RESP_F16);
+        bad.put_u32_le(2); // dim
+        bad.put_u32_le(3); // not whole rows
+        for _ in 0..3 {
+            bad.put_slice(&0u16.to_le_bytes());
+        }
+        assert_eq!(
+            Message::decode(bad.freeze()),
+            Err(StoreError::Malformed("feature rows not a multiple of dim"))
+        );
+        // Truncated payload.
+        let mut bad = BytesMut::new();
+        bad.put_u8(TAG_FEATURE_RESP_F16);
+        bad.put_u32_le(2);
+        bad.put_u32_le(4);
+        bad.put_slice(&1u16.to_le_bytes());
+        assert_eq!(
+            Message::decode(bad.freeze()),
+            Err(StoreError::Malformed("truncated feature rows"))
+        );
+    }
+
+    #[test]
+    fn oversized_counts_error_instead_of_truncating() {
+        // The checked conversion itself: a length that does not fit u32
+        // must surface TooLarge, not wrap around like `as u32` did.
+        assert_eq!(
+            u32_len(u32::MAX as usize + 1, "feature req count"),
+            Err(StoreError::TooLarge("feature req count"))
+        );
+        assert_eq!(u32_len(u32::MAX as usize, "x"), Ok(u32::MAX));
+        assert_eq!(u32_len(0, "x"), Ok(0));
     }
 
     #[test]
@@ -304,11 +433,11 @@ mod tests {
             nodes: vec![4, 9],
             rows: vec![1.0, 2.0, 3.0, 4.0],
         };
-        let enc = m.encode();
+        let enc = m.encode().unwrap();
         assert_eq!(enc.len(), m.encoded_len());
         assert_eq!(Message::decode(enc).unwrap(), m);
         let ack = Message::FeatureUpdateResp { applied: 2 };
-        let enc = ack.encode();
+        let enc = ack.encode().unwrap();
         assert_eq!(enc.len(), ack.encoded_len());
         assert_eq!(Message::decode(enc).unwrap(), ack);
     }
@@ -341,8 +470,10 @@ mod tests {
     #[test]
     fn empty_payloads_are_valid() {
         let m = Message::NeighborReq { fanout: 0, nodes: vec![] };
-        assert_eq!(Message::decode(m.encode()).unwrap(), m);
+        assert_eq!(Message::decode(m.encode().unwrap()).unwrap(), m);
         let m = Message::FeatureResp { dim: 4, rows: vec![] };
-        assert_eq!(Message::decode(m.encode()).unwrap(), m);
+        assert_eq!(Message::decode(m.encode().unwrap()).unwrap(), m);
+        let m = Message::FeatureRespF16 { dim: 4, rows: vec![] };
+        assert_eq!(Message::decode(m.encode().unwrap()).unwrap(), m);
     }
 }

@@ -20,7 +20,7 @@ fn random_ids(rng: &mut StdRng, max_len: usize) -> Vec<u32> {
 }
 
 fn random_message(rng: &mut StdRng) -> Message {
-    match rng.random_range(0..6u32) {
+    match rng.random_range(0..8u32) {
         0 => Message::NeighborReq {
             fanout: rng.random_range(0..64),
             nodes: random_ids(rng, 40),
@@ -49,14 +49,23 @@ fn random_message(rng: &mut StdRng) -> Message {
                 .collect();
             Message::FeatureUpdateReq { dim, nodes, rows }
         }
-        _ => Message::FeatureUpdateResp { applied: rng.random_range(0..1024) },
+        5 => Message::FeatureUpdateResp { applied: rng.random_range(0..1024) },
+        6 => Message::FeatureReqF16 { nodes: random_ids(rng, 40) },
+        _ => {
+            let dim = rng.random_range(1..16u32);
+            let n_rows = rng.random_range(0..10usize);
+            let rows = (0..n_rows * dim as usize)
+                .map(|_| rng.random_range(0..=u16::MAX as u32) as u16)
+                .collect();
+            Message::FeatureRespF16 { dim, rows }
+        }
     }
 }
 
 #[test]
 fn every_variant_roundtrips() {
     let mut rng = StdRng::seed_from_u64(SEED);
-    let mut seen = [0usize; 6];
+    let mut seen = [0usize; 8];
     for _ in 0..CASES {
         let m = random_message(&mut rng);
         seen[match &m {
@@ -66,14 +75,16 @@ fn every_variant_roundtrips() {
             Message::FeatureResp { .. } => 3,
             Message::FeatureUpdateReq { .. } => 4,
             Message::FeatureUpdateResp { .. } => 5,
+            Message::FeatureReqF16 { .. } => 6,
+            Message::FeatureRespF16 { .. } => 7,
         }] += 1;
-        let encoded = m.encode();
+        let encoded = m.encode().unwrap();
         assert_eq!(encoded.len(), m.encoded_len(), "encoded_len mismatch for {:?}", m);
         assert_eq!(Message::decode(encoded).unwrap(), m);
     }
     assert!(
         seen.iter().all(|&c| c > 0),
-        "all six variants must be exercised: {:?}",
+        "all eight variants must be exercised: {:?}",
         seen
     );
 }
@@ -83,7 +94,7 @@ fn single_byte_mutations_never_panic() {
     let mut rng = StdRng::seed_from_u64(SEED ^ 1);
     for _ in 0..60 {
         let m = random_message(&mut rng);
-        let encoded = m.encode().to_vec();
+        let encoded = m.encode().unwrap().to_vec();
         if encoded.is_empty() {
             continue;
         }
@@ -102,7 +113,7 @@ fn random_truncations_never_panic() {
     let mut rng = StdRng::seed_from_u64(SEED ^ 2);
     for _ in 0..60 {
         let m = random_message(&mut rng);
-        let encoded = m.encode();
+        let encoded = m.encode().unwrap();
         if encoded.len() < 2 {
             continue;
         }

@@ -4,8 +4,10 @@
 //! DGL's GPU backend. This workspace has no GPU, so `bgl-gnn` trains the
 //! same models on CPU with the `f32` matrix kernels in this crate: matmul,
 //! row-wise broadcasting, activations, softmax/cross-entropy, dropout, and
-//! the SGD/Adam optimizers. No external BLAS — the matmul is a simple
-//! blocked triple loop, plenty for the scaled-down graphs we train.
+//! the SGD/Adam optimizers. No external BLAS — the matmuls are row-panel
+//! blocked kernels fanned out over a std-only worker pool ([`pool`]), with
+//! serial paths kept bitwise-identical for the determinism contract (see
+//! `matrix`'s module docs).
 //!
 //! Gradients are written explicitly (no autograd); every kernel with a
 //! backward pass has a finite-difference test.
@@ -14,6 +16,7 @@ pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod optim;
+pub mod pool;
 
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};

@@ -83,10 +83,14 @@ pub fn accuracy(logits: &Matrix, labels: &[u16]) -> f64 {
     let mut correct = 0usize;
     for (i, &label) in labels.iter().enumerate() {
         let row = logits.row(i);
+        // Total-order fold: `partial_cmp(..).unwrap()` panicked on a NaN
+        // logit (one diverged training step could kill the whole eval).
+        // `total_cmp` is a total order, so a NaN row degrades to a
+        // deterministic (usually wrong) prediction instead of a panic.
         let argmax = row
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(j, _)| j)
             .unwrap();
         if argmax == label as usize {
@@ -181,6 +185,26 @@ mod tests {
         let logits = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
         assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
         assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-9);
+    }
+
+    /// Regression: a NaN logit used to panic the whole eval via
+    /// `partial_cmp(..).unwrap()`. It must instead fold under the total
+    /// order — deterministically, and without poisoning the other rows.
+    #[test]
+    fn accuracy_survives_nan_logits() {
+        // Row 0 diverged (one NaN), row 1 is fully NaN, row 2 is healthy.
+        let logits = Matrix::from_vec(
+            3,
+            3,
+            vec![0.1, f32::NAN, 0.2, f32::NAN, f32::NAN, f32::NAN, 0.0, 9.0, 1.0],
+        );
+        // total_cmp sorts +NaN above every number: the NaN positions win
+        // their rows (deterministically), the healthy row is unaffected.
+        assert!((accuracy(&logits, &[1, 2, 1]) - 1.0).abs() < 1e-9);
+        assert!((accuracy(&logits, &[0, 0, 1]) - 1.0 / 3.0).abs() < 1e-9);
+        // ±inf keeps working alongside NaN.
+        let logits = Matrix::from_vec(1, 3, vec![f32::NEG_INFINITY, f32::INFINITY, 0.0]);
+        assert!((accuracy(&logits, &[1]) - 1.0).abs() < 1e-9);
     }
 
     #[test]

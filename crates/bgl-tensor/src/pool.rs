@@ -1,0 +1,233 @@
+//! Std-only persistent worker pool for the blocked matmul kernels.
+//!
+//! Same idiom as `bgl-exec`'s runtime channels — `Mutex` + `Condvar`, no
+//! external executor — but shaped for data parallelism instead of
+//! pipelining: [`WorkerPool::parallel_for`] splits an index range into
+//! chunks and lets the pool workers *and the calling thread* claim chunks
+//! from a shared atomic cursor. The caller only returns once every chunk
+//! has finished and every handed-out job handle has been retired, which is
+//! what makes lending it stack borrows sound (see safety notes on [`Job`]).
+//!
+//! The pool is deliberately oblivious to what runs in a chunk. Determinism
+//! is the caller's contract: the matmul kernels partition *output rows*
+//! across chunks, so every output element is computed wholly by one thread
+//! in the same ascending-k order as the serial kernel — which thread ran it
+//! cannot affect the bits.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// One submitted parallel-for: a type-erased chunk runner plus the shared
+/// cursor/latch state the workers drive.
+///
+/// # Safety
+/// `run` and `state` borrow the submitting `parallel_for` frame. A worker
+/// dereferences them only between popping the job and bumping the latch's
+/// `retired` count, and `parallel_for` blocks until every chunk is done
+/// *and* every popped job is retired (jobs still queued are swept out under
+/// the queue lock before that wait) — so the borrow strictly outlives every
+/// use. `Job` is `Send` because the closure it points to is `Sync` (shared
+/// by reference across threads).
+struct Job {
+    /// Type-erased `&dyn Fn(usize)` chunk runner (pointer + vtable).
+    run: *const (dyn Fn(usize) + Sync),
+    state: *const JobState,
+}
+
+unsafe impl Send for Job {}
+
+struct Latch {
+    /// Chunks completed.
+    done: usize,
+    /// Helper jobs that popped this state and have finished with it.
+    retired: usize,
+}
+
+struct JobState {
+    /// Next chunk index to claim.
+    cursor: AtomicUsize,
+    /// Total chunks in this job.
+    chunks: usize,
+    latch: Mutex<Latch>,
+    progress: Condvar,
+}
+
+impl JobState {
+    /// Claim-and-run loop shared by workers and the submitting thread.
+    fn drive(&self, run: &(dyn Fn(usize) + Sync)) {
+        loop {
+            let c = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= self.chunks {
+                return;
+            }
+            run(c);
+            let mut g = self.latch.lock().unwrap();
+            g.done += 1;
+            if g.done == self.chunks {
+                self.progress.notify_all();
+            }
+        }
+    }
+}
+
+struct PoolCore {
+    queue: Mutex<Vec<Job>>,
+    available: Condvar,
+}
+
+/// The process-wide kernel pool: `threads() - 1` persistent helper threads
+/// (the submitting thread is always the last worker).
+pub struct WorkerPool {
+    core: &'static PoolCore,
+    threads: usize,
+}
+
+/// Number of kernel threads to use: `BGL_TENSOR_THREADS` if set (clamped to
+/// [1, 64]), else the host's available parallelism.
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("BGL_TENSOR_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.clamp(1, 64);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The global pool, spawned on first use.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = configured_threads();
+        let core: &'static PoolCore = Box::leak(Box::new(PoolCore {
+            queue: Mutex::new(Vec::new()),
+            available: Condvar::new(),
+        }));
+        for _ in 1..threads {
+            std::thread::Builder::new()
+                .name("bgl-tensor-pool".into())
+                .spawn(move || worker_loop(core))
+                .expect("spawn kernel pool worker");
+        }
+        WorkerPool { core, threads }
+    })
+}
+
+fn worker_loop(core: &'static PoolCore) {
+    loop {
+        let job = {
+            let mut q = core.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.pop() {
+                    break job;
+                }
+                q = core.available.wait(q).unwrap();
+            }
+        };
+        // SAFETY: the submitting `parallel_for` frame stays alive until
+        // this popped job retires (it waits on the latch), so both
+        // pointers are valid for the whole drive.
+        let (run, state) = unsafe { (&*job.run, &*job.state) };
+        state.drive(run);
+        let mut g = state.latch.lock().unwrap();
+        g.retired += 1;
+        state.progress.notify_all();
+    }
+}
+
+impl WorkerPool {
+    /// Threads participating in a parallel-for (including the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `run(chunk)` for every `chunk in 0..chunks`, spread across the
+    /// pool plus the calling thread. Returns only after every chunk has
+    /// completed, so `run` may borrow the caller's stack. Chunks are
+    /// claimed dynamically; callers needing determinism must make each
+    /// chunk's output independent of which thread runs it.
+    pub fn parallel_for(&self, chunks: usize, run: &(dyn Fn(usize) + Sync)) {
+        if chunks == 0 {
+            return;
+        }
+        if self.threads == 1 || chunks == 1 {
+            for c in 0..chunks {
+                run(c);
+            }
+            return;
+        }
+        let state = JobState {
+            cursor: AtomicUsize::new(0),
+            chunks,
+            latch: Mutex::new(Latch { done: 0, retired: 0 }),
+            progress: Condvar::new(),
+        };
+        // Hand one claim-loop job per helper thread to the queue; each
+        // drives the shared cursor until the chunks run out, so idle
+        // helpers retire immediately and busy ones share the tail.
+        //
+        // SAFETY: lifetime erasure only — the raw `Job` pointers borrow this
+        // frame, and the retirement wait below keeps the frame alive past
+        // every dereference (see the `Job` safety notes).
+        let run_erased: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(run as *const (dyn Fn(usize) + Sync)) };
+        let handed = self.threads.min(chunks) - 1;
+        {
+            let mut q = self.core.queue.lock().unwrap();
+            for _ in 0..handed {
+                q.push(Job { run: run_erased, state: &state });
+            }
+        }
+        self.core.available.notify_all();
+        state.drive(run);
+        // Sweep out job handles no helper popped before the cursor ran dry
+        // (they point into this frame), then wait for the popped ones to
+        // retire — after which no thread can touch `state` or `run` again.
+        let swept = {
+            let mut q = self.core.queue.lock().unwrap();
+            let before = q.len();
+            q.retain(|j| !std::ptr::eq(j.state, &state));
+            before - q.len()
+        };
+        let must_retire = handed - swept;
+        let mut g = state.latch.lock().unwrap();
+        while g.done < chunks || g.retired < must_retire {
+            g = state.progress.wait(g).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        let pool = global();
+        let hits: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+        pool.parallel_for(hits.len(), &|c| {
+            hits[c].fetch_add(1, Ordering::Relaxed);
+        });
+        for (c, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "chunk {} ran wrong count", c);
+        }
+    }
+
+    #[test]
+    fn zero_chunks_is_a_noop() {
+        global().parallel_for(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn reusable_across_many_jobs() {
+        let pool = global();
+        for round in 0..50usize {
+            let sum = AtomicU64::new(0);
+            pool.parallel_for(round + 1, &|c| {
+                sum.fetch_add(c as u64, Ordering::Relaxed);
+            });
+            let want = (round * (round + 1) / 2) as u64;
+            assert_eq!(sum.load(Ordering::Relaxed), want, "round {}", round);
+        }
+    }
+}

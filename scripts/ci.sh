@@ -45,6 +45,15 @@ env -u RUST_TEST_THREADS cargo test -q -p bgl --test ckpt_recovery
 env -u RUST_TEST_THREADS cargo test -q --release -p bgl --test ckpt_recovery
 cargo bench -p bgl-exec --bench checkpoint -- --test
 
+# Blocked matmul kernels: the serial/parallel bitwise-equivalence suite
+# runs once more under --release (the fast-math hazards it guards against
+# only arise in optimized builds) with the thread-count sweep uncapped.
+# The kernel before/after bench runs in --test mode as a smoke gate on
+# the naive-vs-blocked measurement path (a full run, which writes
+# results/BENCH_kernels.json, is manual).
+env -u RUST_TEST_THREADS cargo test -q --release -p bgl-tensor --test matmul_equiv
+cargo bench -p bench --bench kernels -- --test
+
 # Durable disk tier: the disk/WAL chaos suite crashes shadow-filed tiers
 # at seeded torn points behind both the in-process and TCP transports and
 # proves recovery bitwise-faithful — real server threads again, so

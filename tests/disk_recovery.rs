@@ -189,7 +189,7 @@ fn crash_at_every_seeded_point_recovers_bitwise_in_process() {
         // updated rows.
         let w = rig.cluster.worker_location();
         let (got, _) = rig.cluster.fetch_features(&nodes, w).expect("fetch after recovery");
-        assert_eq!(got, rows, "seed {seed:#x}: recovered rows must match acked updates");
+        assert_eq!(got.to_vec(), rows, "seed {seed:#x}: recovered rows must match acked updates");
 
         let recovered =
             run(&exec_cfg(), rig.into_task(BATCH, N_BATCHES), &Registry::disabled())
@@ -232,7 +232,7 @@ fn checkpoint_bounds_wal_replay_but_not_recovery() {
 
     let w = rig.cluster.worker_location();
     let (got, _) = rig.cluster.fetch_features(&nodes, w).expect("fetch after recovery");
-    assert_eq!(got, rows, "both waves must be present after recovery");
+    assert_eq!(got.to_vec(), rows, "both waves must be present after recovery");
 
     let recovered = run(&exec_cfg(), rig.into_task(BATCH, N_BATCHES), &Registry::disabled())
         .expect("epoch over recovered store");
@@ -304,7 +304,7 @@ fn tcp_r2_crash_recovery_is_bitwise_identical() {
 
     let w = rig.cluster.worker_location();
     let (got, _) = rig.cluster.fetch_features(&nodes, w).expect("fetch over tcp");
-    assert_eq!(got, rows, "recovered rows must round-trip the wire");
+    assert_eq!(got.to_vec(), rows, "recovered rows must round-trip the wire");
 
     let recovered = run(&exec_cfg(), rig.into_task(BATCH, N_BATCHES), &reg)
         .expect("epoch over recovered tcp store");

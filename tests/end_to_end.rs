@@ -155,6 +155,31 @@ fn feature_time_ordering() {
     assert!(get("dgl") < get("euler"), "dgl {} !< euler {}", get("dgl"), get("euler"));
 }
 
+/// Table 5 with the f16 feature path on: training on rows squeezed through
+/// the half-precision wire/cache representation must land within a small
+/// delta of full-precision training (the RT-GNN/EVT_AE claim the f16 mode
+/// leans on).
+#[test]
+fn accuracy_delta_under_f16_features_is_small() {
+    let ctx32 = common::small_ctx();
+    let mut ctx16 = common::small_ctx();
+    ctx16.feature_precision = bgl::FeaturePrecision::F16;
+    let r32 = ctx32.accuracy_experiment(DatasetId::Products, GnnModelKind::GraphSage, 4, 16);
+    let r16 = ctx16.accuracy_experiment(DatasetId::Products, GnnModelKind::GraphSage, 4, 16);
+    assert_eq!(r32.len(), r16.len());
+    for (a, b) in r32.iter().zip(&r16) {
+        let delta = (a.final_test_acc - b.final_test_acc).abs();
+        assert!(
+            delta < 0.05,
+            "f16 features moved {} accuracy by {:.3} ({:.3} vs {:.3})",
+            a.ordering,
+            delta,
+            a.final_test_acc,
+            b.final_test_acc
+        );
+    }
+}
+
 /// Table 5 at laptop scale: both orderings reach comparable accuracy
 /// (convergence is preserved by the shuffling-error tuning).
 #[test]

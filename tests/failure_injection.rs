@@ -51,7 +51,7 @@ fn feature_fetch_fails_cleanly_when_any_owner_down() {
     assert_eq!(err, StoreError::ServerDown(1));
     // A query touching only the healthy server succeeds.
     let (rows, _) = c.fetch_features(&[0, 2], w).unwrap();
-    assert_eq!(rows.len(), 2 * 100);
+    assert_eq!((rows.len(), rows.dim()), (2, 100));
 }
 
 #[test]
@@ -75,9 +75,9 @@ fn replicated_cluster_survives_a_dead_primary() {
     assert!(c.robustness.failovers > 0);
     let w = c.worker_location();
     let (rows, _) = c.fetch_features(&[1, 2, 3], w).unwrap();
-    assert_eq!(rows.len(), 3 * 100);
+    assert_eq!((rows.len(), rows.dim()), (3, 100));
     // The replica served real rows, not zeros.
-    assert_eq!(&rows[100..200], ds.features.row(2));
+    assert_eq!(rows.row(1), ds.features.row(2));
 }
 
 #[test]
@@ -86,9 +86,9 @@ fn degraded_mode_serves_zeros_instead_of_failing() {
     c.set_server_down(1, true).unwrap();
     let w = c.worker_location();
     let (rows, _) = c.fetch_features(&[0, 1], w).unwrap();
-    assert_eq!(rows.len(), 2 * 100);
+    assert_eq!((rows.len(), rows.dim()), (2, 100));
     // Node 1's rows (owned by the dead server) degraded to zeros.
-    assert!(rows[100..200].iter().all(|&x| x == 0.0));
+    assert!(rows.row(1).iter().all(|&x| x == 0.0));
     assert_eq!(c.robustness.degraded_rows, 1);
     assert_eq!(c.robustness.degraded_batches, 1);
 }
@@ -170,7 +170,7 @@ fn decoder_survives_fuzzed_frames() {
 #[test]
 fn truncated_valid_frames_are_rejected() {
     let m = Message::FeatureResp { dim: 4, rows: vec![1.0; 32] };
-    let full = m.encode();
+    let full = m.encode().unwrap();
     for cut in 1..full.len() {
         let truncated = full.slice(0..cut);
         assert!(

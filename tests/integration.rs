@@ -29,7 +29,7 @@ fn full_data_path_produces_trainable_batches() {
         let input_ids = batch.input_nodes().to_vec();
         let mut miss_fetcher = |ids: &[NodeId]| {
             let w = 99; // worker location: always remote
-            cluster.fetch_features(ids, w).unwrap().0
+            cluster.fetch_features(ids, w).unwrap().0.to_vec()
         };
         let fetched = engine.fetch_batch(i % 2, &input_ids, &mut miss_fetcher);
         // Fetched features must equal the ground-truth store rows.
