@@ -4,7 +4,7 @@
 
 use bgl::experiments::{
     AccuracyRow, BreakdownRow, CacheRow, FeatureTimeRow, PartitionRow, RecoveryRow,
-    ThroughputRow,
+    ServeRateRow, ThroughputRow,
 };
 use bgl::profiler::MeasuredProfile;
 use bgl::report::TextTable;
@@ -131,6 +131,41 @@ pub fn render_recovery(rows: &[RecoveryRow]) -> String {
             r.robustness.failovers.to_string(),
             format!("{:.2}", r.backoff_ms),
             format!("{:.2}", r.recovery_ms),
+        ]);
+    }
+    t.render()
+}
+
+/// Render the serving throughput/latency sweep (`figures --serve`).
+pub fn render_serve(rows: &[ServeRateRow]) -> String {
+    let mut t = TextTable::new(&[
+        "config",
+        "rate/s",
+        "batch",
+        "offered",
+        "shed",
+        "done",
+        "failed",
+        "rps",
+        "p50-us",
+        "p99-us",
+        "p999-us",
+        "avg-batch",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.label.clone(),
+            format!("{:.0}", r.rate_hz),
+            r.max_batch.to_string(),
+            r.offered.to_string(),
+            r.shed.to_string(),
+            r.completed.to_string(),
+            r.failed.to_string(),
+            format!("{:.0}", r.throughput_rps),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+            r.p999_us.to_string(),
+            format!("{:.1}", r.mean_batch),
         ]);
     }
     t.render()

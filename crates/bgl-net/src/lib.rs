@@ -30,18 +30,23 @@
 //!   *transient* [`StoreError`]s so the cluster's `RetryPolicy` /
 //!   `CircuitBreaker` / replica-failover machinery handles a killed TCP
 //!   server exactly like a simulated crash;
+//! * [`query`] — the query-plane schema for the online serving front-end
+//!   (`bgl-serve`): `Query`/`QueryOk`/`QueryErr` frame payloads and the
+//!   typed [`query::QueryError`] with its retryability contract;
 //! * [`obs`] — `net.*` counters, gauges and histograms through `bgl-obs`.
 
 pub mod client;
 pub mod decoder;
 pub mod obs;
 pub mod proto;
+pub mod query;
 pub mod server;
 pub mod transport;
 
 pub use client::{NetClient, NetClientConfig};
 pub use decoder::FrameDecoder;
 pub use proto::{ControlOp, Frame, FrameKind, Hello, HelloAck, StatsReply};
+pub use query::{QueryError, QueryReq, QueryResp};
 pub use server::{spawn_loopback_cluster, LoopbackCluster, NetServerConfig, NetServerHandle};
 pub use transport::TcpTransport;
 

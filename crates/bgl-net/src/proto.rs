@@ -57,6 +57,12 @@ pub enum FrameKind {
     Control = 6,
     /// Server → client: acknowledgement (Stats carries a [`StatsReply`]).
     ControlAck = 7,
+    /// Client → serve front-end: an encoded [`crate::query::QueryReq`].
+    Query = 8,
+    /// Serve front-end → client: an encoded [`crate::query::QueryResp`].
+    QueryOk = 9,
+    /// Serve front-end → client: an encoded [`crate::query::QueryError`].
+    QueryErr = 10,
 }
 
 impl FrameKind {
@@ -70,6 +76,9 @@ impl FrameKind {
             5 => Some(FrameKind::Err),
             6 => Some(FrameKind::Control),
             7 => Some(FrameKind::ControlAck),
+            8 => Some(FrameKind::Query),
+            9 => Some(FrameKind::QueryOk),
+            10 => Some(FrameKind::QueryErr),
             _ => None,
         }
     }
@@ -344,6 +353,7 @@ const KNOWN_MALFORMED: &[&str] = &[
     "feature update dim mismatch",
     "update rows mismatch count×dim",
     "partial update ack",
+    "salt",
 ];
 
 /// The `Storage` messages the durable disk tier actually produces, resolved
@@ -525,11 +535,14 @@ mod tests {
             FrameKind::Err,
             FrameKind::Control,
             FrameKind::ControlAck,
+            FrameKind::Query,
+            FrameKind::QueryOk,
+            FrameKind::QueryErr,
         ] {
             assert_eq!(FrameKind::from_u8(k as u8), Some(k));
         }
         assert_eq!(FrameKind::from_u8(0), None);
-        assert_eq!(FrameKind::from_u8(8), None);
+        assert_eq!(FrameKind::from_u8(11), None);
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Query-plane wire schema for the online serving front-end (`bgl-serve`).
+//!
+//! Serving speaks the same framing layer as the store transport —
+//! [`crate::proto::Frame`] with the magic/version handshake — but three
+//! dedicated frame kinds carry the query plane:
+//!
+//! * [`FrameKind::Query`](crate::FrameKind::Query) — a [`QueryReq`]: "score
+//!   the items for this user node";
+//! * [`FrameKind::QueryOk`](crate::FrameKind::QueryOk) — a [`QueryResp`]:
+//!   the per-item score vector plus the server-measured latency;
+//! * [`FrameKind::QueryErr`](crate::FrameKind::QueryErr) — a
+//!   [`QueryError`], typed so a remote client can tell retryable overload
+//!   shed from a permanent bad-request.
+//!
+//! The codecs follow the store wire discipline (see
+//! `bgl_store::wire::Message`): explicit little-endian puts/gets, length
+//! checks before every read, u32 length headers validated against the
+//! remaining payload before any allocation, and `&'static str` error
+//! payloads resolved against a known-string table on decode.
+
+use crate::proto::{decode_store_error, encode_store_error};
+use crate::NetError;
+use bgl_store::StoreError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A single serving request: score recommendations for `user`.
+///
+/// Kept deliberately minimal — fanouts, model, and batch shaping are
+/// server-side policy (the whole point of cross-request micro-batching is
+/// that the client does not choose its batch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryReq {
+    /// The user node to build a k-hop neighborhood around.
+    pub user: u32,
+}
+
+impl QueryReq {
+    /// Encode the payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4);
+        buf.put_u32_le(self.user);
+        buf.freeze()
+    }
+
+    /// Decode the payload.
+    pub fn decode(mut buf: Bytes) -> Result<QueryReq, NetError> {
+        if buf.remaining() < 4 {
+            return Err(NetError::Malformed("short query request"));
+        }
+        let user = buf.get_u32_le();
+        if buf.remaining() > 0 {
+            return Err(NetError::Malformed("oversized query request"));
+        }
+        Ok(QueryReq { user })
+    }
+}
+
+/// A successful serving reply: the user's embedding/score vector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResp {
+    /// End-to-end latency the front-end measured for this request
+    /// (queue wait + batch window + inference), in microseconds. Carried
+    /// on the wire so open-loop load generators get server-side truth
+    /// without a clock-sync dance.
+    pub latency_us: u64,
+    /// The output row for the queried user (class scores / embedding).
+    pub scores: Vec<f32>,
+}
+
+impl QueryResp {
+    /// Encode the payload.
+    pub fn encode(&self) -> Result<Bytes, NetError> {
+        let n = u32::try_from(self.scores.len())
+            .map_err(|_| NetError::Malformed("query scores len"))?;
+        let mut buf = BytesMut::with_capacity(8 + 4 + 4 * self.scores.len());
+        buf.put_u64_le(self.latency_us);
+        buf.put_u32_le(n);
+        for &s in &self.scores {
+            buf.put_f32_le(s);
+        }
+        Ok(buf.freeze())
+    }
+
+    /// Decode the payload. The claimed score count is validated against
+    /// the bytes actually present before any allocation, so a hostile
+    /// length header cannot force an over-allocation.
+    pub fn decode(mut buf: Bytes) -> Result<QueryResp, NetError> {
+        if buf.remaining() < 12 {
+            return Err(NetError::Malformed("short query response"));
+        }
+        let latency_us = buf.get_u64_le();
+        let n = buf.get_u32_le() as usize;
+        if buf.remaining() != 4 * n {
+            return Err(NetError::Malformed("query scores length mismatch"));
+        }
+        let mut scores = Vec::with_capacity(n);
+        for _ in 0..n {
+            scores.push(buf.get_f32_le());
+        }
+        Ok(QueryResp { latency_us, scores })
+    }
+}
+
+const QERR_OVERLOADED: u8 = 1;
+const QERR_SHUTTING_DOWN: u8 = 2;
+const QERR_INVALID_NODE: u8 = 3;
+const QERR_STORE: u8 = 4;
+
+/// Why a serving request failed. `is_retryable` is the client's contract:
+/// retryable errors are load/lifecycle conditions where backing off and
+/// resubmitting is correct; non-retryable ones mean the request itself is
+/// wrong.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryError {
+    /// Admission control shed the request: the bounded queue was full.
+    /// `depth` is the configured queue capacity that was exceeded.
+    Overloaded {
+        /// The queue capacity at shed time.
+        depth: u32,
+    },
+    /// The front-end is draining; no new work is admitted.
+    ShuttingDown,
+    /// The queried node does not exist in the graph.
+    InvalidNode(u32),
+    /// The backing store failed; transience follows
+    /// [`StoreError::is_transient`].
+    Store(StoreError),
+}
+
+impl QueryError {
+    /// Whether a client should back off and retry the identical request.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            QueryError::Overloaded { .. } | QueryError::ShuttingDown => true,
+            QueryError::InvalidNode(_) => false,
+            QueryError::Store(e) => e.is_transient(),
+        }
+    }
+
+    /// Encode the payload for a `QueryErr` frame.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8);
+        match self {
+            QueryError::Overloaded { depth } => {
+                buf.put_u8(QERR_OVERLOADED);
+                buf.put_u32_le(*depth);
+            }
+            QueryError::ShuttingDown => buf.put_u8(QERR_SHUTTING_DOWN),
+            QueryError::InvalidNode(v) => {
+                buf.put_u8(QERR_INVALID_NODE);
+                buf.put_u32_le(*v);
+            }
+            QueryError::Store(e) => {
+                buf.put_u8(QERR_STORE);
+                buf.put_slice(&encode_store_error(e));
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode a `QueryErr` frame payload.
+    pub fn decode(mut buf: Bytes) -> Result<QueryError, NetError> {
+        if buf.remaining() < 1 {
+            return Err(NetError::Malformed("empty query error payload"));
+        }
+        match buf.get_u8() {
+            QERR_OVERLOADED => {
+                if buf.remaining() < 4 {
+                    return Err(NetError::Malformed("short query error payload"));
+                }
+                Ok(QueryError::Overloaded { depth: buf.get_u32_le() })
+            }
+            QERR_SHUTTING_DOWN => Ok(QueryError::ShuttingDown),
+            QERR_INVALID_NODE => {
+                if buf.remaining() < 4 {
+                    return Err(NetError::Malformed("short query error payload"));
+                }
+                Ok(QueryError::InvalidNode(buf.get_u32_le()))
+            }
+            QERR_STORE => Ok(QueryError::Store(decode_store_error(buf)?)),
+            _ => Err(NetError::Malformed("unknown query error code")),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Overloaded { depth } => {
+                write!(f, "overloaded: admission queue (depth {}) is full", depth)
+            }
+            QueryError::ShuttingDown => write!(f, "front-end is shutting down"),
+            QueryError::InvalidNode(v) => write!(f, "invalid node {}", v),
+            QueryError::Store(e) => write!(f, "store error: {}", e),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_payloads_round_trip() {
+        let req = QueryReq { user: 42 };
+        assert_eq!(QueryReq::decode(req.encode()).unwrap(), req);
+
+        let resp = QueryResp {
+            latency_us: 1234,
+            scores: vec![0.5, -1.25, f32::MIN_POSITIVE, 0.0],
+        };
+        assert_eq!(QueryResp::decode(resp.encode().unwrap()).unwrap(), resp);
+
+        let empty = QueryResp { latency_us: 0, scores: Vec::new() };
+        assert_eq!(QueryResp::decode(empty.encode().unwrap()).unwrap(), empty);
+    }
+
+    #[test]
+    fn query_errors_round_trip_with_retryability() {
+        let all = [
+            (QueryError::Overloaded { depth: 64 }, true),
+            (QueryError::ShuttingDown, true),
+            (QueryError::InvalidNode(7), false),
+            (QueryError::Store(StoreError::ServerDown(1)), true),
+            (QueryError::Store(StoreError::Malformed("salt")), false),
+        ];
+        for (e, retryable) in all {
+            let decoded = QueryError::decode(e.encode()).unwrap();
+            assert_eq!(decoded, e);
+            assert_eq!(decoded.is_retryable(), retryable, "{:?}", e);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_and_mismatched_counts_reject() {
+        // QueryReq must be exactly 4 bytes.
+        assert!(QueryReq::decode(Bytes::from(vec![1u8, 2])).is_err());
+        assert!(QueryReq::decode(Bytes::from(vec![1u8, 2, 3, 4, 5])).is_err());
+        // A response claiming more scores than bytes present fails fast
+        // without allocating.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(9);
+        buf.put_u32_le(u32::MAX);
+        buf.put_f32_le(1.0);
+        assert_eq!(
+            QueryResp::decode(buf.freeze()),
+            Err(NetError::Malformed("query scores length mismatch"))
+        );
+    }
+}

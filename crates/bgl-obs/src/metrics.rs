@@ -342,6 +342,41 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimate the `p`-quantile (`p` in `[0, 1]`) with
+    /// **upper-bound-of-bucket** semantics: walk the buckets in value
+    /// order and return the inclusive upper bound of the first bucket at
+    /// which the cumulative count reaches `ceil(p × count)`.
+    ///
+    /// The estimate therefore never *under*-reports: for any recorded
+    /// sample distribution, `percentile(p)` ≥ the true p-quantile, and it
+    /// overshoots by at most one power of two (the bucket width). That
+    /// makes it safe for SLO accounting — a reported p99 within budget
+    /// means the true p99 is within budget too. The top bucket's bound
+    /// saturates at `u64::MAX`; [`HistogramSnapshot::max`] tightens it:
+    /// the returned value is clamped to the true observed maximum.
+    ///
+    /// `p` is clamped to `[0, 1]`; an empty histogram reports 0.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Rank of the order statistic we want, 1-based: ceil(p·n), with
+        // p=0 mapping to the minimum (rank 1).
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(upper, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return upper.min(self.max);
+            }
+        }
+        // Unreachable when bucket counts sum to `count`; be defensive
+        // against a torn snapshot (counters are updated non-atomically
+        // with respect to each other).
+        self.max
+    }
 }
 
 #[cfg(test)]
@@ -409,6 +444,91 @@ mod tests {
         // 0 -> bucket ub 0; 1 -> ub 1; 2,3 -> ub 3; 4 -> ub 7; 1000 -> ub 1023.
         assert_eq!(s.buckets, vec![(0, 1), (1, 1), (3, 2), (7, 1), (1023, 1)]);
         assert!((s.mean() - 1010.0 / 6.0).abs() < 1e-9);
+    }
+
+    /// Reference quantile: the exact order statistic at rank ceil(p·n)
+    /// from a sorted copy of the samples.
+    fn reference_percentile(samples: &[u64], p: f64) -> u64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn percentile_brackets_the_reference_sort() {
+        // A deterministic LCG stream spanning several orders of magnitude
+        // (the shape of a latency distribution with a heavy tail).
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let mut samples = Vec::with_capacity(10_000);
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Skew: mostly small values, occasional large ones.
+            let v = (x >> 52) * ((x >> 32) % 17 + 1);
+            samples.push(v);
+        }
+        let reg = Registry::enabled();
+        let h = reg.histogram("lat");
+        for &v in &samples {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for p in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = reference_percentile(&samples, p);
+            let est = s.percentile(p);
+            // Upper-bound semantics: never below the true quantile…
+            assert!(est >= exact, "p={p}: estimate {est} < exact {exact}");
+            // …and within one log2 bucket above it (the bucket holding
+            // `exact` has upper bound < 2·exact + 1).
+            assert!(
+                est <= exact.saturating_mul(2).saturating_add(1),
+                "p={p}: estimate {est} overshoots exact {exact} by more than a bucket"
+            );
+        }
+        // The top quantile is tightened to the true observed max, not the
+        // bucket's saturated bound.
+        assert_eq!(s.percentile(1.0), s.max.min(s.percentile(1.0)));
+        assert!(s.percentile(1.0) <= s.max);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("edge");
+        // Empty histogram reports 0 everywhere.
+        assert_eq!(h.snapshot().percentile(0.5), 0);
+        // A single sample is every quantile (clamped to max, so exact).
+        h.record(42);
+        let s = h.snapshot();
+        for p in [0.0, 0.5, 1.0] {
+            assert_eq!(s.percentile(p), 42);
+        }
+        // Out-of-range p clamps instead of panicking.
+        assert_eq!(s.percentile(-1.0), 42);
+        assert_eq!(s.percentile(2.0), 42);
+        // All-zero samples stay at zero.
+        let z = reg.histogram("zeros");
+        for _ in 0..5 {
+            z.record(0);
+        }
+        assert_eq!(z.snapshot().percentile(0.99), 0);
+    }
+
+    #[test]
+    fn percentile_rank_sits_on_bucket_boundaries() {
+        let reg = Registry::enabled();
+        let h = reg.histogram("b");
+        // 10 samples: 5× value 1 (bucket ub 1), 5× value 1000 (bucket ub 1023).
+        for _ in 0..5 {
+            h.record(1);
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        // p=0.5 → rank 5 → still inside the first bucket.
+        assert_eq!(s.percentile(0.5), 1);
+        // p=0.51 → rank 6 → second bucket, clamped to the true max 1000.
+        assert_eq!(s.percentile(0.51), 1000);
+        assert_eq!(s.percentile(0.99), 1000);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use std::collections::HashMap;
 /// `src_nodes`*. The first `dst_nodes.len()` entries of `src_nodes` are the
 /// destinations themselves (self features are always available, as GCN /
 /// GraphSAGE / GAT all need them).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LayerBlock {
     /// Global IDs of the destination nodes (the smaller side).
     pub dst_nodes: Vec<NodeId>,
@@ -54,7 +54,7 @@ impl LayerBlock {
 
 /// A sampled mini-batch: `blocks[0]` is the input-side block (its
 /// `src_nodes` need features), `blocks.last()` produces the seed outputs.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MiniBatch {
     /// The training nodes this batch was built from.
     pub seeds: Vec<NodeId>,

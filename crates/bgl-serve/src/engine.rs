@@ -1,0 +1,103 @@
+//! The shared inference pass: one sample→fetch→forward pipeline over the
+//! training stack, answering a whole micro-batch of user queries at once.
+//!
+//! Determinism contract: for a fixed engine seed, the output row for user
+//! `u` is bitwise-identical whether `u` is queried alone or inside any
+//! micro-batch, in any order, over any transport, and across replica
+//! failover. The pieces that make this hold:
+//!
+//! * sampling uses [`StoreCluster::sample_batch_seeded`] — every store
+//!   server seeds a fresh RNG per `(salt, hop, node)`, so the sampled
+//!   neighborhood of `u` does not depend on which other users share the
+//!   request;
+//! * the cache is value-transparent: a feature row is bitwise-equal
+//!   whether it came from a hit or a miss fetch;
+//! * the forward pass is per-row independent: the blocked matmul
+//!   accumulates each output element over strictly ascending `k`, and
+//!   aggregation for a dst node reads only that node's own sampled list,
+//!   so row `i` of the logits depends only on seed `i`'s neighborhood.
+
+use bgl_cache::FeatureCacheEngine;
+use bgl_gnn::GnnModel;
+use bgl_graph::NodeId;
+use bgl_net::query::QueryError;
+use bgl_store::StoreCluster;
+use bgl_tensor::Matrix;
+
+/// Inference over the live store + cache + model. Owns the mutable
+/// training-stack pieces; the front-end drives it from a single batching
+/// thread, which is what makes `&mut self` workable under concurrency.
+pub struct ServeEngine {
+    cluster: StoreCluster,
+    cache: FeatureCacheEngine,
+    model: Box<dyn GnnModel + Send>,
+    fanouts: Vec<usize>,
+    /// Root of every per-request sampling salt; fix it to pin responses.
+    seed: u64,
+}
+
+impl ServeEngine {
+    /// Build an engine over an existing cluster/cache/model. `fanouts`
+    /// are per-hop sampling widths, seeds-outward (same convention as
+    /// [`StoreCluster::sample_batch`]).
+    pub fn new(
+        cluster: StoreCluster,
+        cache: FeatureCacheEngine,
+        model: Box<dyn GnnModel + Send>,
+        fanouts: Vec<usize>,
+        seed: u64,
+    ) -> ServeEngine {
+        ServeEngine { cluster, cache, model, fanouts, seed }
+    }
+
+    /// The sampling salt: one per engine, mixed per hop inside the
+    /// cluster. Every batch shares it — that is the whole point.
+    pub fn salt(&self) -> u64 {
+        self.seed
+    }
+
+    /// Access the underlying cluster (tests use this to rewire the
+    /// transport or flip fault injection).
+    pub fn cluster_mut(&mut self) -> &mut StoreCluster {
+        &mut self.cluster
+    }
+
+    /// Answer one micro-batch: the output vector at position `i` is the
+    /// model's logits row for `users[i]`. Duplicate users are fine — the
+    /// seeded sampler gives them identical neighborhoods, so they produce
+    /// identical rows.
+    pub fn infer_batch(&mut self, users: &[NodeId]) -> Result<Vec<Vec<f32>>, QueryError> {
+        if users.is_empty() {
+            return Ok(Vec::new());
+        }
+        for &u in users {
+            // The partition map is the node universe: anything outside it
+            // is a bad request, not a store fault.
+            if self.cluster.owner_of(u).is_err() {
+                return Err(QueryError::InvalidNode(u));
+            }
+        }
+        let home = self.cluster.worker_location();
+        let (mb, _timing) = self
+            .cluster
+            .sample_batch_seeded(&self.fanouts, users, home, self.seed)
+            .map_err(QueryError::Store)?;
+        // Same lookup→fetch→admit staging as the training pipeline
+        // (`bgl_exec::runtime`), collapsed onto the batching thread.
+        let pending = self.cache.lookup_batch(0, mb.input_nodes());
+        let rows = if pending.is_complete() {
+            bgl_graph::FeatureBlock::new(self.cache.dim(), 0)
+        } else {
+            let (rows, _elapsed) = self
+                .cluster
+                .fetch_features(pending.missing_keys(), home)
+                .map_err(QueryError::Store)?;
+            rows
+        };
+        let res = self.cache.complete_batch(pending, &rows);
+        let n_input = res.features.len() / self.cache.dim();
+        let input = Matrix::from_vec(n_input, self.cache.dim(), res.features);
+        let logits = self.model.forward(&mb, &input);
+        Ok((0..users.len()).map(|i| logits.row(i).to_vec()).collect())
+    }
+}

@@ -1,0 +1,288 @@
+//! The request front-end: bounded admission queue, micro-batching window,
+//! and the `serve.*` metrics ledger.
+//!
+//! One driver thread owns the [`ServeEngine`] and loops: pop the oldest
+//! queued request, open a window that closes at `now + max_delay`,
+//! accumulate up to `max_batch` requests (waking early if the batch
+//! fills), then answer the whole window with one shared inference pass.
+//! Submitters get a [`Ticket`] — a oneshot receiver — immediately;
+//! admission never blocks on inference.
+//!
+//! Backpressure is shed-on-arrival: when `queue_depth` requests are
+//! already waiting, [`ServeHandle::try_submit`] returns
+//! [`QueryError::Overloaded`] without enqueueing (`bgl-exec`'s bounded
+//! channel idiom applied at the request edge). An unbounded queue would
+//! accept work it cannot finish and turn overload into unbounded latency;
+//! the typed error keeps the knee visible and retryable.
+//!
+//! The metrics form a ledger the tests reconcile exactly:
+//! `serve.offered = serve.accepted + serve.shed`, and every accepted
+//! request resolves to exactly one of `serve.completed` / `serve.failed`
+//! (shutdown drains the queue and fails the remainder typed — no ticket
+//! ever hangs).
+
+use crate::engine::ServeEngine;
+use crate::ServeConfig;
+use bgl_graph::NodeId;
+use bgl_net::query::QueryError;
+use bgl_obs::{Counter, Gauge, Histogram, Registry};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One queued request: who asked, when they arrived, where the answer
+/// goes.
+struct Pending {
+    user: NodeId,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Reply, QueryError>>,
+}
+
+/// A successful answer with the front-end's latency measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reply {
+    /// The model's output row for the queried user.
+    pub scores: Vec<f32>,
+    /// Queue wait + batch window + inference, measured by the driver.
+    pub latency: Duration,
+}
+
+/// The receiving half of a submitted request.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Reply, QueryError>>,
+}
+
+impl Ticket {
+    /// Block until the request resolves. A dropped front-end (driver
+    /// panic) surfaces as `ShuttingDown` rather than a hang.
+    pub fn wait(self) -> Result<Reply, QueryError> {
+        self.rx.recv().unwrap_or(Err(QueryError::ShuttingDown))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Reply, QueryError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(QueryError::ShuttingDown)),
+        }
+    }
+}
+
+struct Queue {
+    items: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    q: Mutex<Queue>,
+    /// Signals the driver: work arrived or shutdown flipped.
+    arrived: Condvar,
+    cfg: ServeConfig,
+    offered: Counter,
+    accepted: Counter,
+    shed: Counter,
+    completed: Counter,
+    failed: Counter,
+    batches: Counter,
+    batch_size: Histogram,
+    latency_us: Histogram,
+    queue_depth: Gauge,
+}
+
+/// Cloneable submission handle; safe to share across connection threads.
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Admit a request or shed it. On admission the returned [`Ticket`]
+    /// always resolves — completion, typed failure, or typed shutdown.
+    pub fn try_submit(&self, user: NodeId) -> Result<Ticket, QueryError> {
+        let sh = &self.shared;
+        sh.offered.incr();
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = sh.q.lock().unwrap_or_else(|p| p.into_inner());
+            if q.shutdown {
+                sh.shed.incr();
+                return Err(QueryError::ShuttingDown);
+            }
+            if q.items.len() >= sh.cfg.queue_depth {
+                sh.shed.incr();
+                return Err(QueryError::Overloaded {
+                    depth: sh.cfg.queue_depth as u32,
+                });
+            }
+            q.items.push_back(Pending { user, enqueued: Instant::now(), reply: tx });
+            sh.queue_depth.set(q.items.len() as i64);
+        }
+        sh.accepted.incr();
+        sh.arrived.notify_one();
+        Ok(Ticket { rx })
+    }
+}
+
+/// The serving front-end: owns the driver thread and the engine.
+pub struct ServeFrontend {
+    shared: Arc<Shared>,
+    /// `Some` between `new` and `start`; the driver takes it.
+    engine: Option<ServeEngine>,
+    driver: Option<JoinHandle<()>>,
+}
+
+impl ServeFrontend {
+    /// Build the front-end *without* starting the driver: the queue (and
+    /// [`ServeHandle`]) are live immediately, but nothing executes until
+    /// [`ServeFrontend::start`]. The split lets tests fill the queue to
+    /// a deterministic depth and observe the shed path exactly.
+    pub fn new(engine: ServeEngine, cfg: ServeConfig, reg: &Registry) -> ServeFrontend {
+        assert!(cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(cfg.queue_depth >= 1, "queue_depth must be at least 1");
+        let shared = Arc::new(Shared {
+            q: Mutex::new(Queue { items: VecDeque::new(), shutdown: false }),
+            arrived: Condvar::new(),
+            cfg,
+            offered: reg.counter("serve.offered"),
+            accepted: reg.counter("serve.accepted"),
+            shed: reg.counter("serve.shed"),
+            completed: reg.counter("serve.completed"),
+            failed: reg.counter("serve.failed"),
+            batches: reg.counter("serve.batches"),
+            batch_size: reg.histogram("serve.batch_size"),
+            latency_us: reg.histogram("serve.latency_us"),
+            queue_depth: reg.gauge("serve.queue_depth"),
+        });
+        ServeFrontend { shared, engine: Some(engine), driver: None }
+    }
+
+    /// Spawn the driver thread. Idempotent-hostile by design: calling
+    /// twice is a bug and panics.
+    pub fn start(&mut self) {
+        let engine = self.engine.take().expect("start called twice");
+        let shared = self.shared.clone();
+        self.driver = Some(
+            std::thread::Builder::new()
+                .name("serve-driver".into())
+                .spawn(move || drive(engine, &shared))
+                .expect("spawn serve driver"),
+        );
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle { shared: self.shared.clone() }
+    }
+
+    /// Graceful shutdown: stop admitting, let the driver drain every
+    /// queued request (answered, not abandoned), then join it.
+    pub fn shutdown(mut self) {
+        {
+            let mut q = self.shared.q.lock().unwrap_or_else(|p| p.into_inner());
+            q.shutdown = true;
+        }
+        self.shared.arrived.notify_one();
+        if let Some(d) = self.driver.take() {
+            let _ = d.join();
+        }
+    }
+}
+
+/// The driver loop. Window discipline: the deadline is pinned by the
+/// *oldest* request in the window (pop time + `max_delay`), so a trickle
+/// of late arrivals cannot starve the first request — its worst-case
+/// added latency is exactly `max_delay`.
+fn drive(mut engine: ServeEngine, sh: &Shared) {
+    loop {
+        let mut batch: Vec<Pending> = Vec::with_capacity(sh.cfg.max_batch);
+        {
+            let mut q = sh.q.lock().unwrap_or_else(|p| p.into_inner());
+            // Wait for the first request (or shutdown).
+            loop {
+                if let Some(p) = q.items.pop_front() {
+                    batch.push(p);
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = sh.arrived.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+            // Window open: accumulate until full, deadline, or drain-time
+            // shutdown (which flushes everything left in one pass).
+            let deadline = Instant::now() + sh.cfg.max_delay;
+            while batch.len() < sh.cfg.max_batch {
+                if let Some(p) = q.items.pop_front() {
+                    batch.push(p);
+                    continue;
+                }
+                if q.shutdown {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = sh
+                    .arrived
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|p| p.into_inner());
+                q = guard;
+                if timeout.timed_out() && q.items.is_empty() {
+                    break;
+                }
+            }
+            sh.queue_depth.set(q.items.len() as i64);
+        }
+
+        sh.batches.incr();
+        sh.batch_size.record(batch.len() as u64);
+        let users: Vec<NodeId> = batch.iter().map(|p| p.user).collect();
+        match engine.infer_batch(&users) {
+            Ok(rows) => {
+                for (p, scores) in batch.into_iter().zip(rows) {
+                    resolve(sh, p, Ok(scores));
+                }
+            }
+            Err(_) if batch.len() > 1 => {
+                // One bad user must poison only its own reply: retry the
+                // window as singletons so a batch-mate's InvalidNode (or
+                // a transient store fault mid-pass) cannot fail innocent
+                // bystanders. The seeded sampler makes the retry rows
+                // bitwise-equal to what the batch would have produced.
+                for p in batch {
+                    let r = engine
+                        .infer_batch(&[p.user])
+                        .map(|mut rows| rows.pop().expect("one row per user"));
+                    resolve(sh, p, r);
+                }
+            }
+            Err(e) => {
+                let p = batch.pop().expect("len checked");
+                resolve(sh, p, Err(e));
+            }
+        }
+    }
+}
+
+/// Resolve one request: ledger tick (`completed` xor `failed`), latency
+/// sample for successes, reply send. A dropped ticket (caller gave up)
+/// is not an error.
+fn resolve(sh: &Shared, p: Pending, r: Result<Vec<f32>, QueryError>) {
+    let latency = p.enqueued.elapsed();
+    let out = match r {
+        Ok(scores) => {
+            sh.completed.incr();
+            sh.latency_us.record(latency.as_micros() as u64);
+            Ok(Reply { scores, latency })
+        }
+        Err(e) => {
+            sh.failed.incr();
+            Err(e)
+        }
+    };
+    let _ = p.reply.send(out);
+}

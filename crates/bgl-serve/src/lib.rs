@@ -1,0 +1,70 @@
+//! # bgl-serve — online k-hop inference serving
+//!
+//! BGL's pipeline (paper §3) trains; this crate serves. A
+//! [`ServeFrontend`] answers per-user k-hop embedding/recommendation
+//! queries against the live [`bgl_store::StoreCluster`] +
+//! [`bgl_cache::FeatureCacheEngine`], reusing the training stack's
+//! sampler, cache, and blocked matmul kernels on the read path. Three
+//! mechanisms carry the design:
+//!
+//! * **Cross-request micro-batching** ([`frontend`]): requests accumulate
+//!   in a bounded queue until `max_batch` are waiting or the oldest has
+//!   waited `max_delay`, then one shared sample→fetch→forward pass
+//!   answers the whole window. Batching is a *latency knob, not a
+//!   numerics knob*: responses are bitwise-identical to one-at-a-time
+//!   execution, which rests on
+//!   [`bgl_store::StoreCluster::sample_batch_seeded`] (per-`(salt, hop,
+//!   node)` RNG on the store servers, independent of request
+//!   composition) and on the per-row independence of the forward pass.
+//! * **Admission control + backpressure** ([`frontend`]): the queue is
+//!   bounded at `queue_depth`; beyond it, submissions shed immediately
+//!   with the typed, retryable [`ServeError::Overloaded`] instead of
+//!   queueing without bound — `bgl-exec`'s bounded-channel discipline
+//!   applied at the request edge.
+//! * **SLO accounting** ([`frontend`], rendered by `figures --serve`):
+//!   per-request latency lands in the `serve.latency_us` log2 histogram
+//!   (p50/p99/p999 via [`bgl_obs::HistogramSnapshot::percentile`]) and
+//!   the `serve.*` counters form a ledger — `accepted = completed +
+//!   failed + in-flight`, `offered = accepted + shed` — that the chaos
+//!   tests reconcile exactly.
+//!
+//! [`net`] exposes the same front-end over TCP using `bgl-net`'s framing
+//! (`Query`/`QueryOk`/`QueryErr` frames), and [`loadgen`] provides the
+//! seeded open-loop load generator (Poisson arrivals) that drives the
+//! throughput/latency knee sweep in `results/BENCH_serve.json`.
+
+pub mod engine;
+pub mod frontend;
+pub mod loadgen;
+pub mod net;
+
+pub use bgl_net::query::QueryError as ServeError;
+pub use engine::ServeEngine;
+pub use frontend::{ServeFrontend, ServeHandle, Ticket};
+pub use loadgen::{open_loop, LoadReport};
+pub use net::{spawn_serve_server, ServeClient, ServeNetConfig, ServeServerHandle};
+
+use std::time::Duration;
+
+/// Tuning knobs for the serving front-end.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum requests answered by one shared inference pass.
+    pub max_batch: usize,
+    /// Maximum time the oldest queued request waits for the batch to
+    /// fill before the window closes anyway.
+    pub max_delay: Duration,
+    /// Admission-queue capacity; submissions beyond it shed with
+    /// [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 16,
+            max_delay: Duration::from_micros(500),
+            queue_depth: 256,
+        }
+    }
+}

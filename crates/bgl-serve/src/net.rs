@@ -1,0 +1,487 @@
+//! The TCP face of the serving front-end: `bgl-net` framing with the
+//! query-plane frame kinds (`Query` → `QueryOk`/`QueryErr`).
+//!
+//! Server runtime mirrors `bgl_net::server` — bounded thread-per-
+//! connection, nonblocking accept poll, graceful-drain shutdown vs. chaos
+//! `kill` — but dispatches [`bgl_net::query::QueryReq`] frames into a
+//! [`ServeHandle`] instead of a `GraphStoreServer`. Because admission
+//! returns a [`Ticket`] immediately, a connection handler keeps a list of
+//! in-flight `(corr_id, Ticket)` pairs and polls them between reads:
+//! pipelined queries on one socket batch together in the front-end window
+//! instead of serializing, which is the whole point of cross-request
+//! micro-batching.
+//!
+//! [`ServeClient`] is the matching dialer: same hello handshake, queries
+//! by correlation id, arbitrary response arrival order. Transport faults
+//! map through [`bgl_net::NetError::into_store_error`] into
+//! [`QueryError::Store`] — retryable, exactly like a store-server death.
+
+use crate::frontend::{ServeHandle, Ticket};
+use bgl_net::obs::ServerMetrics;
+use bgl_net::proto::{Frame, FrameKind, Hello, HelloAck, MAGIC, PROTOCOL_VERSION};
+use bgl_net::query::{QueryError, QueryReq, QueryResp};
+use bgl_net::{FrameDecoder, NetError};
+use bgl_obs::Registry;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the serve listener (a subset of
+/// [`bgl_net::NetServerConfig`], same semantics).
+#[derive(Clone, Debug)]
+pub struct ServeNetConfig {
+    /// Address to bind; use port 0 for an OS-assigned loopback port.
+    pub addr: String,
+    /// Connection bound; sockets beyond it are refused.
+    pub max_connections: usize,
+    /// Read poll interval while idle.
+    pub read_poll: Duration,
+    /// Frame size cap for the per-connection decoder.
+    pub max_frame: usize,
+}
+
+impl Default for ServeNetConfig {
+    fn default() -> Self {
+        ServeNetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            read_poll: Duration::from_millis(2),
+            max_frame: bgl_net::proto::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+struct ServeNetState {
+    handle: ServeHandle,
+    metrics: ServerMetrics,
+    config: ServeNetConfig,
+    stop: AtomicBool,
+    kill: AtomicBool,
+    live: AtomicUsize,
+    next_conn: AtomicU64,
+    streams: Mutex<HashMap<u64, TcpStream>>,
+}
+
+/// Handle to a running serve listener.
+pub struct ServeServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeNetState>,
+    accept_join: Option<JoinHandle<()>>,
+}
+
+impl ServeServerHandle {
+    /// The bound address (OS-assigned port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain buffered queries, answer
+    /// every in-flight ticket, close, join.
+    pub fn shutdown(mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+    }
+
+    /// Crash the listener mid-conversation (chaos path).
+    pub fn kill(mut self) {
+        self.state.kill.store(true, Ordering::SeqCst);
+        self.state.stop.store(true, Ordering::SeqCst);
+        if let Ok(streams) = self.state.streams.lock() {
+            for s in streams.values() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Bind a listener and serve queries through `handle` until shutdown.
+pub fn spawn_serve_server(
+    handle: ServeHandle,
+    config: ServeNetConfig,
+    registry: &Registry,
+) -> io::Result<ServeServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServeNetState {
+        handle,
+        metrics: ServerMetrics::new(registry),
+        config,
+        stop: AtomicBool::new(false),
+        kill: AtomicBool::new(false),
+        live: AtomicUsize::new(0),
+        next_conn: AtomicU64::new(0),
+        streams: Mutex::new(HashMap::new()),
+    });
+    let accept_state = state.clone();
+    let accept_join = thread::Builder::new()
+        .name("bgl-serve-accept".into())
+        .spawn(move || accept_loop(listener, accept_state))?;
+    Ok(ServeServerHandle { addr, state, accept_join: Some(accept_join) })
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServeNetState>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !state.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if state.live.load(Ordering::SeqCst) >= state.config.max_connections {
+                    state.metrics.rejected.incr();
+                    // Same explicit-refusal discipline as the store
+                    // runtime: a silent close during the handshake reads
+                    // as a transient death on the client side.
+                    let refusal = QueryError::Overloaded {
+                        depth: state.config.max_connections as u32,
+                    };
+                    let _ = send_frame(
+                        &mut stream,
+                        &state,
+                        Frame::new(0, FrameKind::QueryErr, refusal.encode()),
+                    );
+                    drop(stream);
+                    continue;
+                }
+                state.metrics.accepted.incr();
+                state.live.fetch_add(1, Ordering::SeqCst);
+                state.metrics.connections.add(1);
+                let cid = state.next_conn.fetch_add(1, Ordering::SeqCst);
+                if let Ok(clone) = stream.try_clone() {
+                    if let Ok(mut streams) = state.streams.lock() {
+                        streams.insert(cid, clone);
+                    }
+                }
+                let conn_state = state.clone();
+                if let Ok(j) = thread::Builder::new()
+                    .name("bgl-serve-conn".into())
+                    .spawn(move || {
+                        handle_connection(&mut stream, &conn_state);
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        if let Ok(mut streams) = conn_state.streams.lock() {
+                            streams.remove(&cid);
+                        }
+                        conn_state.live.fetch_sub(1, Ordering::SeqCst);
+                        conn_state.metrics.connections.add(-1);
+                    })
+                {
+                    handlers.push(j);
+                }
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, state: &ServeNetState) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(state.config.read_poll));
+    let mut decoder = FrameDecoder::new(state.config.max_frame);
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut shaken = false;
+    // Queries admitted but not yet answered, in arrival order.
+    let mut inflight: Vec<(u64, Ticket)> = Vec::new();
+
+    loop {
+        // Drain buffered frames first (the graceful-shutdown drain phase).
+        loop {
+            if state.kill.load(Ordering::SeqCst) {
+                return;
+            }
+            match decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    state.metrics.frames_received.incr();
+                    if !shaken {
+                        if !finish_handshake(stream, state, &frame) {
+                            return;
+                        }
+                        shaken = true;
+                    } else if !dispatch_query(stream, state, frame, &mut inflight) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => return,
+            }
+        }
+        // Flush every resolved ticket; pipelined queries answer out of
+        // submission order if the batching windows cut that way.
+        if !flush_inflight(stream, state, &mut inflight, false) {
+            return;
+        }
+        if state.stop.load(Ordering::SeqCst) {
+            // Drained the socket; now block out the in-flight tail so no
+            // accepted query goes unanswered (the front-end's drain
+            // guarantee makes this finite).
+            let _ = flush_inflight(stream, state, &mut inflight, true);
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                state.metrics.bytes_received.add(n as u64);
+                decoder.feed(&chunk[..n]);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn finish_handshake(stream: &mut TcpStream, state: &ServeNetState, frame: &Frame) -> bool {
+    let ok = frame.kind == FrameKind::Hello
+        && matches!(
+            Hello::decode(frame.payload.clone()),
+            Ok(h) if h.magic == MAGIC && h.version == PROTOCOL_VERSION
+        );
+    if !ok {
+        state.metrics.handshake_failures.incr();
+        return false;
+    }
+    state.metrics.handshakes.incr();
+    // server_id 0 / num_servers 1: one front-end, not a store cluster.
+    // feature_dim 0 marks the query plane.
+    let ack = HelloAck { version: PROTOCOL_VERSION, server_id: 0, num_servers: 1, feature_dim: 0 };
+    send_frame(stream, state, Frame::new(frame.corr_id, FrameKind::HelloAck, ack.encode()))
+}
+
+/// Admit one query frame. Sheds reply immediately; admissions join the
+/// in-flight list. Returns `false` if the connection must close.
+fn dispatch_query(
+    stream: &mut TcpStream,
+    state: &ServeNetState,
+    frame: Frame,
+    inflight: &mut Vec<(u64, Ticket)>,
+) -> bool {
+    if frame.kind != FrameKind::Query {
+        return false;
+    }
+    state.metrics.requests.incr();
+    let req = match QueryReq::decode(frame.payload) {
+        Ok(r) => r,
+        // An undecodable query is a protocol violation; close.
+        Err(_) => return false,
+    };
+    match state.handle.try_submit(req.user) {
+        Ok(ticket) => {
+            inflight.push((frame.corr_id, ticket));
+            true
+        }
+        Err(e) => send_frame(stream, state, Frame::new(frame.corr_id, FrameKind::QueryErr, e.encode())),
+    }
+}
+
+/// Send replies for every resolved ticket. With `block`, waits for all of
+/// them (shutdown drain). Returns `false` on a dead socket.
+fn flush_inflight(
+    stream: &mut TcpStream,
+    state: &ServeNetState,
+    inflight: &mut Vec<(u64, Ticket)>,
+    block: bool,
+) -> bool {
+    let mut i = 0;
+    while i < inflight.len() {
+        let resolved = if block {
+            let (corr, ticket) = inflight.remove(i);
+            Some((corr, ticket.wait()))
+        } else if let Some(r) = inflight[i].1.try_wait() {
+            let (corr, _) = inflight.remove(i);
+            Some((corr, r))
+        } else {
+            i += 1;
+            None
+        };
+        if let Some((corr, result)) = resolved {
+            let reply = match result {
+                Ok(reply) => {
+                    let payload = QueryResp {
+                        latency_us: reply.latency.as_micros() as u64,
+                        scores: reply.scores,
+                    };
+                    match payload.encode() {
+                        Ok(p) => Frame::new(corr, FrameKind::QueryOk, p),
+                        Err(_) => return false,
+                    }
+                }
+                Err(e) => Frame::new(corr, FrameKind::QueryErr, e.encode()),
+            };
+            if !send_frame(stream, state, reply) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn send_frame(stream: &mut TcpStream, state: &ServeNetState, frame: Frame) -> bool {
+    let wire = frame.encode();
+    state.metrics.bytes_sent.add(wire.len() as u64);
+    state.metrics.frames_sent.incr();
+    stream.write_all(&wire).is_ok()
+}
+
+/// Dialing side: one connection to one serve front-end, queries
+/// correlated by id, responses accepted in any order.
+pub struct ServeClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    next_corr: u64,
+    parked: HashMap<u64, Frame>,
+    read_timeout: Duration,
+}
+
+/// A transport fault turned into the query-plane error taxonomy:
+/// retryable `Store(ServerDown)` for socket faults, permanent
+/// `Store(Malformed)` for protocol violations — the same fold the store
+/// transport applies.
+fn net_to_query(e: NetError) -> QueryError {
+    match e {
+        NetError::Store(se) => QueryError::Store(se),
+        other => QueryError::Store(other.into_store_error(0)),
+    }
+}
+
+impl ServeClient {
+    /// Dial and handshake.
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        read_timeout: Duration,
+    ) -> Result<ServeClient, QueryError> {
+        let sock_addr = addr
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut it| it.next())
+            .ok_or(QueryError::Store(bgl_store::StoreError::Malformed(
+                "unresolvable server address",
+            )))?;
+        let stream = TcpStream::connect_timeout(&sock_addr, Duration::from_millis(500))
+            .map_err(|e| net_to_query(NetError::from_io(&e, "connect")))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(Duration::from_millis(2)))
+            .map_err(|e| net_to_query(NetError::from_io(&e, "connect")))?;
+        let mut client = ServeClient {
+            stream,
+            decoder: FrameDecoder::new(bgl_net::proto::DEFAULT_MAX_FRAME),
+            next_corr: 1,
+            parked: HashMap::new(),
+            read_timeout,
+        };
+        client.send(Frame::new(0, FrameKind::Hello, Hello::ours().encode()))?;
+        let ack = client.recv_corr(0)?;
+        match ack.kind {
+            FrameKind::HelloAck => Ok(client),
+            FrameKind::QueryErr => Err(QueryError::decode(ack.payload)
+                .unwrap_or(QueryError::Store(bgl_store::StoreError::Malformed(
+                    "handshake refused",
+                )))),
+            _ => Err(QueryError::Store(bgl_store::StoreError::Malformed(
+                "handshake failed",
+            ))),
+        }
+    }
+
+    fn send(&mut self, frame: Frame) -> Result<(), QueryError> {
+        self.stream
+            .write_all(&frame.encode())
+            .map_err(|e| net_to_query(NetError::from_io(&e, "send")))
+    }
+
+    fn recv_corr(&mut self, corr: u64) -> Result<Frame, QueryError> {
+        if let Some(f) = self.parked.remove(&corr) {
+            return Ok(f);
+        }
+        let deadline = Instant::now() + self.read_timeout;
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            loop {
+                match self.decoder.next_frame() {
+                    Ok(Some(frame)) => {
+                        if frame.corr_id == corr {
+                            return Ok(frame);
+                        }
+                        self.parked.insert(frame.corr_id, frame);
+                    }
+                    Ok(None) => break,
+                    Err(e) => return Err(net_to_query(e)),
+                }
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(net_to_query(NetError::Closed("response read"))),
+                Ok(n) => self.decoder.feed(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::Interrupted =>
+                {
+                    if Instant::now() >= deadline {
+                        return Err(net_to_query(NetError::Timeout("response read")));
+                    }
+                }
+                Err(e) => return Err(net_to_query(NetError::from_io(&e, "response read"))),
+            }
+        }
+    }
+
+    fn decode_reply(frame: Frame) -> Result<QueryResp, QueryError> {
+        match frame.kind {
+            FrameKind::QueryOk => QueryResp::decode(frame.payload)
+                .map_err(net_to_query),
+            FrameKind::QueryErr => Err(QueryError::decode(frame.payload)
+                .unwrap_or(QueryError::Store(bgl_store::StoreError::Malformed(
+                    "unexpected response",
+                )))),
+            _ => Err(QueryError::Store(bgl_store::StoreError::Malformed(
+                "unexpected response",
+            ))),
+        }
+    }
+
+    /// One query, one answer.
+    pub fn query(&mut self, user: u32) -> Result<QueryResp, QueryError> {
+        let corr = self.next_corr;
+        self.next_corr += 1;
+        self.send(Frame::new(corr, FrameKind::Query, QueryReq { user }.encode()))?;
+        let frame = self.recv_corr(corr)?;
+        Self::decode_reply(frame)
+    }
+
+    /// Write all queries before reading any answer: on the server they
+    /// land in one (or few) micro-batch windows instead of serializing.
+    /// Per-query errors surface per slot.
+    pub fn query_pipelined(
+        &mut self,
+        users: &[u32],
+    ) -> Result<Vec<Result<QueryResp, QueryError>>, QueryError> {
+        let mut corrs = Vec::with_capacity(users.len());
+        for &user in users {
+            let corr = self.next_corr;
+            self.next_corr += 1;
+            self.send(Frame::new(corr, FrameKind::Query, QueryReq { user }.encode()))?;
+            corrs.push(corr);
+        }
+        let mut out = Vec::with_capacity(corrs.len());
+        for corr in corrs {
+            let frame = self.recv_corr(corr)?;
+            out.push(Self::decode_reply(frame));
+        }
+        Ok(out)
+    }
+}

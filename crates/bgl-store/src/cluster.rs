@@ -545,7 +545,27 @@ impl StoreCluster {
         home: usize,
     ) -> Result<(MiniBatch, SampleTiming), StoreError> {
         let span = self.metrics.registry().span("store.sample_batch");
-        let result = self.sample_batch_inner(fanouts, seeds, home);
+        let result = self.sample_batch_inner(fanouts, seeds, home, None);
+        self.metrics.publish(&self.robustness, &self.ledger);
+        span.end();
+        result
+    }
+
+    /// Like [`StoreCluster::sample_batch`], but every node's fanout picks
+    /// come from a `(salt, hop, node)`-keyed RNG on the server instead of
+    /// the server's shared sequential stream. The sampled lists therefore
+    /// do not depend on how seeds are grouped into batches, on request
+    /// order, or on which replica answers — the property the serving
+    /// path's batched-vs-serial bitwise-identity guarantee rests on.
+    pub fn sample_batch_seeded(
+        &mut self,
+        fanouts: &[usize],
+        seeds: &[NodeId],
+        home: usize,
+        salt: u64,
+    ) -> Result<(MiniBatch, SampleTiming), StoreError> {
+        let span = self.metrics.registry().span("store.sample_batch");
+        let result = self.sample_batch_inner(fanouts, seeds, home, Some(salt));
         self.metrics.publish(&self.robustness, &self.ledger);
         span.end();
         result
@@ -556,6 +576,7 @@ impl StoreCluster {
         fanouts: &[usize],
         seeds: &[NodeId],
         home: usize,
+        salt: Option<u64>,
     ) -> Result<(MiniBatch, SampleTiming), StoreError> {
         if self.transport.num_servers() == 0 {
             return Err(StoreError::EmptyCluster);
@@ -563,7 +584,7 @@ impl StoreCluster {
         let mut timing = SampleTiming::default();
         let mut blocks_rev: Vec<LayerBlock> = Vec::with_capacity(fanouts.len());
         let mut dst: Vec<NodeId> = seeds.to_vec();
-        for &fanout in fanouts {
+        for (hop, &fanout) in fanouts.iter().enumerate() {
             // Group dst nodes by owning server, preserving positions.
             // BTreeMap: requests must issue in a deterministic order or the
             // fault injector's per-request decisions (and thus the recovery
@@ -583,7 +604,17 @@ impl StoreCluster {
                 } else {
                     timing.remote_requests += 1;
                 }
-                let req = Message::NeighborReq { fanout: fanout as u32, nodes };
+                let req = match salt {
+                    // Per-hop salt: a node reached at hop 0 and again at
+                    // hop 1 samples independently per hop, but identically
+                    // across batches that reach it at the same hop.
+                    Some(s) => Message::NeighborReqSeeded {
+                        fanout: fanout as u32,
+                        salt: crate::wire::mix64(s, hop as u64),
+                        nodes,
+                    },
+                    None => Message::NeighborReq { fanout: fanout as u32, nodes },
+                };
                 let (resp, t) = self.rpc_robust(home, server, &req)?;
                 hop_elapsed = hop_elapsed.max(t);
                 match resp {
@@ -768,6 +799,31 @@ mod tests {
         assert!(timing.elapsed > 0);
         assert_eq!(timing.per_hop.len(), 2);
         assert!(!cluster.robustness.any_faults());
+    }
+
+    #[test]
+    fn seeded_sampling_is_composition_independent() {
+        let (_, mut cluster) = setup(4);
+        let salt = 0xA11CE;
+        // Same seed in three different batch compositions → identical
+        // sampled blocks for that seed's own single-seed batch.
+        let (solo, _) = cluster.sample_batch_seeded(&[3, 2], &[7], 0, salt).unwrap();
+        let (again, _) = cluster.sample_batch_seeded(&[3, 2], &[7], 0, salt).unwrap();
+        assert_eq!(solo.blocks, again.blocks);
+        // Interleave unrelated batches; the solo result must not move
+        // (the shared-stream sampler would reshuffle here).
+        cluster.sample_batch_seeded(&[3, 2], &[1, 2, 3], 0, salt).unwrap();
+        let (third, _) = cluster.sample_batch_seeded(&[3, 2], &[7], 0, salt).unwrap();
+        assert_eq!(solo.blocks, third.blocks);
+        // A different salt produces a different sample.
+        let (moved, _) = cluster
+            .sample_batch_seeded(&[3, 2], &[7], 0, salt ^ 1)
+            .unwrap();
+        assert_ne!(solo.blocks, moved.blocks);
+        // The unseeded path still consumes the shared stream.
+        let (a, _) = cluster.sample_batch(&[3, 2], &[7], 0).unwrap();
+        let (b, _) = cluster.sample_batch(&[3, 2], &[7], 0).unwrap();
+        assert_ne!(a.blocks, b.blocks);
     }
 
     #[test]

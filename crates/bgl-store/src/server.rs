@@ -207,6 +207,23 @@ impl GraphStoreServer {
                 }
                 Message::NeighborResp { lists }.encode()
             }
+            Message::NeighborReqSeeded { fanout, salt, nodes } => {
+                // No shared RNG stream: node `v`'s picks come from a fresh
+                // RNG seeded by mix64(salt, v), so the sample depends only
+                // on (salt, v) — not on request composition, issue order,
+                // or which replica serves it. The online-serving path
+                // leans on this for batched-vs-serial bitwise identity.
+                let mut lists = Vec::with_capacity(nodes.len());
+                for &v in &nodes {
+                    if !self.serves(v) {
+                        return Err(StoreError::NotOwned { node: v, server: self.id });
+                    }
+                    let mut rng =
+                        StdRng::seed_from_u64(crate::wire::mix64(salt, v as u64));
+                    lists.push(self.sample_neighbors(&mut rng, v, fanout as usize));
+                }
+                Message::NeighborResp { lists }.encode()
+            }
             Message::FeatureReq { nodes } => {
                 let (dim, rows) = self.gather_rows(&nodes)?;
                 Message::FeatureResp { dim, rows }.encode()
@@ -325,6 +342,47 @@ mod tests {
         }
         assert_eq!(s.requests_served(), 1);
         assert_eq!(s.nodes_sampled(), 2);
+    }
+
+    #[test]
+    fn seeded_samples_ignore_request_composition() {
+        let (g, f, owner) = setup(2);
+        let s = GraphStoreServer::new(0, g.clone(), f.clone(), owner.clone(), 7);
+        let ask = |s: &GraphStoreServer, nodes: Vec<u32>| -> Vec<Vec<u32>> {
+            let req = Message::NeighborReqSeeded { fanout: 3, salt: 0xC0FFEE, nodes }
+                .encode()
+                .unwrap();
+            match Message::decode(s.handle(req).unwrap()).unwrap() {
+                Message::NeighborResp { lists } => lists,
+                other => panic!("unexpected {:?}", other),
+            }
+        };
+        // The same node sampled alone, batched with others, and repeatedly
+        // must yield the identical list: the RNG is (salt, node)-local.
+        let alone = ask(&s, vec![2]);
+        let batched = ask(&s, vec![8, 2, 4]);
+        assert_eq!(alone[0], batched[1]);
+        assert_eq!(ask(&s, vec![2])[0], alone[0]);
+        // A replica holding the same partition produces the same lists,
+        // even with a different server-local RNG seed.
+        let r = GraphStoreServer::new(1, g, f, owner, 99);
+        r.set_replication(2, 2);
+        assert_eq!(ask(&r, vec![2]), alone);
+        // A different salt moves the sample (fanout 3 of ≥4 neighbors, so
+        // a collision across all tested nodes is vanishingly unlikely).
+        let resalted = Message::NeighborReqSeeded {
+            fanout: 3,
+            salt: 0xBEEF,
+            nodes: vec![2, 4, 8],
+        }
+        .encode()
+        .unwrap();
+        match Message::decode(s.handle(resalted).unwrap()).unwrap() {
+            Message::NeighborResp { lists } => {
+                assert_ne!(lists[0], alone[0]);
+            }
+            other => panic!("unexpected {:?}", other),
+        }
     }
 
     #[test]

@@ -20,9 +20,14 @@ fn random_ids(rng: &mut StdRng, max_len: usize) -> Vec<u32> {
 }
 
 fn random_message(rng: &mut StdRng) -> Message {
-    match rng.random_range(0..8u32) {
+    match rng.random_range(0..9u32) {
         0 => Message::NeighborReq {
             fanout: rng.random_range(0..64),
+            nodes: random_ids(rng, 40),
+        },
+        8 => Message::NeighborReqSeeded {
+            fanout: rng.random_range(0..64),
+            salt: rng.random(),
             nodes: random_ids(rng, 40),
         },
         1 => {
@@ -65,7 +70,7 @@ fn random_message(rng: &mut StdRng) -> Message {
 #[test]
 fn every_variant_roundtrips() {
     let mut rng = StdRng::seed_from_u64(SEED);
-    let mut seen = [0usize; 8];
+    let mut seen = [0usize; 9];
     for _ in 0..CASES {
         let m = random_message(&mut rng);
         seen[match &m {
@@ -77,6 +82,7 @@ fn every_variant_roundtrips() {
             Message::FeatureUpdateResp { .. } => 5,
             Message::FeatureReqF16 { .. } => 6,
             Message::FeatureRespF16 { .. } => 7,
+            Message::NeighborReqSeeded { .. } => 8,
         }] += 1;
         let encoded = m.encode().unwrap();
         assert_eq!(encoded.len(), m.encoded_len(), "encoded_len mismatch for {:?}", m);
@@ -84,7 +90,7 @@ fn every_variant_roundtrips() {
     }
     assert!(
         seen.iter().all(|&c| c > 0),
-        "all eight variants must be exercised: {:?}",
+        "all nine variants must be exercised: {:?}",
         seen
     );
 }

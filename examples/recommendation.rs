@@ -87,4 +87,49 @@ fn main() {
             row.gpu_utilization * 100.0
         );
     }
+
+    // Online serving: the same stack behind the micro-batching front-end
+    // (`bgl-serve`), answering per-user queries live. Per-user scores are
+    // bitwise-identical whether a query runs alone or shares a window —
+    // batching is a latency knob, not a numerics knob.
+    println!("\nonline serving (micro-batched k-hop inference, test-split users):");
+    let (engine, users) = ctx.serve_stack(1, None);
+    let reg = bgl_obs::Registry::enabled();
+    let mut frontend =
+        bgl_serve::ServeFrontend::new(engine, bgl_serve::ServeConfig::default(), &reg);
+    frontend.start();
+    let handle = frontend.handle();
+    let tickets: Vec<_> = users
+        .iter()
+        .take(8)
+        .map(|&u| (u, handle.try_submit(u).expect("queue has room")))
+        .collect();
+    for (u, t) in tickets {
+        let reply = t.wait().expect("query completes");
+        let best = reply
+            .scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+        println!(
+            "  user {:>5}  predicted class {}  latency {:>6} us",
+            u,
+            best,
+            reply.latency.as_micros()
+        );
+    }
+    frontend.shutdown();
+    let count = |name: &str| {
+        reg.counters().into_iter().find(|(k, _)| k == name).map(|(_, v)| v).unwrap_or(0)
+    };
+    println!(
+        "  ledger: {} offered = {} completed + {} failed + {} shed, {} windows",
+        count("serve.offered"),
+        count("serve.completed"),
+        count("serve.failed"),
+        count("serve.shed"),
+        count("serve.batches")
+    );
 }

@@ -63,3 +63,15 @@ cargo bench -p bench --bench kernels -- --test
 env -u RUST_TEST_THREADS cargo test -q -p bgl --test disk_recovery
 env -u RUST_TEST_THREADS cargo test -q --release -p bgl --test disk_recovery
 cargo bench -p bgl-store --bench disk -- --test
+
+# Online serving: the serve suite runs live front-end drivers, loopback
+# query sockets and a mid-load TCP store kill — real thread interleavings,
+# so uncapped, and once under --release where the micro-batching windows
+# race a much faster inference pass. The query-plane proptests
+# (frame roundtrip/truncation/oversize) run under `cargo test -p bgl-net`
+# above. The figures --serve smoke run drives the open-loop load
+# generator end to end at test scale, including the ledger, knee and
+# histogram-vs-exact-percentile cross-check asserts built into the panel.
+env -u RUST_TEST_THREADS cargo test -q -p bgl --test serve
+env -u RUST_TEST_THREADS cargo test -q --release -p bgl --test serve
+cargo run --release -p bench --bin figures -- --serve --small --out "$(mktemp -d)"
