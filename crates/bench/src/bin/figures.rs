@@ -23,6 +23,15 @@
 //! r=2), writing per-rate throughput and p50/p99/p999 latency to
 //! `BENCH_serve.json`.
 //!
+//! `--churn` (not part of `--all`) sweeps streaming ingestion: a seeded
+//! churn plan (edge inserts, node arrivals, feature updates) at each
+//! (churn-ops × re-merge period) point, applied through `bgl-ingest`'s
+//! coordinator against a live durable cluster while a locality-biased
+//! reader runs through an invalidation-coherent cache. Post-churn
+//! edge-cut/balance are pinned within an additive band of a from-scratch
+//! LDG repartition of the merged graph, and the rows land in
+//! `BENCH_churn.json`.
+//!
 //! `--profile` (not part of `--all`) closes the §3.4 loop: it runs the
 //! real pipeline stages under an enabled [`bgl_obs`] registry, emits a
 //! *measured* `StageProfile` (cache `a`/`d` fitted from timed replays at
@@ -509,6 +518,86 @@ fn main() {
         save(
             "BENCH_serve",
             &serde_json::to_string_pretty(&rows_json).expect("serialize serve rows"),
+        );
+    }
+
+    if flags.contains("churn") {
+        section("Churn — streaming ingestion sweep (rate × re-merge period)");
+        // Not part of --all: every cell stands up a fresh durable cluster
+        // and streams the full plan through it.
+        let (n, cells) = if small {
+            (400usize, vec![(80usize, 8usize), (80, 32), (160, 8), (160, 32)])
+        } else {
+            (
+                2_000usize,
+                vec![
+                    (300usize, 16usize),
+                    (300, 64),
+                    (300, 256),
+                    (900, 16),
+                    (900, 64),
+                    (900, 256),
+                ],
+            )
+        };
+        let rows: Vec<ChurnRow> =
+            cells.iter().map(|&(ops, period)| churn_cell(n, ops, period)).collect();
+        println!("{}", render_churn(&rows));
+        // Pinned post-churn quality bands: the online (streamed + refined)
+        // partition map must stay within an additive band of a
+        // from-scratch LDG repartition of the same merged graph, and the
+        // training-side cache must keep hitting despite coherent
+        // invalidation.
+        for r in &rows {
+            assert!(
+                r.online_cut <= r.scratch_cut + 0.20,
+                "ops={} period={}: online cut {:.3} drifted past scratch {:.3} + 0.20",
+                r.churn_ops,
+                r.remerge_period,
+                r.online_cut,
+                r.scratch_cut
+            );
+            assert!(
+                r.online_balance <= r.scratch_balance + 0.25,
+                "ops={} period={}: online balance {:.2} vs scratch {:.2}",
+                r.churn_ops,
+                r.remerge_period,
+                r.online_balance,
+                r.scratch_balance
+            );
+            assert!(
+                r.cache_hit_ratio >= 0.30,
+                "ops={} period={}: invalidation churn sank the hit ratio to {:.2}",
+                r.churn_ops,
+                r.remerge_period,
+                r.cache_hit_ratio
+            );
+            assert!(r.applied > r.churn_ops as u64 / 2, "most ops must land");
+            assert!(r.remerges >= 1 && r.invalidations > 0);
+        }
+        let rows_json: Vec<serde_json::Value> = rows
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "churn_ops": r.churn_ops as u64,
+                    "remerge_period": r.remerge_period as u64,
+                    "applied": r.applied,
+                    "rejected": r.rejected,
+                    "invalidations": r.invalidations,
+                    "reassignments": r.reassignments,
+                    "remerges": r.remerges,
+                    "online_cut": r.online_cut,
+                    "scratch_cut": r.scratch_cut,
+                    "online_balance": r.online_balance,
+                    "scratch_balance": r.scratch_balance,
+                    "cache_hit_ratio": r.cache_hit_ratio,
+                    "mean_apply_ns": r.mean_apply_ns,
+                })
+            })
+            .collect();
+        save(
+            "BENCH_churn",
+            &serde_json::to_string_pretty(&rows_json).expect("serialize churn rows"),
         );
     }
 

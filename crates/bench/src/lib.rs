@@ -392,6 +392,194 @@ pub fn render_allocations(measured: &Allocation, paper: &Allocation) -> String {
     t.render()
 }
 
+/// One cell of the churn sweep (`figures --churn`): a seeded churn stream
+/// at one (ops × re-merge period) point, with the post-churn partition
+/// quality measured against a from-scratch LDG repartition of the same
+/// merged graph and the training-side cache hit ratio measured under
+/// coherent invalidation.
+#[derive(Clone, Debug)]
+pub struct ChurnRow {
+    pub churn_ops: usize,
+    pub remerge_period: usize,
+    pub applied: u64,
+    pub rejected: u64,
+    pub invalidations: u64,
+    pub reassignments: u64,
+    pub remerges: u64,
+    pub online_cut: f64,
+    pub scratch_cut: f64,
+    pub online_balance: f64,
+    pub scratch_balance: f64,
+    pub cache_hit_ratio: f64,
+    pub mean_apply_ns: f64,
+}
+
+/// Run one churn cell: stand up a k-server in-process cluster with
+/// durable tiers over a community graph of `n` nodes, stream a seeded
+/// [`bgl_ingest::ChurnPlan`] through the [`bgl_ingest::IngestCoordinator`]
+/// while a training-style reader fetches locality-biased batches through
+/// an invalidation-coherent cache, re-merging every `remerge_period`
+/// applied ops.
+pub fn churn_cell(n: usize, ops: usize, remerge_period: usize) -> ChurnRow {
+    use bgl_cache::{FeatureCacheEngine, PolicyKind};
+    use bgl_graph::generate::{self, CommunityConfig};
+    use bgl_graph::{FeatureStore, NodeId};
+    use bgl_ingest::{ChurnPlan, IngestConfig, IngestCoordinator};
+    use bgl_partition::{LdgPartitioner, Partitioner};
+    use bgl_store::{DiskTierConfig, DurableFeatures, InProcessTransport, StoreCluster};
+    use rand::prelude::*;
+    use std::sync::Arc;
+
+    const DIM: usize = 4;
+    const K: usize = 4;
+    let g = Arc::new(generate::community_graph(
+        CommunityConfig { n, communities: 8, intra: 6, inter: 1 },
+        13,
+    ));
+    let mut f = FeatureStore::zeros(n, DIM);
+    for v in 0..n as u32 {
+        f.row_mut(v)[0] = v as f32;
+    }
+    let f = Arc::new(f);
+    let scratch = LdgPartitioner::new(5);
+    let p = scratch.partition(&g, &[], K);
+    let owner = Arc::new(p.assignment.clone());
+    let transport = InProcessTransport::new(g.clone(), f.clone(), owner.clone(), K, 5);
+    let mut dirs = Vec::new();
+    for i in 0..K {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!(
+            "bgl-bench-churn-{}-{}-{}-{}",
+            std::process::id(),
+            ops,
+            remerge_period,
+            i
+        ));
+        let cfg = DiskTierConfig::default().with_page_size(256).with_pool_pages(16);
+        let tier = DurableFeatures::create(&dir, &f, cfg).expect("create churn tier");
+        transport.server(i).unwrap().attach_disk_tier(tier);
+        dirs.push(dir);
+    }
+    let mut cluster = StoreCluster::with_transport(
+        Box::new(transport),
+        owner,
+        bgl_sim::network::NetworkModel::paper_fabric(),
+    );
+    let mut coord = IngestCoordinator::new(
+        &p,
+        IngestConfig { remerge_period, capacity_slack: 1.1 },
+    );
+    let reg = bgl_obs::Registry::enabled();
+    coord.attach_metrics(&reg);
+    // A GPU-level cache big enough to hold a working set but far smaller
+    // than the graph, so invalidation churn actually shows up in the hit
+    // ratio rather than vanishing into spare capacity.
+    let mut cache = FeatureCacheEngine::new(1, DIM, (n / 4).max(64), 0, PolicyKind::Lru, &[]);
+    let wl = cluster.worker_location();
+
+    let schedule = ChurnPlan::new(4242).ops(ops).mix(5, 3, 2).schedule(n, DIM);
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut reader = StdRng::seed_from_u64(7);
+    let mut anchor = 0u32;
+    for (step, op) in schedule.iter().enumerate() {
+        coord
+            .apply(&mut cluster, Some(&mut cache), op)
+            .expect("churn op applies");
+        if coord.remerge_due() {
+            coord.remerge(&mut cluster, &mut order, &[]);
+        }
+        // The concurrent trainer: locality-biased batches through the
+        // cache, misses filled from the (mutating) store. The anchor is
+        // sticky for a few batches — a proximity-aware order revisits a
+        // neighborhood before moving on — so there is reuse for the cache
+        // to capture and for invalidation to disturb.
+        let total = cluster.total_nodes() as u32;
+        if step % 8 == 0 {
+            anchor = reader.random_range(0..total);
+        }
+        let batch: Vec<NodeId> = (0..8)
+            .map(|_| {
+                let lo = anchor.saturating_sub(16);
+                let hi = anchor.saturating_add(16).min(total - 1);
+                reader.random_range(lo..=hi)
+            })
+            .collect();
+        cache.fetch_batch(0, &batch, &mut |ids| {
+            let (rows, _) = cluster.fetch_features(ids, wl).expect("fill from store");
+            rows.to_vec()
+        });
+    }
+    let merged = coord
+        .remerge(&mut cluster, &mut order, &[])
+        .expect("in-process cluster yields merged graph");
+    let q = coord.quality(&merged, &scratch);
+    let report = coord.report();
+    let stats = cache.stats().clone();
+    let hits = stats.gpu_local_hits + stats.gpu_peer_hits + stats.cpu_hits;
+    let lookups = hits + stats.misses;
+    let mean_apply_ns = reg
+        .histograms()
+        .into_iter()
+        .find(|(name, _)| name == "ingest.apply_latency_ns")
+        .map(|(_, h)| h.mean())
+        .unwrap_or(0.0);
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    ChurnRow {
+        churn_ops: ops,
+        remerge_period,
+        applied: report.applied,
+        rejected: report.rejected,
+        invalidations: report.invalidations,
+        reassignments: report.reassignments,
+        remerges: report.remerges,
+        online_cut: q.online_cut,
+        scratch_cut: q.scratch_cut,
+        online_balance: q.online_balance,
+        scratch_balance: q.scratch_balance,
+        cache_hit_ratio: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+        mean_apply_ns,
+    }
+}
+
+/// Render the churn sweep (`figures --churn`).
+pub fn render_churn(rows: &[ChurnRow]) -> String {
+    let mut t = TextTable::new(&[
+        "ops",
+        "merge-every",
+        "applied",
+        "rejected",
+        "invalidated",
+        "moved",
+        "merges",
+        "cut",
+        "scratch-cut",
+        "bal",
+        "scratch-bal",
+        "hit-ratio",
+        "apply-ns",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.churn_ops.to_string(),
+            r.remerge_period.to_string(),
+            r.applied.to_string(),
+            r.rejected.to_string(),
+            r.invalidations.to_string(),
+            r.reassignments.to_string(),
+            r.remerges.to_string(),
+            format!("{:.3}", r.online_cut),
+            format!("{:.3}", r.scratch_cut),
+            format!("{:.2}", r.online_balance),
+            format!("{:.2}", r.scratch_balance),
+            format!("{:.2}", r.cache_hit_ratio),
+            format!("{:.0}", r.mean_apply_ns),
+        ]);
+    }
+    t.render()
+}
+
 /// Render a convergence curve as "epoch: acc" lines (Fig. 16).
 pub fn render_curves(rows: &[AccuracyRow]) -> String {
     let mut out = String::new();

@@ -44,6 +44,12 @@ pub trait ShardedCache {
 
     /// Point-in-time counters (safe to call mid-run).
     fn stats(&self) -> CacheStats;
+
+    /// Drop `keys` from their owning shards (ingest-driven coherence).
+    /// Returns the number of resident rows actually dropped; both variants
+    /// count the same `invalidations` delta into their stats, so the
+    /// parity contract extends to invalidation.
+    fn invalidate(&self, keys: &[NodeId]) -> u64;
 }
 
 /// Collapse `nodes` to unique keys, remembering every original position of
@@ -80,6 +86,11 @@ enum CacheOp {
         keys: Vec<NodeId>,
         rows: Vec<f32>,
         done: Sender<()>,
+    },
+    /// Drop resident keys; replies with how many were actually dropped.
+    Invalidate {
+        keys: Vec<NodeId>,
+        dropped: Sender<u64>,
     },
     Stop,
 }
@@ -135,6 +146,19 @@ impl QueueShardedCache {
                                 shard.admit(k, &rows[j * dim..(j + 1) * dim]);
                             }
                             let _ = done.send(());
+                        }
+                        CacheOp::Invalidate { keys, dropped } => {
+                            let mut n = 0u64;
+                            for &k in &keys {
+                                if shard.policy.remove(k).is_some() {
+                                    n += 1;
+                                }
+                            }
+                            shared.add(&CacheStats {
+                                invalidations: n,
+                                ..Default::default()
+                            });
+                            let _ = dropped.send(n);
                         }
                         CacheOp::Stop => break,
                     }
@@ -276,6 +300,30 @@ impl ShardedCache for QueueShardedCache {
     fn stats(&self) -> CacheStats {
         self.shared.snapshot()
     }
+
+    fn invalidate(&self, keys: &[NodeId]) -> u64 {
+        // Fan keys out to their owner threads; the op runs in queue order,
+        // so an invalidate enqueued after an insert is guaranteed to see
+        // it (the ordering the ingest path relies on).
+        let mut per_shard: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_shards];
+        for &v in keys {
+            per_shard[(v as usize) % self.num_shards].push(v);
+        }
+        let mut acks = Vec::new();
+        for (s, skeys) in per_shard.into_iter().enumerate() {
+            if skeys.is_empty() {
+                continue;
+            }
+            let (dtx, drx) = unbounded();
+            self.senders[s]
+                .send(CacheOp::Invalidate { keys: skeys, dropped: dtx })
+                .expect("shard thread alive");
+            acks.push(drx);
+        }
+        let dropped = acks.into_iter().map(|rx| rx.recv().unwrap_or(0)).sum();
+        self.publish_metrics();
+        dropped
+    }
 }
 
 /// Mutex-per-shard variant — the "naive solution" §3.2.3 rejects. Kept for
@@ -358,6 +406,19 @@ impl ShardedCache for MutexShardedCache {
 
     fn stats(&self) -> CacheStats {
         self.shared.snapshot()
+    }
+
+    fn invalidate(&self, keys: &[NodeId]) -> u64 {
+        let mut dropped = 0u64;
+        for &v in keys {
+            let s = (v as usize) % self.shards.len();
+            if self.shards[s].lock().policy.remove(v).is_some() {
+                dropped += 1;
+            }
+        }
+        self.shared.add(&CacheStats { invalidations: dropped, ..Default::default() });
+        self.metrics.lock().publish(&self.shared.snapshot());
+        dropped
     }
 }
 
@@ -504,6 +565,49 @@ mod tests {
         assert_eq!(sq.miss_bytes, sm.miss_bytes);
         assert_eq!(sq.batches, sm.batches);
         assert!(sq.misses > 0 && sq.gpu_local_hits > 0, "trace exercises both");
+    }
+
+    #[test]
+    fn invalidate_updates_stats_identically_on_both_variants() {
+        let f = features(128, 2);
+        let queue = QueueShardedCache::new(4, 2, 32, PolicyKind::Fifo);
+        let mutex = MutexShardedCache::new(4, 2, 32, PolicyKind::Fifo);
+        // Same trace through both: load, invalidate (resident, absent and
+        // duplicate keys mixed), then refetch the invalidated keys.
+        let load: Vec<NodeId> = (0..24).collect();
+        let kill: Vec<NodeId> = vec![3, 3, 7, 11, 200, 201];
+        for cache in [&queue as &dyn ShardedCache, &mutex as &dyn ShardedCache] {
+            let mut src = |ids: &[NodeId]| f.gather(ids);
+            cache.fetch_batch(&load, &mut src);
+            // 3 drops twice? No — the second 3 is already gone, so exactly
+            // three resident keys drop; absent keys are no-ops.
+            assert_eq!(cache.invalidate(&kill), 3);
+            let out = cache.fetch_batch(&[3, 7, 11], &mut src);
+            assert_eq!(&out[0..2], f.row(3), "fresh fetch after invalidate");
+        }
+        let sq = queue.stats();
+        let sm = mutex.stats();
+        assert_eq!(sq.invalidations, 3);
+        assert_eq!(sq.invalidations, sm.invalidations, "invalidation parity");
+        assert_eq!(sq.misses, sm.misses, "invalidated keys re-miss identically");
+        assert_eq!(sq.gpu_local_hits, sm.gpu_local_hits);
+        assert_eq!(sq.miss_bytes, sm.miss_bytes);
+        assert_eq!(sq.batches, sm.batches);
+    }
+
+    #[test]
+    fn queue_invalidate_mirrors_metrics() {
+        let f = features(64, 2);
+        let reg = bgl_obs::Registry::enabled();
+        let cache = QueueShardedCache::new(2, 2, 16, PolicyKind::Lru);
+        cache.attach_metrics(&reg);
+        let mut src = |ids: &[NodeId]| f.gather(ids);
+        cache.fetch_batch(&[1, 2, 3, 4], &mut src);
+        assert_eq!(cache.invalidate(&[2, 4, 50]), 2);
+        let stats = cache.shutdown();
+        assert_eq!(stats.invalidations, 2);
+        let counters: std::collections::BTreeMap<_, _> = reg.counters().into_iter().collect();
+        assert_eq!(counters["cache.queue.invalidations"], 2);
     }
 
     #[test]

@@ -283,6 +283,31 @@ impl FeatureCacheEngine {
         &self.totals
     }
 
+    /// Drop `keys` from every cache level (the owning GPU shard by mod,
+    /// plus the CPU level). Called by the ingest path after a feature
+    /// update commits at the store, so stale rows can never be served
+    /// again. Returns the number of resident rows actually dropped
+    /// (counted per level, like hits are), and folds the same count into
+    /// the engine totals and the `cache.engine.invalidations` counter.
+    pub fn invalidate(&mut self, keys: &[NodeId]) -> u64 {
+        let mut dropped = 0u64;
+        for &v in keys {
+            let shard_id = (v as usize) % self.num_gpus;
+            if self.gpu_shards[shard_id].policy.remove(v).is_some() {
+                dropped += 1;
+            }
+            if let Some(cpu) = self.cpu_shard.as_mut() {
+                if cpu.policy.remove(v).is_some() {
+                    dropped += 1;
+                }
+            }
+        }
+        let stats = CacheStats { invalidations: dropped, ..Default::default() };
+        self.totals.merge(&stats);
+        self.metrics.record(&stats);
+        dropped
+    }
+
     /// Fetch the features for `nodes` on behalf of GPU `worker`. Missing
     /// rows are pulled through `source`, which receives the missing node
     /// IDs and must return their rows in order (`missing.len() × dim`).
@@ -609,6 +634,26 @@ mod tests {
         let r32 = eng32.fetch_batch(0, &[9], &mut store_source(&f));
         let r16 = eng16.fetch_batch(0, &[9], &mut store_source(&f));
         assert_eq!(r16.stats.miss_bytes * 2, r32.stats.miss_bytes);
+    }
+
+    #[test]
+    fn invalidate_forces_refetch_of_fresh_rows() {
+        let mut f = features(100, 4);
+        let mut eng = FeatureCacheEngine::new(2, 4, 10, 10, PolicyKind::Lru, &[]);
+        let res = eng.fetch_batch(0, &[3, 7], &mut store_source(&f));
+        assert_eq!(res.stats.misses, 2);
+        // Update node 3's features at the store, then invalidate it.
+        for x in f.row_mut(3) {
+            *x += 1000.0;
+        }
+        // Dropped from its GPU shard and from the CPU level.
+        assert_eq!(eng.invalidate(&[3]), 2);
+        assert_eq!(eng.stats().invalidations, 2);
+        let res = eng.fetch_batch(0, &[3, 7], &mut store_source(&f));
+        assert_eq!(res.stats.misses, 1, "3 must refetch, 7 still resident");
+        assert_eq!(&res.features[0..4], f.row(3), "fresh row served");
+        // Unknown keys are a no-op.
+        assert_eq!(eng.invalidate(&[99]), 0);
     }
 
     #[test]

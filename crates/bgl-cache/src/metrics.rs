@@ -19,6 +19,7 @@ pub struct CacheMetricSet {
     miss_bytes: Counter,
     overhead_ns: Counter,
     batches: Counter,
+    invalidations: Counter,
 }
 
 impl CacheMetricSet {
@@ -33,6 +34,7 @@ impl CacheMetricSet {
             miss_bytes: c("miss_bytes"),
             overhead_ns: c("overhead_ns"),
             batches: c("batches"),
+            invalidations: c("invalidations"),
         }
     }
 
@@ -45,6 +47,7 @@ impl CacheMetricSet {
         self.miss_bytes.add(delta.miss_bytes);
         self.overhead_ns.add(delta.overhead_ns);
         self.batches.add(delta.batches);
+        self.invalidations.add(delta.invalidations);
     }
 }
 

@@ -56,6 +56,12 @@ pub trait CachePolicy: Send {
 
     /// Non-mutating membership test.
     fn contains(&self, key: NodeId) -> bool;
+
+    /// Drop `key` if resident, returning the slot it occupied. Used by
+    /// ingest-driven invalidation — a coherence drop, not an eviction, so
+    /// policies must not count it against any replacement state of *other*
+    /// keys.
+    fn remove(&mut self, key: NodeId) -> Option<u32>;
 }
 
 // ---------------------------------------------------------------------
@@ -112,6 +118,14 @@ impl CachePolicy for Fifo {
 
     fn contains(&self, key: NodeId) -> bool {
         self.map.contains_key(&key)
+    }
+
+    fn remove(&mut self, key: NodeId) -> Option<u32> {
+        let slot = self.map.remove(&key)?;
+        // The slot stays parked until the insertion cursor wraps back to
+        // it; FIFO order of the surviving keys is untouched.
+        self.slots[slot as usize] = None;
+        Some(slot)
     }
 }
 
@@ -218,6 +232,13 @@ impl CachePolicy for LruO1 {
 
     fn contains(&self, key: NodeId) -> bool {
         self.map.contains_key(&key)
+    }
+
+    fn remove(&mut self, key: NodeId) -> Option<u32> {
+        let slot = self.map.remove(&key)?;
+        self.detach(slot);
+        self.free.push(slot);
+        Some(slot)
     }
 }
 
@@ -351,6 +372,13 @@ impl CachePolicy for LfuO1 {
     fn contains(&self, key: NodeId) -> bool {
         self.map.contains_key(&key)
     }
+
+    fn remove(&mut self, key: NodeId) -> Option<u32> {
+        let slot = self.map.remove(&key)?;
+        self.bucket_remove(slot);
+        self.free.push(slot);
+        Some(slot)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -411,6 +439,12 @@ impl CachePolicy for StaticDegree {
 
     fn contains(&self, key: NodeId) -> bool {
         self.map.contains_key(&key)
+    }
+
+    fn remove(&mut self, key: NodeId) -> Option<u32> {
+        // Static slots never refill (insert declines new keys), so an
+        // invalidated hot node stays a store fetch until the next warm().
+        self.map.remove(&key)
     }
 }
 
@@ -527,6 +561,35 @@ mod tests {
             }
             assert_eq!(c.len(), 5);
         }
+    }
+
+    #[test]
+    fn remove_frees_capacity_and_forgets_key() {
+        for kind in [PolicyKind::Fifo, PolicyKind::Lru, PolicyKind::Lfu] {
+            let mut c = make_policy(kind, 2, &[]);
+            c.insert(1);
+            c.insert(2);
+            let slot = c.remove(1).expect("resident key removes");
+            assert!(!c.contains(1), "{:?} still contains removed key", kind);
+            assert_eq!(c.len(), 1);
+            assert_eq!(c.remove(1), None, "double remove is a no-op");
+            assert!(c.lookup(1).is_none());
+            // The freed slot is reusable and the survivor is untouched.
+            let (s2, evicted) = c.insert(3).unwrap();
+            assert!(evicted.is_none(), "{:?} evicted {:?} into a free slot", kind, evicted);
+            assert!(c.contains(2) && c.contains(3));
+            if kind != PolicyKind::Fifo {
+                assert_eq!(s2, slot, "{:?} reuses the freed slot", kind);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_static_declines_refill() {
+        let mut c = StaticDegree::prefilled(2, &[7, 8]);
+        assert!(c.remove(7).is_some());
+        assert!(!c.contains(7));
+        assert_eq!(c.insert(7), None, "static never readmits after invalidate");
     }
 
     #[test]

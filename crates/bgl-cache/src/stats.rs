@@ -20,6 +20,9 @@ pub struct CacheStats {
     pub overhead_ns: u64,
     /// Number of batches processed.
     pub batches: u64,
+    /// Resident rows dropped by explicit `invalidate` calls (ingest-driven
+    /// coherence, not capacity eviction).
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -64,6 +67,7 @@ impl CacheStats {
         self.miss_bytes += other.miss_bytes;
         self.overhead_ns += other.overhead_ns;
         self.batches += other.batches;
+        self.invalidations += other.invalidations;
     }
 
     /// Field-wise `self - earlier` (saturating), for delta publication of
@@ -77,6 +81,7 @@ impl CacheStats {
             miss_bytes: self.miss_bytes.saturating_sub(earlier.miss_bytes),
             overhead_ns: self.overhead_ns.saturating_sub(earlier.overhead_ns),
             batches: self.batches.saturating_sub(earlier.batches),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
         }
     }
 }
@@ -92,6 +97,7 @@ pub struct AtomicCacheStats {
     miss_bytes: AtomicU64,
     overhead_ns: AtomicU64,
     batches: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl AtomicCacheStats {
@@ -107,6 +113,8 @@ impl AtomicCacheStats {
         self.overhead_ns
             .fetch_add(delta.overhead_ns, Ordering::Relaxed);
         self.batches.fetch_add(delta.batches, Ordering::Relaxed);
+        self.invalidations
+            .fetch_add(delta.invalidations, Ordering::Relaxed);
     }
 
     /// Point-in-time copy of the totals.
@@ -119,6 +127,7 @@ impl AtomicCacheStats {
             miss_bytes: self.miss_bytes.load(Ordering::Relaxed),
             overhead_ns: self.overhead_ns.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
         }
     }
 }

@@ -7,6 +7,9 @@
 //!   graph representation used by samplers, partitioners and the store.
 //! * [`GraphBuilder`] — edge-list accumulator that deduplicates, sorts and
 //!   freezes into a [`Csr`].
+//! * [`DynamicGraph`] — append-capable adjacency for streaming ingestion:
+//!   an immutable [`Csr`] base plus a sorted per-node delta, periodically
+//!   compacted back into a fresh base.
 //! * [`generate`] — R-MAT / Barabási–Albert / Erdős–Rényi / bipartite
 //!   generators used to synthesize stand-ins for the paper's datasets
 //!   (Ogbn-products, Ogbn-papers and the proprietary User-Item graph).
@@ -31,6 +34,7 @@ pub mod block;
 pub mod builder;
 pub mod csr;
 pub mod dataset;
+pub mod dynamic;
 pub mod features;
 pub mod generate;
 pub mod half;
@@ -41,6 +45,7 @@ pub use block::FeatureBlock;
 pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use dataset::{Dataset, DatasetSpec, Split};
+pub use dynamic::DynamicGraph;
 pub use features::FeatureStore;
 pub use half::FeaturePrecision;
 pub use subgraph::{khop_neighborhood, InducedSubgraph};

@@ -1,0 +1,199 @@
+//! Online partition assignment for arriving nodes.
+//!
+//! The offline partitioners in `bgl-partition` see the whole graph; the
+//! ingest path sees one node at a time, arriving with (some of) its edges.
+//! [`OnlineAssigner`] applies the same LDG placement rule the streaming
+//! partitioner uses offline — `(1 + hits) · (1 − size/cap)` via
+//! [`bgl_partition::ldg_choose`] — against a capacity that grows with the
+//! graph, so the logical partition map stays balanced as nodes stream in.
+//!
+//! Because each arrival is placed greedily with only local information, the
+//! map drifts away from what a from-scratch repartition would produce.
+//! [`OnlineAssigner::refine`] is the periodic counterweight: a local
+//! re-merge pass over the nodes whose neighborhoods changed, moving a node
+//! to the partition holding the plurality of its neighbors when that
+//! strictly improves locality and respects capacity. `bgl-ingest` tracks
+//! both maps' edge-cut/balance so the drift is measured, not assumed.
+
+use bgl_graph::{Csr, NodeId};
+use bgl_partition::{ldg_choose, Partition};
+
+/// Streaming partition state: the logical assignment map plus the running
+/// per-partition sizes the LDG rule scores against.
+#[derive(Clone, Debug)]
+pub struct OnlineAssigner {
+    assignment: Vec<u32>,
+    sizes: Vec<usize>,
+    /// Capacity slack multiplier: per-partition capacity is
+    /// `slack · n / k`, recomputed as `n` grows.
+    slack: f64,
+    /// Scratch hit counters, allocated once for the whole stream (the same
+    /// hoisting the offline LDG loop does).
+    hits: Vec<usize>,
+}
+
+impl OnlineAssigner {
+    /// Seed the assigner from an offline partition of the base graph.
+    pub fn new(partition: &Partition, slack: f64) -> Self {
+        let k = partition.k;
+        let assignment = partition.assignment.clone();
+        let mut sizes = vec![0usize; k];
+        for &a in &assignment {
+            sizes[a as usize] += 1;
+        }
+        OnlineAssigner { assignment, sizes, slack: slack.max(1.0), hits: vec![0; k] }
+    }
+
+    pub fn k(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Nodes currently assigned (base + streamed arrivals).
+    pub fn num_nodes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Partition of node `v`, if assigned.
+    pub fn part_of(&self, v: NodeId) -> Option<u32> {
+        self.assignment.get(v as usize).copied()
+    }
+
+    /// Per-partition capacity at the current graph size.
+    fn cap(&self) -> f64 {
+        (self.slack * self.assignment.len() as f64 / self.k() as f64).max(1.0)
+    }
+
+    /// Score one arriving node given the already-assigned endpoints of its
+    /// arrival edges, without recording anything. The caller commits the
+    /// placement with [`OnlineAssigner::admit`] once the store acked the
+    /// node — keeping the logical map from drifting ahead of a failed
+    /// broadcast. Unassigned (future) neighbors contribute no hits.
+    pub fn choose(&mut self, neighbors: &[NodeId]) -> u32 {
+        self.hits.fill(0);
+        for &u in neighbors {
+            if let Some(&p) = self.assignment.get(u as usize) {
+                self.hits[p as usize] += 1;
+            }
+        }
+        let cap = self.cap();
+        ldg_choose(&self.hits, &self.sizes, cap) as u32
+    }
+
+    /// Commit the next node (dense id `num_nodes()`) to `owner`.
+    pub fn admit(&mut self, owner: u32) {
+        assert!((owner as usize) < self.k(), "owner {} out of range", owner);
+        self.assignment.push(owner);
+        self.sizes[owner as usize] += 1;
+    }
+
+    /// [`OnlineAssigner::choose`] + [`OnlineAssigner::admit`] in one step,
+    /// for callers with no failure window between the two.
+    pub fn place(&mut self, neighbors: &[NodeId]) -> u32 {
+        let owner = self.choose(neighbors);
+        self.admit(owner);
+        owner
+    }
+
+    /// The local re-merge pass: for each node in `dirty` (ascending or
+    /// not), move it to the partition holding the plurality of its merged
+    /// neighbors when that strictly beats its current partition's hit
+    /// count and the target has capacity. Returns the number of moves.
+    ///
+    /// One pass is deliberately local — no global rebalance, no cascading
+    /// — so its cost is proportional to the churn since the last merge,
+    /// not to the graph.
+    pub fn refine(&mut self, g: &Csr, dirty: &[NodeId]) -> usize {
+        let cap = self.cap();
+        let mut moves = 0usize;
+        for &v in dirty {
+            let Some(&cur) = self.assignment.get(v as usize) else {
+                continue;
+            };
+            self.hits.fill(0);
+            for &u in g.neighbors(v) {
+                if let Some(&p) = self.assignment.get(u as usize) {
+                    self.hits[p as usize] += 1;
+                }
+            }
+            let best = ldg_choose(&self.hits, &self.sizes, cap);
+            if best as u32 != cur
+                && self.hits[best] > self.hits[cur as usize]
+                && (self.sizes[best] as f64) + 1.0 <= cap
+            {
+                self.sizes[cur as usize] -= 1;
+                self.sizes[best] += 1;
+                self.assignment[v as usize] = best as u32;
+                moves += 1;
+            }
+        }
+        moves
+    }
+
+    /// Snapshot the logical map as a [`Partition`] for quality metrics.
+    pub fn partition(&self) -> Partition {
+        Partition::new(self.k(), self.assignment.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgl_partition::{Partitioner, RoundRobinPartitioner};
+
+    fn seeded(n: usize, k: usize) -> OnlineAssigner {
+        let g = bgl_graph::generate::barabasi_albert(n, 3, 7);
+        let p = RoundRobinPartitioner.partition(&g, &[], k);
+        OnlineAssigner::new(&p, 1.1)
+    }
+
+    #[test]
+    fn arrivals_follow_their_neighbors() {
+        let mut a = seeded(40, 4);
+        // A node arriving with all neighbors on partition 2 lands there.
+        let on_two: Vec<NodeId> =
+            (0..40u32).filter(|&v| a.part_of(v) == Some(2)).take(3).collect();
+        let chosen = a.place(&on_two);
+        assert_eq!(chosen, 2);
+        assert_eq!(a.part_of(40), Some(2));
+        assert_eq!(a.num_nodes(), 41);
+    }
+
+    #[test]
+    fn capacity_spreads_a_hot_stream() {
+        let mut a = seeded(40, 4);
+        // 40 isolated arrivals: no hits, so placement is pure balancing.
+        for _ in 0..40 {
+            a.place(&[]);
+        }
+        let (max, min) = (
+            *a.sizes().iter().max().unwrap(),
+            *a.sizes().iter().min().unwrap(),
+        );
+        assert!(max - min <= 2, "balanced growth: {:?}", a.sizes());
+    }
+
+    #[test]
+    fn refine_moves_misplaced_nodes_toward_neighbors() {
+        // Path graph partitioned round-robin: every node's neighbors are
+        // elsewhere. Refinement must claw back some locality.
+        let mut b = bgl_graph::GraphBuilder::new(60);
+        for v in 0..59u32 {
+            b.add_edge(v, v + 1);
+        }
+        let g = b.build();
+        let p = RoundRobinPartitioner.partition(&g, &[], 3);
+        let before = bgl_partition::metrics::edge_cut_fraction(&g, &p);
+        let mut a = OnlineAssigner::new(&p, 1.2);
+        let dirty: Vec<NodeId> = (0..60).collect();
+        let moves = a.refine(&g, &dirty);
+        assert!(moves > 0);
+        let after = bgl_partition::metrics::edge_cut_fraction(&g, &a.partition());
+        assert!(after < before, "refine must cut fewer edges: {after} vs {before}");
+        let total: usize = a.sizes().iter().sum();
+        assert_eq!(total, 60, "moves conserve nodes");
+    }
+}

@@ -1,0 +1,190 @@
+//! Seeded, declarative churn schedules.
+//!
+//! The same idiom as `bgl_store::FaultPlan`: a small value object built
+//! from a seed and a handful of knobs, expanded deterministically into a
+//! concrete schedule. Two [`ChurnPlan`]s with equal fields produce
+//! byte-identical op streams, so every churn experiment — and every crash
+//! replay of one — is reproducible from the plan alone.
+//!
+//! Ops model the three mutations the store wire supports:
+//!
+//! * [`ChurnOp::AddNode`] — a node *arrives with its edges* (the streaming
+//!   partitioning literature's arrival model, which is what gives the
+//!   online LDG rule its neighbor hits) plus a feature row;
+//! * [`ChurnOp::AddEdge`] — an edge between existing nodes, drawn with a
+//!   locality bias so partition quality is something churn can actually
+//!   degrade (uniform random edges would make every partition equally bad);
+//! * [`ChurnOp::UpdateFeature`] — a full-row overwrite of an existing
+//!   node, the op that exercises cache invalidation.
+
+use bgl_graph::NodeId;
+use rand::prelude::*;
+
+/// One scheduled mutation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChurnOp {
+    /// A new node arriving with `neighbors` (existing-node endpoints of
+    /// its arrival edges) and feature row `row`.
+    AddNode { neighbors: Vec<NodeId>, row: Vec<f32> },
+    /// An edge between two existing nodes.
+    AddEdge { u: NodeId, v: NodeId },
+    /// Overwrite node `v`'s feature row.
+    UpdateFeature { v: NodeId, row: Vec<f32> },
+}
+
+/// A seeded churn schedule: `ops` mutations mixed by integer weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChurnPlan {
+    pub seed: u64,
+    /// Total ops the schedule expands to.
+    pub ops: usize,
+    /// Relative weight of edge inserts.
+    pub edge_weight: u32,
+    /// Relative weight of node arrivals.
+    pub node_weight: u32,
+    /// Relative weight of feature updates.
+    pub update_weight: u32,
+    /// Arrival edges per new node (upper bound; at least 1 when possible).
+    pub arrival_degree: usize,
+    /// Half-width of the id window a biased edge endpoint is drawn from.
+    /// Synthetic community graphs lay communities out contiguously, so a
+    /// window keeps most churn edges intra-community.
+    pub locality_window: u32,
+}
+
+impl ChurnPlan {
+    /// An empty plan with the given determinism seed and the default mix
+    /// (mostly edges, some arrivals, some updates).
+    pub fn new(seed: u64) -> Self {
+        ChurnPlan {
+            seed,
+            ops: 0,
+            edge_weight: 6,
+            node_weight: 2,
+            update_weight: 2,
+            arrival_degree: 3,
+            locality_window: 32,
+        }
+    }
+
+    /// Set the schedule length.
+    pub fn ops(mut self, n: usize) -> Self {
+        self.ops = n;
+        self
+    }
+
+    /// Set the op mix by integer weights (edge : node : update).
+    pub fn mix(mut self, edge: u32, node: u32, update: u32) -> Self {
+        assert!(edge + node + update > 0, "at least one weight must be set");
+        self.edge_weight = edge;
+        self.node_weight = node;
+        self.update_weight = update;
+        self
+    }
+
+    /// Expand into the concrete op stream, given the node count and
+    /// feature dim of the graph the churn will hit. New nodes created by
+    /// the schedule are visible to later ops (edges can land on them,
+    /// updates can rewrite them).
+    pub fn schedule(&self, start_nodes: usize, dim: usize) -> Vec<ChurnOp> {
+        assert!(start_nodes > 0, "churn needs a non-empty base graph");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let total = (self.edge_weight + self.node_weight + self.update_weight) as u64;
+        let mut n = start_nodes as u32;
+        let mut out = Vec::with_capacity(self.ops);
+        for _ in 0..self.ops {
+            let roll = rng.random_range(0..total) as u32;
+            if roll < self.edge_weight {
+                let u = rng.random_range(0..n);
+                out.push(ChurnOp::AddEdge { u, v: self.biased_endpoint(&mut rng, u, n) });
+            } else if roll < self.edge_weight + self.node_weight {
+                let anchor = rng.random_range(0..n);
+                let deg = rng.random_range(1..=self.arrival_degree.max(1));
+                let mut neighbors = Vec::with_capacity(deg);
+                for _ in 0..deg {
+                    neighbors.push(self.biased_endpoint(&mut rng, anchor, n));
+                }
+                neighbors.sort_unstable();
+                neighbors.dedup();
+                let row = (0..dim).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect();
+                out.push(ChurnOp::AddNode { neighbors, row });
+                n += 1;
+            } else {
+                let v = rng.random_range(0..n);
+                let row = (0..dim).map(|_| rng.random::<f32>() * 2.0 - 1.0).collect();
+                out.push(ChurnOp::UpdateFeature { v, row });
+            }
+        }
+        out
+    }
+
+    /// An endpoint near `anchor` (within the locality window) most of the
+    /// time, uniform otherwise — churn that is local but not perfectly so.
+    fn biased_endpoint(&self, rng: &mut StdRng, anchor: u32, n: u32) -> NodeId {
+        if self.locality_window > 0 && rng.random_range(0..10u32) < 8 {
+            let w = self.locality_window;
+            let lo = anchor.saturating_sub(w);
+            let hi = (anchor.saturating_add(w)).min(n - 1);
+            rng.random_range(lo..=hi)
+        } else {
+            rng.random_range(0..n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_plan_same_schedule() {
+        let a = ChurnPlan::new(7).ops(200).schedule(100, 4);
+        let b = ChurnPlan::new(7).ops(200).schedule(100, 4);
+        assert_eq!(a, b);
+        let c = ChurnPlan::new(8).ops(200).schedule(100, 4);
+        assert_ne!(a, c, "a different seed must reshuffle the stream");
+    }
+
+    #[test]
+    fn mix_respects_weights_and_ids_stay_in_range() {
+        let plan = ChurnPlan::new(3).ops(600).mix(1, 1, 1);
+        let sched = plan.schedule(50, 2);
+        assert_eq!(sched.len(), 600);
+        let (mut e, mut a, mut u) = (0usize, 0usize, 0usize);
+        let mut n = 50u32;
+        for op in &sched {
+            match op {
+                ChurnOp::AddEdge { u: x, v: y } => {
+                    e += 1;
+                    assert!(*x < n && *y < n, "edge endpoints must exist");
+                }
+                ChurnOp::AddNode { neighbors, row } => {
+                    a += 1;
+                    assert!(!neighbors.is_empty() && row.len() == 2);
+                    assert!(neighbors.iter().all(|&v| v < n));
+                    n += 1;
+                }
+                ChurnOp::UpdateFeature { v, row } => {
+                    u += 1;
+                    assert!(*v < n && row.len() == 2);
+                }
+            }
+        }
+        // Equal weights: each kind gets a healthy share of 600.
+        for (label, count) in [("edges", e), ("arrivals", a), ("updates", u)] {
+            assert!(count > 120, "{label} under-represented: {count}");
+        }
+    }
+
+    #[test]
+    fn later_ops_can_touch_streamed_nodes() {
+        // All-arrivals plan: every op grows the graph, and arrival edges
+        // may reference nodes earlier arrivals created.
+        let sched = ChurnPlan::new(11).ops(80).mix(0, 1, 0).schedule(10, 2);
+        let touched_new = sched.iter().enumerate().any(|(i, op)| match op {
+            ChurnOp::AddNode { neighbors, .. } => neighbors.iter().any(|&v| v >= 10),
+            _ => panic!("mix(0,1,0) emitted a non-arrival at {i}"),
+        });
+        assert!(touched_new, "streamed nodes must join the id pool");
+    }
+}

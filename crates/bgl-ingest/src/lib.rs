@@ -1,0 +1,227 @@
+//! # bgl-ingest — streaming graph mutation for the live BGL system
+//!
+//! The paper's pipeline assumes a frozen graph; real deployments re-ingest
+//! their graphs continuously (new users, new interactions, refreshed
+//! embeddings). This crate makes the reproduced system *mutable* without
+//! giving up any of its invariants:
+//!
+//! * [`churn`] — seeded, declarative churn schedules ([`ChurnPlan`], the
+//!   `FaultPlan` idiom): node arrivals with their edges, edge inserts
+//!   between existing nodes, and full-row feature updates, reproducible
+//!   from the plan alone;
+//! * [`assign`] — [`OnlineAssigner`], the LDG placement rule applied
+//!   per-arrival against a growing per-partition capacity, plus the
+//!   periodic local refinement pass that claws back locality churn erodes;
+//! * [`reorder`] — [`incremental_po_reorder`], repairing the proximity-
+//!   aware training order for exactly the train nodes whose neighborhoods
+//!   changed;
+//! * [`coordinator`] — [`IngestCoordinator`], which drives the store's
+//!   write-all ingest broadcasts (WAL-first on every server), invalidates
+//!   the feature cache after committed updates, runs re-merge passes, and
+//!   accounts everything under `ingest.*` metrics.
+//!
+//! The flow for one churn op:
+//!
+//! ```text
+//!   ChurnPlan ──op──▶ IngestCoordinator
+//!                        │ 1. OnlineAssigner.choose (arrivals)
+//!                        │ 2. StoreCluster broadcast (WAL-first, all servers)
+//!                        │ 3. OnlineAssigner.admit / cache.invalidate
+//!                        ▼
+//!            every `remerge_period` applied ops:
+//!            server.remerge() → refine(dirty) → incremental_po_reorder
+//! ```
+
+pub mod assign;
+pub mod churn;
+pub mod coordinator;
+pub mod reorder;
+
+pub use assign::OnlineAssigner;
+pub use churn::{ChurnOp, ChurnPlan};
+pub use coordinator::{ChurnQuality, IngestConfig, IngestCoordinator, IngestReport};
+pub use reorder::incremental_po_reorder;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgl_cache::{FeatureCacheEngine, PolicyKind};
+    use bgl_graph::generate::{self, CommunityConfig};
+    use bgl_graph::{Csr, FeatureStore, NodeId};
+    use bgl_partition::{LdgPartitioner, Partitioner};
+    use bgl_sampler::TrainOrdering;
+    use bgl_sim::network::NetworkModel;
+    use bgl_store::{DiskTierConfig, DurableFeatures, InProcessTransport, StoreCluster};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    const DIM: usize = 4;
+
+    /// Cluster with a durable tier on every server (feature updates land
+    /// on the WAL) partitioned by LDG. Callers remove the returned dirs.
+    fn setup(k: usize, tag: &str) -> (Arc<Csr>, StoreCluster, IngestCoordinator, Vec<PathBuf>) {
+        let g = Arc::new(generate::community_graph(
+            CommunityConfig { n: 400, communities: 8, intra: 6, inter: 1 },
+            13,
+        ));
+        let mut f = FeatureStore::zeros(400, DIM);
+        for v in 0..400u32 {
+            f.row_mut(v)[0] = v as f32;
+        }
+        let f = Arc::new(f);
+        let p = LdgPartitioner::new(5).partition(&g, &[], k);
+        let owner = Arc::new(p.assignment.clone());
+        let transport = InProcessTransport::new(g.clone(), f.clone(), owner.clone(), k, 5);
+        let mut dirs = Vec::new();
+        for i in 0..k {
+            let mut dir = std::env::temp_dir();
+            dir.push(format!("bgl-ingest-{}-{}-{}", std::process::id(), tag, i));
+            let cfg = DiskTierConfig::default().with_page_size(64).with_pool_pages(8);
+            let tier = DurableFeatures::create(&dir, &f, cfg).unwrap();
+            transport.server(i).unwrap().attach_disk_tier(tier);
+            dirs.push(dir);
+        }
+        let cluster = StoreCluster::with_transport(
+            Box::new(transport),
+            owner,
+            NetworkModel::paper_fabric(),
+        );
+        let coord = IngestCoordinator::new(&p, IngestConfig::default());
+        (g, cluster, coord, dirs)
+    }
+
+    fn cleanup(dirs: Vec<PathBuf>) {
+        for dir in dirs {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn churn_flows_end_to_end_with_coherent_cache() {
+        let (_, mut cluster, mut coord, dirs) = setup(2, "flow");
+        let reg = bgl_obs::Registry::enabled();
+        coord.attach_metrics(&reg);
+        let mut cache = FeatureCacheEngine::new(1, DIM, 64, 0, PolicyKind::Lru, &[]);
+        let w = cluster.worker_location();
+
+        // Warm the cache with node 7's pre-churn row.
+        let (rows, _) = cluster.fetch_features(&[7], w).unwrap();
+        cache.fetch_batch(0, &[7], &mut |_ids| rows.to_vec());
+
+        let plan = ChurnPlan::new(21).ops(120).mix(5, 3, 2);
+        let schedule = plan.schedule(cluster.total_nodes(), DIM);
+        let mut saw_update_of_7 = false;
+        for op in &schedule {
+            if matches!(op, ChurnOp::UpdateFeature { v: 7, .. }) {
+                saw_update_of_7 = true;
+            }
+            coord.apply(&mut cluster, Some(&mut cache), op).unwrap();
+        }
+        let report = coord.report();
+        assert!(report.applied > 100, "most ops must land: {:?}", report);
+        assert!(cluster.total_nodes() > 400, "arrivals grew the graph");
+        assert_eq!(
+            coord.assigner().num_nodes(),
+            cluster.total_nodes(),
+            "logical map tracks the store"
+        );
+
+        // Cache coherence: a fresh fetch of any updated node returns the
+        // store's current row, not the warmed one.
+        if saw_update_of_7 {
+            assert!(report.invalidations > 0);
+        }
+        let (fresh, _) = cluster.fetch_features(&[7], w).unwrap();
+        let store_row = fresh.to_vec();
+        let res = cache.fetch_batch(0, &[7], &mut |_ids| store_row.clone());
+        assert_eq!(res.features, store_row, "cache serves the committed row");
+
+        // Counters mirror the report.
+        let counters: std::collections::BTreeMap<_, _> =
+            reg.counters().into_iter().collect();
+        assert_eq!(counters["ingest.applied"], report.applied);
+        assert_eq!(counters["ingest.rejected"], report.rejected);
+        assert_eq!(counters["ingest.invalidations"], report.invalidations);
+        let hists: std::collections::BTreeMap<_, _> =
+            reg.histograms().into_iter().collect();
+        assert!(hists["ingest.apply_latency_ns"].count > 0);
+        assert!(hists["ingest.apply_latency_ns"].mean() > 0.0);
+        cleanup(dirs);
+    }
+
+    #[test]
+    fn remerge_keeps_quality_near_scratch_and_repairs_order() {
+        let (g, mut cluster, mut coord, dirs) = setup(4, "quality");
+        let train: Vec<NodeId> = (0..400).step_by(4).collect();
+        let mut order = bgl_sampler::ProximityAware::new(3, 9).epoch_order(&g, &train, 0);
+        let schedule = ChurnPlan::new(33).ops(400).mix(6, 3, 1).schedule(400, DIM);
+        let mut added_train: Vec<NodeId> = Vec::new();
+        let mut merged = None;
+        for op in &schedule {
+            let before = cluster.total_nodes();
+            coord.apply(&mut cluster, None, op).unwrap();
+            // Every 4th streamed node joins the train set.
+            let now = cluster.total_nodes();
+            if now > before && now.is_multiple_of(4) {
+                added_train.push((now - 1) as NodeId);
+            }
+            if coord.remerge_due() {
+                merged = coord.remerge(&mut cluster, &mut order, &added_train);
+                added_train.clear();
+            }
+        }
+        let merged = coord
+            .remerge(&mut cluster, &mut order, &added_train)
+            .or(merged)
+            .expect("in-process cluster must yield the merged graph");
+        let report = coord.report();
+        assert!(report.remerges > 1);
+        assert!(report.reassignments > 0, "refinement must move something");
+
+        // The order is still a permutation of the grown train set.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), order.len(), "no duplicates after repair");
+        assert!(order.len() >= train.len());
+
+        // Quality band: the online map stays within an additive band of a
+        // from-scratch LDG repartition of the merged graph.
+        let q = coord.quality(&merged, &LdgPartitioner::new(5));
+        assert!(
+            q.online_cut <= q.scratch_cut + 0.20,
+            "online cut {:.3} drifted too far from scratch {:.3}",
+            q.online_cut,
+            q.scratch_cut
+        );
+        assert!(
+            q.online_balance <= q.scratch_balance + 0.25,
+            "online balance {:.3} vs scratch {:.3}",
+            q.online_balance,
+            q.scratch_balance
+        );
+        // And the store itself reflects the merged view.
+        assert_eq!(merged.num_nodes(), cluster.total_nodes());
+        cleanup(dirs);
+    }
+
+    #[test]
+    fn sampling_is_identical_across_a_remerge() {
+        // Re-merging is semantics-preserving: the same seeded batch
+        // samples identically before and after compaction.
+        let (_, mut cluster, mut coord, dirs) = setup(2, "remerge");
+        let schedule = ChurnPlan::new(3).ops(60).mix(1, 1, 0).schedule(400, DIM);
+        for op in &schedule {
+            coord.apply(&mut cluster, None, op).unwrap();
+        }
+        let salt = 0xFEED;
+        let (before, _) =
+            cluster.sample_batch_seeded(&[3, 2], &[1, 2, 3], 0, salt).unwrap();
+        let mut order = Vec::new();
+        coord.remerge(&mut cluster, &mut order, &[]);
+        let (after, _) =
+            cluster.sample_batch_seeded(&[3, 2], &[1, 2, 3], 0, salt).unwrap();
+        assert_eq!(before.blocks, after.blocks);
+        cleanup(dirs);
+    }
+}

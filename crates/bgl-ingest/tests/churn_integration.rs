@@ -1,0 +1,265 @@
+//! End-to-end acceptance tests for streaming ingestion:
+//!
+//! * the same churn schedule driven through an in-process cluster and a
+//!   real-TCP cluster leaves both serving bitwise-identical training
+//!   epochs (sampled blocks and feature bytes), even when only one side
+//!   has compacted its delta;
+//! * a crash in the middle of a churn stream is fully replayable from the
+//!   per-server WALs — graph structure and feature rows both.
+
+use bgl_graph::generate::{self, CommunityConfig};
+use bgl_graph::{Csr, DynamicGraph, FeatureStore, NodeId};
+use bgl_ingest::{ChurnOp, ChurnPlan, IngestConfig, IngestCoordinator};
+use bgl_net::{spawn_loopback_cluster, NetClientConfig, NetServerConfig, TcpTransport};
+use bgl_obs::Registry;
+use bgl_partition::{LdgPartitioner, Partition, Partitioner};
+use bgl_sim::network::NetworkModel;
+use bgl_store::{DiskTierConfig, DurableFeatures, InProcessTransport, StoreCluster};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const N: usize = 400;
+const DIM: usize = 4;
+const SEED: u64 = 5;
+
+fn dataset() -> (Arc<Csr>, Arc<FeatureStore>, Partition) {
+    let g = Arc::new(generate::community_graph(
+        CommunityConfig { n: N, communities: 8, intra: 6, inter: 1 },
+        13,
+    ));
+    let mut f = FeatureStore::zeros(N, DIM);
+    for v in 0..N as u32 {
+        f.row_mut(v)[0] = v as f32;
+    }
+    let p = LdgPartitioner::new(5).partition(&g, &[], 2);
+    (g, Arc::new(f), p)
+}
+
+fn tier_cfg() -> DiskTierConfig {
+    DiskTierConfig::default().with_page_size(64).with_pool_pages(8)
+}
+
+fn temp_dir(tag: &str, i: usize) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("bgl-ingest-it-{}-{}-{}", std::process::id(), tag, i));
+    dir
+}
+
+fn cleanup(dirs: &[PathBuf]) {
+    for dir in dirs {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+/// A training epoch after quiesced ingest must not depend on the
+/// transport: drive the same churn plan through an in-process cluster and
+/// through real TCP sockets, then compare every sampled block and every
+/// fetched feature byte. The in-process side additionally re-merges before
+/// the epoch, so the comparison also proves compaction changes nothing.
+#[test]
+fn epoch_after_quiesced_ingest_is_bitwise_identical_over_tcp() {
+    let (g, f, p) = dataset();
+    let owner = Arc::new(p.assignment.clone());
+    let k = p.k;
+    let reg = Registry::enabled();
+
+    // In-process cluster with durable tiers (feature updates need them).
+    let transport = InProcessTransport::new(g.clone(), f.clone(), owner.clone(), k, SEED);
+    let mut dirs = Vec::new();
+    for i in 0..k {
+        let dir = temp_dir("inproc", i);
+        let tier = DurableFeatures::create(&dir, &f, tier_cfg()).unwrap();
+        transport.server(i).unwrap().attach_disk_tier(tier);
+        dirs.push(dir);
+    }
+    let mut local =
+        StoreCluster::with_transport(Box::new(transport), owner.clone(), NetworkModel::paper_fabric());
+
+    // TCP cluster over loopback sockets, same dataset, same server seed.
+    let lc = spawn_loopback_cluster(
+        g.clone(),
+        f.clone(),
+        owner.clone(),
+        k,
+        SEED,
+        NetServerConfig::default(),
+        &reg,
+    )
+    .unwrap();
+    for i in 0..k {
+        let dir = temp_dir("tcp", i);
+        let tier = DurableFeatures::create(&dir, &f, tier_cfg()).unwrap();
+        lc.store(i).unwrap().attach_disk_tier(tier);
+        dirs.push(dir);
+    }
+    let tcp = TcpTransport::connect(&lc.addrs(), NetClientConfig::default(), &reg).unwrap();
+    let mut remote =
+        StoreCluster::with_transport(Box::new(tcp), owner, NetworkModel::paper_fabric());
+
+    // Same plan, both sides; every op must ack identically.
+    let mut coord_l = IngestCoordinator::new(&p, IngestConfig::default());
+    let mut coord_r = IngestCoordinator::new(&p, IngestConfig::default());
+    let schedule = ChurnPlan::new(77).ops(150).mix(5, 3, 2).schedule(N, DIM);
+    for (i, op) in schedule.iter().enumerate() {
+        let a = coord_l.apply(&mut local, None, op).unwrap();
+        let b = coord_r.apply(&mut remote, None, op).unwrap();
+        assert_eq!(a, b, "op {i} acked differently across transports");
+    }
+    assert_eq!(coord_l.report().applied, coord_r.report().applied);
+    assert_eq!(coord_l.report().rejected, coord_r.report().rejected);
+    assert_eq!(local.total_nodes(), remote.total_nodes());
+    assert!(local.total_nodes() > N, "churn must have grown the graph");
+
+    // Quiesce. Only the local side compacts — re-merging is
+    // semantics-preserving, so the epochs must still match.
+    let mut order = Vec::new();
+    coord_l
+        .remerge(&mut local, &mut order, &[])
+        .expect("in-process cluster yields the merged graph");
+
+    // One seeded training epoch over the grown node set, on both sides.
+    let total = local.total_nodes() as u32;
+    let train: Vec<NodeId> = (0..total).step_by(5).collect();
+    let wl = local.worker_location();
+    let wr = remote.worker_location();
+    for (step, chunk) in train.chunks(8).enumerate() {
+        let salt = 0xA11CE ^ step as u64;
+        let (mb_l, _) = local.sample_batch_seeded(&[3, 2], chunk, 0, salt).unwrap();
+        let (mb_r, _) = remote.sample_batch_seeded(&[3, 2], chunk, 0, salt).unwrap();
+        assert_eq!(mb_l.blocks, mb_r.blocks, "sampled blocks diverged at step {step}");
+
+        let (fb_l, _) = local.fetch_features(chunk, wl).unwrap();
+        let (fb_r, _) = remote.fetch_features(chunk, wr).unwrap();
+        let (bytes_l, bytes_r) = (fb_l.to_vec(), fb_r.to_vec());
+        assert_eq!(bytes_l.len(), bytes_r.len());
+        for (i, (a, b)) in bytes_l.iter().zip(&bytes_r).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "feature byte {i} of step {step} diverged: {a} vs {b}"
+            );
+        }
+    }
+
+    lc.shutdown();
+    cleanup(&dirs);
+}
+
+/// Crash a cluster mid-churn and rebuild everything from the WALs: the
+/// merged graph from any server's pending records, and every mutated
+/// feature row from its owner's tier.
+#[test]
+fn mid_ingest_crash_replays_graph_and_rows_from_wal() {
+    let (g, f, p) = dataset();
+    let owner = Arc::new(p.assignment.clone());
+    let k = p.k;
+    let transport = InProcessTransport::new(g.clone(), f.clone(), owner.clone(), k, SEED);
+    let mut dirs = Vec::new();
+    for i in 0..k {
+        let dir = temp_dir("crash", i);
+        let tier = DurableFeatures::create(&dir, &f, tier_cfg()).unwrap();
+        transport.server(i).unwrap().attach_disk_tier(tier);
+        dirs.push(dir);
+    }
+    let mut cluster =
+        StoreCluster::with_transport(Box::new(transport), owner.clone(), NetworkModel::paper_fabric());
+    let mut coord = IngestCoordinator::new(&p, IngestConfig::default());
+
+    // Apply only a prefix of the plan — the crash lands mid-stream.
+    let schedule = ChurnPlan::new(99).ops(200).mix(5, 3, 2).schedule(N, DIM);
+    let prefix = &schedule[..130];
+    let mut updated_base: Vec<NodeId> = Vec::new();
+    for op in prefix {
+        coord.apply(&mut cluster, None, op).unwrap();
+        if let ChurnOp::UpdateFeature { v, .. } = op {
+            if (*v as usize) < N {
+                updated_base.push(*v);
+            }
+        }
+    }
+    updated_base.sort_unstable();
+    updated_base.dedup();
+    assert!(!updated_base.is_empty(), "prefix must update some base rows");
+
+    // Capture the pre-crash truth: merged adjacency and every mutated row.
+    let total = cluster.total_nodes();
+    assert!(total > N, "prefix must append some nodes");
+    let merged = cluster.in_process_server(0).unwrap().remerge();
+    let adjacency: Vec<Vec<NodeId>> =
+        (0..total as u32).map(|v| merged.neighbors(v).to_vec()).collect();
+    let wl = cluster.worker_location();
+    let mut expected_rows: BTreeMap<NodeId, Vec<f32>> = BTreeMap::new();
+    for v in (N as u32..total as u32).chain(updated_base.iter().copied()) {
+        let (row, _) = cluster.fetch_features(&[v], wl).unwrap();
+        expected_rows.insert(v, row.to_vec());
+    }
+    let owner_of = |v: NodeId| -> usize {
+        if (v as usize) < N {
+            owner[v as usize] as usize
+        } else {
+            coord.assigner().part_of(v).unwrap() as usize
+        }
+    };
+
+    // Crash: drop the cluster without a checkpoint. The WALs survive.
+    drop(cluster);
+
+    // Reopen every tier and replay.
+    let mut tiers = Vec::new();
+    for dir in &dirs {
+        let (tier, report) = DurableFeatures::open(dir, tier_cfg()).unwrap();
+        assert!(report.replayed_nodes > 0, "appends must replay: {report:?}");
+        assert!(report.replayed_edges > 0, "edges must replay: {report:?}");
+        assert_eq!(report.torn_wal_bytes, 0);
+        tiers.push(tier);
+    }
+
+    // Graph: every server journals every structural mutation (write-all),
+    // so server 0's pending records alone rebuild the merged adjacency.
+    let mut rebuilt = DynamicGraph::new(g.clone());
+    for (id, _, _) in tiers[0].pending_nodes() {
+        while (rebuilt.num_nodes() as u32) <= *id {
+            rebuilt.add_node();
+        }
+    }
+    for &(u, v) in tiers[0].pending_edges() {
+        rebuilt.add_edge(u, v);
+    }
+    let rebuilt = rebuilt.snapshot();
+    assert_eq!(rebuilt.num_nodes(), total);
+    assert_eq!(rebuilt.num_edges(), merged.num_edges());
+    for v in 0..total as u32 {
+        assert_eq!(
+            rebuilt.neighbors(v),
+            &adjacency[v as usize][..],
+            "adjacency of {v} diverged after replay"
+        );
+    }
+
+    // Rows: appended nodes recover from their owner's pending records
+    // (last record wins — updates of appended nodes re-journal the row),
+    // updated base nodes from the owner's pager after WAL redo.
+    for (&v, expected) in &expected_rows {
+        let tier = &mut tiers[owner_of(v)];
+        let got: Vec<f32> = if (v as usize) < N {
+            let mut row = Vec::new();
+            tier.read_row_into(v, &mut row).unwrap();
+            row
+        } else {
+            tier.pending_nodes()
+                .iter()
+                .rev()
+                .find(|(id, _, _)| *id == v)
+                .map(|(_, _, row)| row.clone())
+                .unwrap_or_else(|| panic!("node {v} missing from owner WAL"))
+        };
+        assert_eq!(got.len(), expected.len());
+        for (i, (a, b)) in got.iter().zip(expected).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "row {v} float {i}: {a} vs {b}");
+        }
+    }
+
+    drop(tiers);
+    cleanup(&dirs);
+}

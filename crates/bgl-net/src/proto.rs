@@ -354,6 +354,15 @@ const KNOWN_MALFORMED: &[&str] = &[
     "update rows mismatch count×dim",
     "partial update ack",
     "salt",
+    "truncated edge list",
+    "rejected",
+    "node id",
+    "owner",
+    "add-node row mismatch",
+    "add-node row dim mismatch",
+    "add-node id gap",
+    "partial edge ack",
+    "node append ack mismatch",
 ];
 
 /// The `Storage` messages the durable disk tier actually produces, resolved
@@ -381,6 +390,9 @@ const KNOWN_TOO_LARGE: &[&str] = &[
     "feature row payload",
     "feature update count",
     "feature update ack count",
+    "edge batch count",
+    "add-node row len",
+    "node id space",
 ];
 
 /// Encode a [`StoreError`] for an `Err` frame payload.

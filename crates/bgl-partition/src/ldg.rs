@@ -22,6 +22,29 @@ impl LdgPartitioner {
     }
 }
 
+/// The LDG placement rule for one arriving node: pick the partition
+/// maximizing `(1 + hits) * (1 - size/cap)`, where `hits[i]` counts the
+/// node's already-placed neighbors on partition `i` and the fullness
+/// penalty clamps at 0. Ties (including the degenerate all-at-capacity
+/// case where every score collapses to 0) break toward the least-loaded
+/// partition, so late arrivals spread instead of piling onto partition 0.
+///
+/// Shared by the offline streaming pass below and the online per-arrival
+/// assignment in `bgl-ingest`.
+pub fn ldg_choose(hits: &[usize], sizes: &[usize], cap: f64) -> usize {
+    debug_assert_eq!(hits.len(), sizes.len());
+    let mut best = 0usize;
+    let mut best_score = f64::NEG_INFINITY;
+    for i in 0..hits.len() {
+        let score = (1.0 + hits[i] as f64) * (1.0 - sizes[i] as f64 / cap).max(0.0);
+        if score > best_score || (score == best_score && sizes[i] < sizes[best]) {
+            best_score = score;
+            best = i;
+        }
+    }
+    best
+}
+
 impl Partitioner for LdgPartitioner {
     fn name(&self) -> &'static str {
         "ldg"
@@ -35,23 +58,18 @@ impl Partitioner for LdgPartitioner {
 
         let mut assignment = vec![u32::MAX; n];
         let mut sizes = vec![0usize; k];
+        // One scratch buffer for the whole stream: this loop runs once per
+        // node here and once per *arrival* on the ingest path.
+        let mut hits = vec![0usize; k];
         for &v in &order {
-            let mut hits = vec![0usize; k];
+            hits.fill(0);
             for &u in g.neighbors(v) {
                 let p = assignment[u as usize];
                 if p != u32::MAX {
                     hits[p as usize] += 1;
                 }
             }
-            let mut best = 0usize;
-            let mut best_score = f64::NEG_INFINITY;
-            for i in 0..k {
-                let score = (1.0 + hits[i] as f64) * (1.0 - sizes[i] as f64 / cap).max(0.0);
-                if score > best_score {
-                    best_score = score;
-                    best = i;
-                }
-            }
+            let best = ldg_choose(&hits, &sizes, cap);
             assignment[v as usize] = best as u32;
             sizes[best] += 1;
         }
@@ -89,5 +107,46 @@ mod tests {
         // can exceed ceil(C) + 1.
         let cap: f64 = 1000.0 / 3.0;
         assert!(p.sizes().iter().all(|&s| (s as f64) <= cap.ceil() + 1.0));
+    }
+
+    #[test]
+    fn saturated_ties_break_toward_least_loaded() {
+        // Regression: with every partition at capacity all scores collapse
+        // to 0.0, and the old `score > best_score` rule left `best` at 0,
+        // so partition 0 absorbed every remaining node.
+        let sizes = [10usize, 10, 10];
+        let hits = [5usize, 0, 0];
+        // All scores are 0 — neighbor hits can no longer differentiate.
+        assert_eq!(ldg_choose(&hits, &sizes, 10.0), 0, "equal loads keep first");
+        let sizes = [12usize, 10, 11];
+        assert_eq!(
+            ldg_choose(&hits, &sizes, 10.0),
+            1,
+            "degenerate ties go to the least-loaded partition"
+        );
+        // Non-degenerate ties too: identical positive scores prefer the
+        // lighter partition.
+        let sizes = [4usize, 2, 4];
+        let hits = [0usize, 0, 0];
+        assert_eq!(ldg_choose(&hits, &sizes, 8.0), 1);
+    }
+
+    #[test]
+    fn saturated_stream_does_not_pile_onto_partition_zero() {
+        // Tiny capacity relative to the stream: most placements happen in
+        // the all-at-capacity regime. The old tie-break produced a single
+        // giant partition 0; the fix keeps the overflow spread evenly.
+        let g = generate::erdos_renyi(300, 900, 4);
+        let p = LdgPartitioner::new(3).partition(&g, &[], 7);
+        let sizes = p.sizes();
+        let (max, min) = (
+            *sizes.iter().max().unwrap() as f64,
+            *sizes.iter().min().unwrap() as f64,
+        );
+        assert!(
+            max <= min + (300.0f64 / 7.0).ceil() + 1.0,
+            "saturated overflow must stay spread: sizes {:?}",
+            sizes
+        );
     }
 }

@@ -33,7 +33,7 @@ pub mod random;
 
 pub use bgl::{BglConfig, BglPartitioner};
 pub use gminer::GMinerPartitioner;
-pub use ldg::LdgPartitioner;
+pub use ldg::{ldg_choose, LdgPartitioner};
 pub use metis_like::MetisLikePartitioner;
 pub use random::{HashPartitioner, RandomPartitioner, RoundRobinPartitioner};
 

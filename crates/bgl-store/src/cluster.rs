@@ -62,6 +62,9 @@ pub struct SampleTiming {
 pub struct StoreCluster {
     transport: Box<dyn StoreTransport>,
     owner: Arc<Vec<u32>>,
+    /// Owners of nodes appended by ingest (`owner_ext[i]` is the primary
+    /// of node `owner.len() + i`), mirroring the servers' own extensions.
+    owner_ext: Vec<u32>,
     net: NetworkModel,
     /// Cumulative traffic across all operations.
     pub ledger: TrafficLedger,
@@ -114,6 +117,7 @@ impl StoreCluster {
         StoreCluster {
             transport,
             owner,
+            owner_ext: Vec::new(),
             net,
             ledger: TrafficLedger::default(),
             replication: 1,
@@ -236,12 +240,21 @@ impl StoreCluster {
         self.replication
     }
 
-    /// The server owning node `v` (its primary).
+    /// The server owning node `v` (its primary) — base partition map for
+    /// frozen ids, the ingest extension for appended ones.
     pub fn owner_of(&self, v: NodeId) -> Result<usize, StoreError> {
-        self.owner
-            .get(v as usize)
-            .map(|&o| o as usize)
-            .ok_or(StoreError::InvalidNode(v))
+        let base = self.owner.len();
+        let slot = if (v as usize) < base {
+            self.owner.get(v as usize)
+        } else {
+            self.owner_ext.get(v as usize - base)
+        };
+        slot.map(|&o| o as usize).ok_or(StoreError::InvalidNode(v))
+    }
+
+    /// Total nodes the cluster routes for (frozen base + ingest appends).
+    pub fn total_nodes(&self) -> usize {
+        self.owner.len() + self.owner_ext.len()
     }
 
     /// All servers that can answer for node `v`: its primary first, then
@@ -527,6 +540,134 @@ impl StoreCluster {
             elapsed = elapsed.max(group_elapsed);
         }
         Ok((applied, elapsed))
+    }
+
+    /// Ingest a batch of undirected edges into the live graph on behalf of
+    /// a requester at location `from`.
+    ///
+    /// Every server holds the full adjacency (a sampler answers for any
+    /// node it serves out of the shared structure), so edge inserts are
+    /// **broadcast write-all**: every server must ack before the batch
+    /// counts as applied, and there is deliberately no failover — skipping
+    /// a server would let live graph views diverge. Each server gets its
+    /// own retry ladder; the request is idempotent (an existing edge is a
+    /// counted rejection, never a double insert), so at-least-once retry
+    /// on the same server is safe. Returns `(applied, rejected, elapsed)`
+    /// from the first server's ack — a server that already held part of a
+    /// retried batch reports more rejects, which is the idempotence
+    /// working, not divergence.
+    pub fn ingest_add_edges(
+        &mut self,
+        edges: &[(NodeId, NodeId)],
+        from: usize,
+    ) -> Result<(u32, u32, SimTime), StoreError> {
+        let span = self.metrics.registry().span("store.ingest_add_edges");
+        let result = self.ingest_add_edges_inner(edges, from);
+        self.metrics.publish(&self.robustness, &self.ledger);
+        span.end();
+        result
+    }
+
+    fn ingest_add_edges_inner(
+        &mut self,
+        edges: &[(NodeId, NodeId)],
+        from: usize,
+    ) -> Result<(u32, u32, SimTime), StoreError> {
+        let k = self.transport.num_servers();
+        if k == 0 {
+            return Err(StoreError::EmptyCluster);
+        }
+        if edges.is_empty() {
+            return Ok((0, 0, 0));
+        }
+        let n = self.total_nodes();
+        for &(u, v) in edges {
+            let bad = if (u as usize) >= n {
+                Some(u)
+            } else if (v as usize) >= n {
+                Some(v)
+            } else {
+                None
+            };
+            if let Some(w) = bad {
+                return Err(StoreError::InvalidNode(w));
+            }
+        }
+        let req = Message::AddEdgeReq { edges: edges.to_vec() };
+        let mut elapsed: SimTime = 0;
+        let mut first: Option<(u32, u32)> = None;
+        for srv in 0..k {
+            let (resp, t) = self.rpc_retrying(from, srv, &req)?;
+            elapsed = elapsed.max(t);
+            match resp {
+                Message::AddEdgeResp { applied, rejected } => {
+                    if applied as usize + rejected as usize != edges.len() {
+                        return Err(StoreError::Malformed("partial edge ack"));
+                    }
+                    first.get_or_insert((applied, rejected));
+                }
+                _ => return Err(StoreError::Malformed("unexpected response")),
+            }
+        }
+        let (applied, rejected) = first.unwrap();
+        Ok((applied, rejected, elapsed))
+    }
+
+    /// Ingest one new node with primary `owner` and feature row `row`,
+    /// returning its cluster-assigned dense id.
+    ///
+    /// The coordinator (this cluster) assigns the id — the next dense one
+    /// — and broadcasts it to every server write-all, so a retried append
+    /// is an idempotent re-ack and server views cannot diverge. The
+    /// routing map's ingest extension grows only after every server acked.
+    pub fn ingest_add_node(
+        &mut self,
+        owner: u32,
+        row: &[f32],
+        from: usize,
+    ) -> Result<(NodeId, SimTime), StoreError> {
+        let span = self.metrics.registry().span("store.ingest_add_node");
+        let result = self.ingest_add_node_inner(owner, row, from);
+        self.metrics.publish(&self.robustness, &self.ledger);
+        span.end();
+        result
+    }
+
+    fn ingest_add_node_inner(
+        &mut self,
+        owner: u32,
+        row: &[f32],
+        from: usize,
+    ) -> Result<(NodeId, SimTime), StoreError> {
+        let k = self.transport.num_servers();
+        if k == 0 {
+            return Err(StoreError::EmptyCluster);
+        }
+        if (owner as usize) >= k {
+            return Err(StoreError::InvalidServer(owner as usize));
+        }
+        let dim = self.transport.features_dim()?;
+        if row.len() != dim {
+            return Err(StoreError::Malformed("add-node row dim mismatch"));
+        }
+        let id = u32::try_from(self.total_nodes())
+            .map_err(|_| StoreError::TooLarge("node id space"))?;
+        let req = Message::AddNodeReq { id, owner, row: row.to_vec() };
+        let mut elapsed: SimTime = 0;
+        for srv in 0..k {
+            let (resp, t) = self.rpc_retrying(from, srv, &req)?;
+            elapsed = elapsed.max(t);
+            match resp {
+                Message::AddNodeResp { id: got } => {
+                    if got != id {
+                        return Err(StoreError::Malformed("node append ack mismatch"));
+                    }
+                }
+                _ => return Err(StoreError::Malformed("unexpected response")),
+            }
+        }
+        self.owner_ext.push(owner);
+        Ok((id, elapsed))
     }
 
     /// Distributed multi-hop neighbor sampling (paper Fig. 1 stage 1).
@@ -1215,6 +1356,86 @@ mod tests {
             StoreError::Malformed("update rows mismatch count×dim")
         );
         assert_eq!(cluster.update_features(&[], &[], w).unwrap(), (0, 0));
+        for dir in dirs {
+            std::fs::remove_dir_all(dir).ok();
+        }
+    }
+
+    #[test]
+    fn ingest_broadcasts_to_every_server_and_routes_new_nodes() {
+        let (_, mut cluster) = setup(2);
+        let w = cluster.worker_location();
+        let base_nodes = cluster.total_nodes();
+        let base_edges = cluster.in_process_server(0).unwrap().num_edges();
+        // Coordinator assigns the next dense id and every server holds it.
+        let (id, elapsed) = cluster.ingest_add_node(1, &[9.0; 4], w).unwrap();
+        assert_eq!(id as usize, base_nodes);
+        assert!(elapsed > 0);
+        assert_eq!(cluster.total_nodes(), base_nodes + 1);
+        assert_eq!(cluster.owner_of(id).unwrap(), 1);
+        for i in 0..2 {
+            let srv = cluster.in_process_server(i).unwrap();
+            assert_eq!(srv.num_nodes(), base_nodes + 1, "server {} holds the node", i);
+            // Full-graph replication means every server HOLDS the node;
+            // only its primary SERVES it (replication is 1 here).
+            assert_eq!(srv.owns(id), i == 1);
+            assert_eq!(srv.serves(id), i == 1);
+        }
+        // Edge batch: one new edge plus an in-batch duplicate.
+        let (applied, rejected, _) = cluster
+            .ingest_add_edges(&[(id, 2), (id, 2)], w)
+            .unwrap();
+        assert_eq!((applied, rejected), (1, 1));
+        for i in 0..2 {
+            let srv = cluster.in_process_server(i).unwrap();
+            assert_eq!(srv.num_edges(), base_edges + 2, "both arcs on server {}", i);
+        }
+        // The appended node is fully routable: features and sampling.
+        let (rows, _) = cluster.fetch_features(&[id], w).unwrap();
+        assert_eq!(rows.to_vec(), vec![9.0; 4]);
+        let (mb, _) = cluster.sample_batch(&[2], &[id], w).unwrap();
+        assert_eq!(mb.seeds, vec![id]);
+        // Validation happens before any RPC mutates state.
+        assert_eq!(
+            cluster.ingest_add_edges(&[(0, 100_000)], w).unwrap_err(),
+            StoreError::InvalidNode(100_000)
+        );
+        assert_eq!(
+            cluster.ingest_add_node(9, &[0.0; 4], w).unwrap_err(),
+            StoreError::InvalidServer(9)
+        );
+        assert_eq!(
+            cluster.ingest_add_node(0, &[0.0; 3], w).unwrap_err(),
+            StoreError::Malformed("add-node row dim mismatch")
+        );
+        assert_eq!(cluster.ingest_add_edges(&[], w).unwrap(), (0, 0, 0));
+    }
+
+    #[test]
+    fn ingest_is_wal_durable_on_every_server() {
+        use crate::tier::{DiskTierConfig, DurableFeatures};
+        let (cluster, dirs) = setup_durable(2, "ingest");
+        // Replication 2 puts both servers on the new node's update chain,
+        // so the overwrite below lands (and journals) everywhere too.
+        let mut cluster = cluster.with_replication(2);
+        let w = cluster.worker_location();
+        let (id, _) = cluster.ingest_add_node(0, &[7.0, 7.5], w).unwrap();
+        cluster.ingest_add_edges(&[(id, 5)], w).unwrap();
+        // Overwrite the appended row: journaled as a second NodeAppend.
+        cluster.update_features(&[id], &[70.0, 70.5], w).unwrap();
+        let (rows, _) = cluster.fetch_features(&[id], w).unwrap();
+        assert_eq!(rows.to_vec(), vec![70.0, 70.5]);
+        drop(cluster);
+        // Every server's WAL replays the append and the edge cold.
+        for dir in &dirs {
+            let cfg = DiskTierConfig::default().with_page_size(64).with_pool_pages(8);
+            let (tier, report) = DurableFeatures::open(dir, cfg).unwrap();
+            assert_eq!(report.replayed_nodes, 2, "append + overwrite");
+            assert_eq!(report.replayed_edges, 1);
+            assert_eq!(tier.pending_edges(), &[(id, 5)]);
+            let last = tier.pending_nodes().last().unwrap();
+            assert_eq!(last, &(id, 0u32, vec![70.0, 70.5]));
+        }
         for dir in dirs {
             std::fs::remove_dir_all(dir).ok();
         }

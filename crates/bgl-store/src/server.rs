@@ -15,20 +15,32 @@ use crate::pager::DiskError;
 use crate::tier::DurableFeatures;
 use crate::wire::Message;
 use crate::StoreError;
-use bgl_graph::{Csr, FeatureStore, NodeId};
+use bgl_graph::{Csr, DynamicGraph, FeatureStore, NodeId};
 use bytes::Bytes;
 use rand::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// A graph store server owning one partition (and, with replication on,
 /// holding replicas of its predecessor partitions).
 pub struct GraphStoreServer {
     id: usize,
-    graph: Arc<Csr>,
+    /// The live graph: the frozen CSR everyone shared at construction,
+    /// overlaid with ingest mutations. Read-locked per sampling request,
+    /// write-locked only by ingest arms and re-merge.
+    graph: RwLock<DynamicGraph>,
     features: Arc<FeatureStore>,
-    /// `owner[v]` is the server owning node `v` (shared partition map).
+    /// `owner[v]` is the server owning node `v` (shared partition map,
+    /// covering the frozen base ids).
     owner: Arc<Vec<u32>>,
+    /// Owners of nodes appended by ingest (`owner_ext[i]` is the owner of
+    /// node `owner.len() + i`). Pushed *last* in the add-node arm, so a
+    /// node passing [`GraphStoreServer::serves`] always has its graph
+    /// entry and feature row in place.
+    owner_ext: RwLock<Vec<u32>>,
+    /// Feature rows of appended nodes, dense `dim`-wide rows indexed by
+    /// `v - features.num_nodes()`.
+    feat_ext: RwLock<Vec<f32>>,
     /// Replication factor: this server also serves nodes whose primary is
     /// one of its `replication − 1` predecessors (successor-chain layout).
     replication: AtomicUsize,
@@ -75,9 +87,11 @@ impl GraphStoreServer {
     ) -> Self {
         GraphStoreServer {
             id,
-            graph,
+            graph: RwLock::new(DynamicGraph::new(graph)),
             features,
             owner,
+            owner_ext: RwLock::new(Vec::new()),
+            feat_ext: RwLock::new(Vec::new()),
             replication: AtomicUsize::new(1),
             num_servers: AtomicUsize::new(0),
             rng: Mutex::new(StdRng::seed_from_u64(
@@ -155,15 +169,54 @@ impl GraphStoreServer {
         self.nodes_sampled.load(Ordering::Relaxed)
     }
 
+    /// Primary owner of `v`, consulting the frozen base map first and the
+    /// ingest extension for appended ids.
+    fn owner_primary(&self, v: NodeId) -> Option<u32> {
+        let base = self.owner.len();
+        if (v as usize) < base {
+            self.owner.get(v as usize).copied()
+        } else {
+            self.owner_ext
+                .read()
+                .unwrap_or_else(|p| p.into_inner())
+                .get(v as usize - base)
+                .copied()
+        }
+    }
+
+    /// Total nodes this server knows about (frozen base + ingest appends).
+    pub fn num_nodes(&self) -> usize {
+        self.graph.read().unwrap_or_else(|p| p.into_inner()).num_nodes()
+    }
+
+    /// Directed arcs in the live graph (base + ingest delta).
+    pub fn num_edges(&self) -> usize {
+        self.graph.read().unwrap_or_else(|p| p.into_inner()).num_edges()
+    }
+
+    /// Nodes whose neighborhood changed since the last re-merge — what the
+    /// ingest layer feeds to cache invalidation and PO reordering.
+    pub fn dirty_nodes(&self) -> Vec<NodeId> {
+        self.graph.read().unwrap_or_else(|p| p.into_inner()).dirty_nodes()
+    }
+
+    /// Re-merge: compact the ingest delta into a fresh frozen base and
+    /// return it. Sampling results are unchanged by construction — the
+    /// merged view and the compacted CSR hold identical neighbor lists —
+    /// so this is purely a locality/maintenance operation.
+    pub fn remerge(&self) -> Arc<Csr> {
+        self.graph.write().unwrap_or_else(|p| p.into_inner()).snapshot()
+    }
+
     /// Whether this server is the primary owner of `v`.
     pub fn owns(&self, v: NodeId) -> bool {
-        matches!(self.owner.get(v as usize), Some(&o) if o as usize == self.id)
+        matches!(self.owner_primary(v), Some(o) if o as usize == self.id)
     }
 
     /// Whether this server serves `v` — as its primary, or as one of the
     /// `replication − 1` successor replicas of `v`'s primary.
     pub fn serves(&self, v: NodeId) -> bool {
-        let Some(&primary) = self.owner.get(v as usize) else {
+        let Some(primary) = self.owner_primary(v) else {
             return false;
         };
         let primary = primary as usize;
@@ -196,14 +249,17 @@ impl GraphStoreServer {
         match Message::decode(frame)? {
             Message::NeighborReq { fanout, nodes } => {
                 // One lock for the whole request keeps its picks contiguous
-                // in the RNG stream.
+                // in the RNG stream; one graph read lock keeps the view
+                // consistent across the batch.
+                let g = self.graph.read().unwrap_or_else(|p| p.into_inner());
                 let mut rng = self.rng.lock().unwrap_or_else(|p| p.into_inner());
+                let mut scratch = Vec::new();
                 let mut lists = Vec::with_capacity(nodes.len());
                 for &v in &nodes {
                     if !self.serves(v) {
                         return Err(StoreError::NotOwned { node: v, server: self.id });
                     }
-                    lists.push(self.sample_neighbors(&mut rng, v, fanout as usize));
+                    lists.push(self.sample_neighbors(&mut rng, &g, &mut scratch, v, fanout as usize));
                 }
                 Message::NeighborResp { lists }.encode()
             }
@@ -213,6 +269,8 @@ impl GraphStoreServer {
                 // on (salt, v) — not on request composition, issue order,
                 // or which replica serves it. The online-serving path
                 // leans on this for batched-vs-serial bitwise identity.
+                let g = self.graph.read().unwrap_or_else(|p| p.into_inner());
+                let mut scratch = Vec::new();
                 let mut lists = Vec::with_capacity(nodes.len());
                 for &v in &nodes {
                     if !self.serves(v) {
@@ -220,7 +278,7 @@ impl GraphStoreServer {
                     }
                     let mut rng =
                         StdRng::seed_from_u64(crate::wire::mix64(salt, v as u64));
-                    lists.push(self.sample_neighbors(&mut rng, v, fanout as usize));
+                    lists.push(self.sample_neighbors(&mut rng, &g, &mut scratch, v, fanout as usize));
                 }
                 Message::NeighborResp { lists }.encode()
             }
@@ -250,34 +308,123 @@ impl GraphStoreServer {
                         return Err(StoreError::NotOwned { node: v, server: self.id });
                     }
                 }
+                let base_nodes = self.features.num_nodes();
                 for (i, &v) in nodes.iter().enumerate() {
                     let row = &rows[i * dim as usize..(i + 1) * dim as usize];
-                    // Ack point: update_row returns only after the WAL
-                    // record is fsync-durable.
-                    tier.update_row(v, row).map_err(storage_err)?;
+                    if (v as usize) < base_nodes {
+                        // Ack point: update_row returns only after the WAL
+                        // record is fsync-durable.
+                        tier.update_row(v, row).map_err(storage_err)?;
+                    } else {
+                        // Appended node: journal the full row (same
+                        // idempotent semantics), then refresh the overlay.
+                        let owner = self.owner_primary(v).unwrap_or(self.id as u32);
+                        tier.append_node(v, owner, row).map_err(storage_err)?;
+                        let mut ext = self.feat_ext.write().unwrap_or_else(|p| p.into_inner());
+                        let at = (v as usize - base_nodes) * dim as usize;
+                        ext[at..at + dim as usize].copy_from_slice(row);
+                    }
                 }
                 let applied = u32::try_from(nodes.len())
                     .map_err(|_| StoreError::TooLarge("feature update ack count"))?;
                 Message::FeatureUpdateResp { applied }.encode()
             }
+            Message::AddEdgeReq { edges } => {
+                // One write lock for the whole batch: sampling requests see
+                // either none or all of it.
+                let mut g = self.graph.write().unwrap_or_else(|p| p.into_inner());
+                let n = g.num_nodes();
+                for &(u, v) in &edges {
+                    let bad = if (u as usize) >= n { Some(u) } else if (v as usize) >= n { Some(v) } else { None };
+                    if let Some(w) = bad {
+                        return Err(StoreError::InvalidNode(w));
+                    }
+                }
+                let mut disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
+                let mut applied = 0u32;
+                let mut rejected = 0u32;
+                for &(u, v) in &edges {
+                    let dup = g.has_arc(u, v) && (u == v || g.has_arc(v, u));
+                    if dup {
+                        // Idempotent: a retried batch re-acks without
+                        // double-inserting (or re-journaling) the edge.
+                        rejected += 1;
+                        continue;
+                    }
+                    // WAL first — the ack point — then the live view.
+                    if let Some(tier) = disk.as_mut() {
+                        tier.insert_edge(u, v).map_err(storage_err)?;
+                    }
+                    g.add_edge(u, v);
+                    applied += 1;
+                }
+                Message::AddEdgeResp { applied, rejected }.encode()
+            }
+            Message::AddNodeReq { id, owner, row } => {
+                if row.len() != self.features.dim() {
+                    return Err(StoreError::Malformed("add-node row dim mismatch"));
+                }
+                let mut g = self.graph.write().unwrap_or_else(|p| p.into_inner());
+                let next = g.num_nodes() as u32;
+                if id < next {
+                    // Coordinator-assigned ids make retries idempotent: the
+                    // node is already here, ack it again.
+                    return Message::AddNodeResp { id }.encode();
+                }
+                if id > next {
+                    return Err(StoreError::Malformed("add-node id gap"));
+                }
+                if let Some(tier) =
+                    self.disk.lock().unwrap_or_else(|p| p.into_inner()).as_mut()
+                {
+                    tier.append_node(id, owner, &row).map_err(storage_err)?;
+                }
+                // Order matters for lock-free readers: feature row first,
+                // then the graph entry, then the owner entry that makes
+                // `serves` admit the node.
+                self.feat_ext
+                    .write()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .extend_from_slice(&row);
+                g.add_node();
+                drop(g);
+                self.owner_ext
+                    .write()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push(owner);
+                Message::AddNodeResp { id }.encode()
+            }
             Message::NeighborResp { .. }
             | Message::FeatureResp { .. }
             | Message::FeatureRespF16 { .. }
-            | Message::FeatureUpdateResp { .. } => {
+            | Message::FeatureUpdateResp { .. }
+            | Message::AddEdgeResp { .. }
+            | Message::AddNodeResp { .. } => {
                 Err(StoreError::Malformed("response sent to server"))
             }
         }
     }
 
     /// Gather the f32 feature rows for `nodes` (from the disk tier when one
-    /// is attached, else the in-memory store), validating ownership.
+    /// is attached, else the in-memory store; appended nodes come from the
+    /// ingest overlay either way), validating ownership.
     fn gather_rows(&self, nodes: &[NodeId]) -> Result<(u32, Vec<f32>), StoreError> {
         let dim = self.features.dim() as u32;
+        let base_nodes = self.features.num_nodes();
         let mut rows = Vec::with_capacity(nodes.len() * dim as usize);
         let mut disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
         for &v in nodes {
             if !self.serves(v) {
                 return Err(StoreError::NotOwned { node: v, server: self.id });
+            }
+            if (v as usize) >= base_nodes {
+                let ext = self.feat_ext.read().unwrap_or_else(|p| p.into_inner());
+                let at = (v as usize - base_nodes) * dim as usize;
+                let row = ext
+                    .get(at..at + dim as usize)
+                    .ok_or(StoreError::InvalidNode(v))?;
+                rows.extend_from_slice(row);
+                continue;
             }
             match disk.as_mut() {
                 Some(tier) => tier.read_row_into(v, &mut rows).map_err(storage_err)?,
@@ -287,10 +434,25 @@ impl GraphStoreServer {
         Ok((dim, rows))
     }
 
-    /// Fanout-sample `v`'s neighbors (all of them when degree ≤ fanout).
-    fn sample_neighbors(&self, rng: &mut StdRng, v: NodeId, fanout: usize) -> Vec<NodeId> {
+    /// Fanout-sample `v`'s neighbors (all of them when degree ≤ fanout)
+    /// from the live graph view. Untouched nodes stay on the zero-copy
+    /// base slice; delta-touched and appended nodes merge into `scratch`.
+    fn sample_neighbors(
+        &self,
+        rng: &mut StdRng,
+        g: &DynamicGraph,
+        scratch: &mut Vec<NodeId>,
+        v: NodeId,
+        fanout: usize,
+    ) -> Vec<NodeId> {
         self.nodes_sampled.fetch_add(1, Ordering::Relaxed);
-        let nbrs = self.graph.neighbors(v);
+        let nbrs: &[NodeId] = match g.clean_neighbors(v) {
+            Some(s) => s,
+            None => {
+                g.neighbors_into(v, scratch);
+                scratch
+            }
+        };
         if nbrs.len() <= fanout {
             return nbrs.to_vec();
         }
@@ -534,6 +696,100 @@ mod tests {
         let mut out = Vec::new();
         reopened.read_row_into(6, &mut out).unwrap();
         assert_eq!(out, vec![50.0, 60.0]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn ingest_appends_nodes_and_edges_through_the_wire() {
+        let (g, f, owner) = setup(2);
+        let s = GraphStoreServer::new(0, g, f, owner, 7);
+        let ask = |req: Message| Message::decode(s.handle(req.encode().unwrap()).unwrap()).unwrap();
+
+        // Append node 100 (next dense id), owned by this server.
+        let resp = ask(Message::AddNodeReq { id: 100, owner: 0, row: vec![9.0; 4] });
+        assert_eq!(resp, Message::AddNodeResp { id: 100 });
+        assert_eq!(s.num_nodes(), 101);
+        assert!(s.owns(100) && s.serves(100));
+        // A retried append of the same id is an idempotent ack.
+        assert_eq!(
+            ask(Message::AddNodeReq { id: 100, owner: 0, row: vec![9.0; 4] }),
+            Message::AddNodeResp { id: 100 }
+        );
+        assert_eq!(s.num_nodes(), 101);
+        // Gapped ids and wrong-dim rows are typed rejections.
+        assert_eq!(
+            s.handle(Message::AddNodeReq { id: 105, owner: 0, row: vec![0.0; 4] }.encode().unwrap()),
+            Err(StoreError::Malformed("add-node id gap"))
+        );
+        assert_eq!(
+            s.handle(Message::AddNodeReq { id: 101, owner: 0, row: vec![0.0; 2] }.encode().unwrap()),
+            Err(StoreError::Malformed("add-node row dim mismatch"))
+        );
+
+        // Edge batch: one fresh insert, one duplicate of it.
+        let resp = ask(Message::AddEdgeReq { edges: vec![(100, 2), (100, 2)] });
+        assert_eq!(resp, Message::AddEdgeResp { applied: 1, rejected: 1 });
+        // Out-of-range endpoints are typed, and reject the whole batch
+        // before any mutation.
+        assert_eq!(
+            s.handle(Message::AddEdgeReq { edges: vec![(0, 5000)] }.encode().unwrap()),
+            Err(StoreError::InvalidNode(5000))
+        );
+
+        // The appended node's features and merged neighborhood are served.
+        match ask(Message::FeatureReq { nodes: vec![100] }) {
+            Message::FeatureResp { dim, rows } => {
+                assert_eq!(dim, 4);
+                assert_eq!(rows, vec![9.0; 4]);
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+        match ask(Message::NeighborReq { fanout: 8, nodes: vec![100] }) {
+            Message::NeighborResp { lists } => assert_eq!(lists, vec![vec![2]]),
+            other => panic!("unexpected {:?}", other),
+        }
+
+        // Dirty set covers both churn endpoints; re-merge folds the delta
+        // into a fresh base and clears it, leaving sampling unchanged.
+        assert_eq!(s.dirty_nodes(), vec![2, 100]);
+        let merged = s.remerge();
+        assert!(merged.has_edge(100, 2) && merged.has_edge(2, 100));
+        assert!(s.dirty_nodes().is_empty());
+        match ask(Message::NeighborReq { fanout: 8, nodes: vec![100] }) {
+            Message::NeighborResp { lists } => assert_eq!(lists, vec![vec![2]]),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn ingest_journals_wal_first_and_replays_on_reopen() {
+        use crate::tier::{DiskTierConfig, DurableFeatures};
+        let (g, f, owner) = setup(1);
+        let s = GraphStoreServer::new(0, g, f.clone(), owner, 7);
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("bgl-server-ingest-wal-{}", std::process::id()));
+        let cfg = DiskTierConfig::default().with_page_size(64).with_pool_pages(4);
+        s.attach_disk_tier(DurableFeatures::create(&dir, &f, cfg).unwrap());
+
+        let ask = |req: Message| Message::decode(s.handle(req.encode().unwrap()).unwrap()).unwrap();
+        ask(Message::AddNodeReq { id: 100, owner: 0, row: vec![7.0; 4] });
+        ask(Message::AddEdgeReq { edges: vec![(100, 3)] });
+        // Updating the appended node's row re-journals it (idempotent
+        // full-row record) and refreshes the served overlay.
+        ask(Message::FeatureUpdateReq { dim: 4, nodes: vec![100], rows: vec![70.0; 4] });
+        match ask(Message::FeatureReq { nodes: vec![100] }) {
+            Message::FeatureResp { rows, .. } => assert_eq!(rows, vec![70.0; 4]),
+            other => panic!("unexpected {:?}", other),
+        }
+
+        drop(s.detach_disk_tier());
+        let cfg = DiskTierConfig::default().with_page_size(64).with_pool_pages(4);
+        let (tier, report) = DurableFeatures::open(&dir, cfg).unwrap();
+        assert_eq!(report.replayed_nodes, 2, "append + full-row update");
+        assert_eq!(report.replayed_edges, 1);
+        assert_eq!(tier.pending_edges(), &[(100, 3)]);
+        // Folding keeps the last row per id.
+        assert_eq!(tier.pending_nodes().last().unwrap(), &(100, 0, vec![70.0; 4]));
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -111,6 +111,8 @@ impl DiskTierConfig {
 pub struct RecoveryReport {
     pub replayed_updates: usize,
     pub replayed_edges: usize,
+    /// Node-append records replayed into [`DurableFeatures::pending_nodes`].
+    pub replayed_nodes: usize,
     /// Torn WAL tail truncated away.
     pub torn_wal_bytes: u64,
     /// Torn page writes redone from the double-write slot.
@@ -126,6 +128,10 @@ pub struct DurableFeatures {
     num_nodes: u64,
     /// Edge inserts made durable but not yet folded into a CSR rebuild.
     pending_edges: Vec<(u32, u32)>,
+    /// Appended nodes (id, owner, feature row) made durable but living
+    /// past the pager's fixed range. Replay order is append order, so a
+    /// consumer folding these takes the *last* row per id.
+    pending_nodes: Vec<(u32, u32, Vec<f32>)>,
     injector: Option<Arc<Mutex<IoFaultInjector>>>,
     metrics: DiskMetrics,
 }
@@ -175,6 +181,7 @@ impl DurableFeatures {
             pool: BufferPool::new(pager, cfg.pool_pages, cfg.policy),
             wal,
             pending_edges: Vec::new(),
+            pending_nodes: Vec::new(),
             injector,
             metrics,
         })
@@ -222,6 +229,7 @@ impl DurableFeatures {
             pool: BufferPool::new(pager, cfg.pool_pages, cfg.policy),
             wal,
             pending_edges: Vec::new(),
+            pending_nodes: Vec::new(),
             injector: injector.clone(),
             metrics: DiskMetrics::attach(&cfg.registry),
         };
@@ -235,6 +243,10 @@ impl DurableFeatures {
                 WalRecord::EdgeInsert { src, dst } => {
                     tier.pending_edges.push((*src, *dst));
                     report.replayed_edges += 1;
+                }
+                WalRecord::NodeAppend { node, owner, row } => {
+                    tier.pending_nodes.push((*node, *owner, row.clone()));
+                    report.replayed_nodes += 1;
                 }
             }
         }
@@ -289,12 +301,55 @@ impl DurableFeatures {
         &self.pending_edges
     }
 
+    /// Log one appended node durably: its id, its partition owner, and its
+    /// full feature row. The row lives past the pager's fixed node range,
+    /// so it stays in the WAL (and [`DurableFeatures::pending_nodes`])
+    /// until an ingest re-merge rebuilds the base image. Idempotent
+    /// full-row semantics: re-appending an id overwrites, never duplicates
+    /// — a consumer folds by keeping the last row per id.
+    pub fn append_node(&mut self, node: u32, owner: u32, row: &[f32]) -> Result<(), DiskError> {
+        if row.len() != self.dim {
+            return Err(DiskError::Invariant("append row has the wrong dim"));
+        }
+        if (node as u64) < self.num_nodes {
+            return Err(DiskError::Invariant("appended node inside the paged range"));
+        }
+        self.wal.append(&WalRecord::NodeAppend { node, owner, row: row.to_vec() })?;
+        self.wal.sync()?;
+        self.pending_nodes.push((node, owner, row.to_vec()));
+        Ok(())
+    }
+
+    /// Appended nodes acked since the last base rebuild, in append order.
+    pub fn pending_nodes(&self) -> &[(u32, u32, Vec<f32>)] {
+        &self.pending_nodes
+    }
+
     /// Checkpoint: make the paged file catch up with the WAL, then empty
     /// the WAL. Ordering is the crash-safety argument — pages are synced
     /// before the log that covers them is dropped.
+    ///
+    /// Graph mutations (pending edges and appended nodes) are *not* in the
+    /// paged file, so dropping the log would lose them: they are re-logged
+    /// into the fresh WAL before the checkpoint returns, staying durable
+    /// until an ingest re-merge folds them into a rebuilt base.
     pub fn checkpoint(&mut self) -> Result<(), DiskError> {
         self.pool.flush()?;
-        self.wal.reset()
+        self.wal.reset()?;
+        for &(src, dst) in &self.pending_edges {
+            self.wal.append(&WalRecord::EdgeInsert { src, dst })?;
+        }
+        for (node, owner, row) in &self.pending_nodes {
+            self.wal.append(&WalRecord::NodeAppend {
+                node: *node,
+                owner: *owner,
+                row: row.clone(),
+            })?;
+        }
+        if !self.pending_edges.is_empty() || !self.pending_nodes.is_empty() {
+            self.wal.sync()?;
+        }
+        Ok(())
     }
 
     /// Materialize the full feature matrix (e.g. to seed an in-RAM store
@@ -390,11 +445,14 @@ mod tests {
             t.checkpoint().unwrap();
         }
         let (mut t, report) = DurableFeatures::open(&dir, small_cfg()).unwrap();
-        // Checkpoint emptied the WAL: nothing to replay. (The double-write
+        // Checkpoint emptied the WAL of *feature* records — the pages cover
+        // those — but carried the graph mutation forward: the edge is not
+        // in the paged file, so it must survive the reset. (The double-write
         // slot still holds the last page written, so its idempotent redo
         // may fire — that is not recovery work.)
         assert_eq!(report.replayed_updates, 0);
-        assert_eq!(report.replayed_edges, 0);
+        assert_eq!(report.replayed_edges, 1);
+        assert_eq!(t.pending_edges(), &[(3, 9)]);
         assert_eq!(report.torn_wal_bytes, 0);
         let mut out = Vec::new();
         t.read_row_into(7, &mut out).unwrap();
@@ -501,6 +559,40 @@ mod tests {
         let mut out = Vec::new();
         t.read_row_into(2, &mut out).unwrap();
         assert_eq!(out, vec![5.0, 6.0]);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn appended_nodes_survive_reopen_and_checkpoint() {
+        let dir = tmp_dir("appendnode");
+        let fs = features(40, 2);
+        {
+            let mut t = DurableFeatures::create(&dir, &fs, small_cfg()).unwrap();
+            // In-range or wrong-dim appends are invariant violations.
+            assert!(matches!(
+                t.append_node(7, 0, &[1.0, 2.0]),
+                Err(DiskError::Invariant(_))
+            ));
+            assert!(matches!(
+                t.append_node(40, 0, &[1.0]),
+                Err(DiskError::Invariant(_))
+            ));
+            t.append_node(40, 1, &[8.0, 9.0]).unwrap();
+            t.insert_edge(40, 3).unwrap();
+            // Idempotent overwrite: the re-append is kept in order, so a
+            // folding consumer takes the last row.
+            t.append_node(40, 1, &[80.0, 90.0]).unwrap();
+            // The checkpoint must NOT drop graph records.
+            t.checkpoint().unwrap();
+        }
+        let (t, report) = DurableFeatures::open(&dir, small_cfg()).unwrap();
+        assert_eq!(report.replayed_nodes, 2);
+        assert_eq!(report.replayed_edges, 1);
+        assert_eq!(t.pending_edges(), &[(40, 3)]);
+        assert_eq!(
+            t.pending_nodes(),
+            &[(40, 1, vec![8.0, 9.0]), (40, 1, vec![80.0, 90.0])]
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -34,6 +34,7 @@ const MAX_RECORD_LEN: u32 = 1 << 24;
 
 const TAG_FEATURE_UPDATE: u8 = 1;
 const TAG_EDGE_INSERT: u8 = 2;
+const TAG_NODE_APPEND: u8 = 3;
 
 /// One logged update.
 #[derive(Clone, Debug, PartialEq)]
@@ -41,8 +42,12 @@ pub enum WalRecord {
     /// Set node `node`'s full feature row (idempotent, so at-least-once
     /// client retry after a crash is safe).
     FeatureUpdate { node: u32, row: Vec<f32> },
-    /// A graph mutation made durable for a future ingest path.
+    /// A graph mutation made durable for the ingest path.
     EdgeInsert { src: u32, dst: u32 },
+    /// A node appended past the pager's fixed range, with its partition
+    /// owner and full feature row. Idempotent full-row semantics like
+    /// [`WalRecord::FeatureUpdate`]: replay keeps the last row per node.
+    NodeAppend { node: u32, owner: u32, row: Vec<f32> },
 }
 
 impl WalRecord {
@@ -64,6 +69,17 @@ impl WalRecord {
                 out.push(TAG_EDGE_INSERT);
                 out.extend_from_slice(&src.to_le_bytes());
                 out.extend_from_slice(&dst.to_le_bytes());
+                out
+            }
+            WalRecord::NodeAppend { node, owner, row } => {
+                let mut out = Vec::with_capacity(13 + 4 * row.len());
+                out.push(TAG_NODE_APPEND);
+                out.extend_from_slice(&node.to_le_bytes());
+                out.extend_from_slice(&owner.to_le_bytes());
+                out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                for &x in row {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
                 out
             }
         }
@@ -99,6 +115,22 @@ impl WalRecord {
                     src: u32::from_le_bytes(rest[0..4].try_into().unwrap()),
                     dst: u32::from_le_bytes(rest[4..8].try_into().unwrap()),
                 })
+            }
+            TAG_NODE_APPEND => {
+                if rest.len() < 12 {
+                    return Err(DiskError::Truncated("WAL node-append header"));
+                }
+                let node = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+                let owner = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+                let n = u32::from_le_bytes(rest[8..12].try_into().unwrap()) as usize;
+                if rest.len() != 12 + 4 * n {
+                    return Err(DiskError::Invariant("WAL node-append row length"));
+                }
+                let row = rest[12..]
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                Ok(WalRecord::NodeAppend { node, owner, row })
             }
             _ => Err(DiskError::Invariant("unknown WAL record tag")),
         }
@@ -275,6 +307,7 @@ mod tests {
         vec![
             WalRecord::FeatureUpdate { node: 3, row: vec![1.0, -2.5] },
             WalRecord::EdgeInsert { src: 1, dst: 9 },
+            WalRecord::NodeAppend { node: 40, owner: 1, row: vec![5.5, -6.5] },
             WalRecord::FeatureUpdate { node: 0, row: vec![0.0, 7.5] },
         ]
     }
@@ -289,14 +322,14 @@ mod tests {
                 w.append(&r).unwrap();
                 w.sync().unwrap();
             }
-            assert_eq!(w.stats.appends, 3);
-            assert_eq!(w.stats.syncs, 3);
+            assert_eq!(w.stats.appends, 4);
+            assert_eq!(w.stats.syncs, 4);
         }
         let f = Box::new(RealFile::open(&path).unwrap());
         let (w, rec) = Wal::open(f, Histogram::noop()).unwrap();
         assert_eq!(rec.records, recs());
         assert_eq!(rec.torn_bytes, 0);
-        assert_eq!(w.stats.replayed, 3);
+        assert_eq!(w.stats.replayed, 4);
         std::fs::remove_file(path).ok();
     }
 
@@ -353,7 +386,7 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let f = Box::new(RealFile::open(&path).unwrap());
         let (_, rec) = Wal::open(f, Histogram::noop()).unwrap();
-        assert_eq!(rec.records.len(), 2, "flip in the tail record truncates it");
+        assert_eq!(rec.records.len(), 3, "flip in the tail record truncates it");
         assert!(rec.torn_bytes > 0);
         std::fs::remove_file(path).ok();
     }

@@ -29,6 +29,10 @@ const TAG_FEATURE_UPDATE_RESP: u8 = 6;
 const TAG_FEATURE_REQ_F16: u8 = 7;
 const TAG_FEATURE_RESP_F16: u8 = 8;
 const TAG_NEIGHBOR_REQ_SEEDED: u8 = 9;
+const TAG_ADD_EDGE_REQ: u8 = 10;
+const TAG_ADD_EDGE_RESP: u8 = 11;
+const TAG_ADD_NODE_REQ: u8 = 12;
+const TAG_ADD_NODE_RESP: u8 = 13;
 
 /// splitmix64 finalizer: mixes a salt with a node id into a well-spread
 /// RNG seed. Public because the serving path derives per-hop salts with
@@ -69,6 +73,21 @@ pub enum Message {
     /// binary16 feature rows (`nodes.len() × dim` half-floats, 2 B each),
     /// in request order. Decode with [`Message::decode_f16_rows`].
     FeatureRespF16 { dim: u32, rows: Vec<u16> },
+    /// Ingest: insert a batch of undirected edges into the live graph.
+    /// Idempotent — an edge that already exists is counted as rejected,
+    /// not double-inserted, so at-least-once retry after an ambiguous
+    /// failure is safe.
+    AddEdgeReq { edges: Vec<(NodeId, NodeId)> },
+    /// Ack: how many edges of the batch were fresh inserts vs detected
+    /// duplicates. `applied + rejected` always equals the batch size.
+    AddEdgeResp { applied: u32, rejected: u32 },
+    /// Ingest: append node `id` with partition owner `owner` and feature
+    /// row `row`. The id is coordinator-assigned (the next dense id), so
+    /// a retried append of an id the server already holds is an
+    /// idempotent ack, and write-all replication cannot diverge.
+    AddNodeReq { id: NodeId, owner: u32, row: Vec<f32> },
+    /// Ack: echoes the appended (or already-present) node id.
+    AddNodeResp { id: NodeId },
 }
 
 /// Checked narrowing for wire count fields.
@@ -154,6 +173,32 @@ impl Message {
                     buf.put_slice(&h.to_le_bytes());
                 }
             }
+            Message::AddEdgeReq { edges } => {
+                buf.put_u8(TAG_ADD_EDGE_REQ);
+                buf.put_u32_le(u32_len(edges.len(), "edge batch count")?);
+                for &(u, v) in edges {
+                    buf.put_u32_le(u);
+                    buf.put_u32_le(v);
+                }
+            }
+            Message::AddEdgeResp { applied, rejected } => {
+                buf.put_u8(TAG_ADD_EDGE_RESP);
+                buf.put_u32_le(*applied);
+                buf.put_u32_le(*rejected);
+            }
+            Message::AddNodeReq { id, owner, row } => {
+                buf.put_u8(TAG_ADD_NODE_REQ);
+                buf.put_u32_le(*id);
+                buf.put_u32_le(*owner);
+                buf.put_u32_le(u32_len(row.len(), "add-node row len")?);
+                for &x in row {
+                    buf.put_f32_le(x);
+                }
+            }
+            Message::AddNodeResp { id } => {
+                buf.put_u8(TAG_ADD_NODE_RESP);
+                buf.put_u32_le(*id);
+            }
         }
         Ok(buf.freeze())
     }
@@ -175,6 +220,10 @@ impl Message {
             Message::FeatureUpdateResp { .. } => 1 + 4,
             Message::FeatureReqF16 { nodes } => 1 + 4 + 4 * nodes.len(),
             Message::FeatureRespF16 { rows, .. } => 1 + 4 + 4 + 2 * rows.len(),
+            Message::AddEdgeReq { edges } => 1 + 4 + 8 * edges.len(),
+            Message::AddEdgeResp { .. } => 1 + 4 + 4,
+            Message::AddNodeReq { row, .. } => 1 + 4 + 4 + 4 + 4 * row.len(),
+            Message::AddNodeResp { .. } => 1 + 4,
         }
     }
 
@@ -277,6 +326,41 @@ impl Message {
             TAG_FEATURE_UPDATE_RESP => {
                 let applied = get_u32(&mut buf, "applied")?;
                 Ok(Message::FeatureUpdateResp { applied })
+            }
+            TAG_ADD_EDGE_REQ => {
+                let n = get_u32(&mut buf, "count")? as usize;
+                if buf.remaining() < n.saturating_mul(8) {
+                    return Err(StoreError::Malformed("truncated edge list"));
+                }
+                let mut edges = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let u = buf.get_u32_le();
+                    let v = buf.get_u32_le();
+                    edges.push((u, v));
+                }
+                Ok(Message::AddEdgeReq { edges })
+            }
+            TAG_ADD_EDGE_RESP => {
+                let applied = get_u32(&mut buf, "applied")?;
+                let rejected = get_u32(&mut buf, "rejected")?;
+                Ok(Message::AddEdgeResp { applied, rejected })
+            }
+            TAG_ADD_NODE_REQ => {
+                let id = get_u32(&mut buf, "node id")?;
+                let owner = get_u32(&mut buf, "owner")?;
+                let n = get_u32(&mut buf, "row len")? as usize;
+                if buf.remaining() != n * 4 {
+                    return Err(StoreError::Malformed("add-node row mismatch"));
+                }
+                let mut row = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    row.push(buf.get_f32_le());
+                }
+                Ok(Message::AddNodeReq { id, owner, row })
+            }
+            TAG_ADD_NODE_RESP => {
+                let id = get_u32(&mut buf, "node id")?;
+                Ok(Message::AddNodeResp { id })
             }
             _ => Err(StoreError::Malformed("unknown tag")),
         }
@@ -529,6 +613,62 @@ mod tests {
         assert_eq!(
             Message::decode(bad.freeze()),
             Err(StoreError::Malformed("feature update with zero dim"))
+        );
+    }
+
+    #[test]
+    fn add_edge_roundtrip_and_truncation() {
+        let m = Message::AddEdgeReq { edges: vec![(1, 2), (9, 9), (0, 7)] };
+        let enc = m.encode().unwrap();
+        assert_eq!(enc.len(), m.encoded_len());
+        assert_eq!(Message::decode(enc.clone()).unwrap(), m);
+        // Cutting inside the pair list is malformed, not a panic.
+        assert_eq!(
+            Message::decode(enc.slice(0..enc.len() - 3)),
+            Err(StoreError::Malformed("truncated edge list"))
+        );
+        let ack = Message::AddEdgeResp { applied: 2, rejected: 1 };
+        let enc = ack.encode().unwrap();
+        assert_eq!(enc.len(), ack.encoded_len());
+        assert_eq!(Message::decode(enc).unwrap(), ack);
+    }
+
+    #[test]
+    fn add_node_roundtrip_and_shape_validation() {
+        let m = Message::AddNodeReq { id: 100, owner: 3, row: vec![1.5, -2.5] };
+        let enc = m.encode().unwrap();
+        assert_eq!(enc.len(), m.encoded_len());
+        assert_eq!(Message::decode(enc.clone()).unwrap(), m);
+        // Trailing garbage or a short row disagrees with the length field.
+        assert_eq!(
+            Message::decode(enc.slice(0..enc.len() - 1)),
+            Err(StoreError::Malformed("add-node row mismatch"))
+        );
+        let ack = Message::AddNodeResp { id: 100 };
+        let enc = ack.encode().unwrap();
+        assert_eq!(enc.len(), ack.encoded_len());
+        assert_eq!(Message::decode(enc).unwrap(), ack);
+    }
+
+    #[test]
+    fn huge_ingest_counts_do_not_overallocate() {
+        // An edge batch claiming u32::MAX pairs with no payload fails fast.
+        let mut bad = BytesMut::new();
+        bad.put_u8(TAG_ADD_EDGE_REQ);
+        bad.put_u32_le(u32::MAX);
+        assert_eq!(
+            Message::decode(bad.freeze()),
+            Err(StoreError::Malformed("truncated edge list"))
+        );
+        // Same for an absurd add-node row length.
+        let mut bad = BytesMut::new();
+        bad.put_u8(TAG_ADD_NODE_REQ);
+        bad.put_u32_le(5);
+        bad.put_u32_le(0);
+        bad.put_u32_le(u32::MAX);
+        assert_eq!(
+            Message::decode(bad.freeze()),
+            Err(StoreError::Malformed("add-node row mismatch"))
         );
     }
 

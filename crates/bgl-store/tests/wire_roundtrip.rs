@@ -20,7 +20,7 @@ fn random_ids(rng: &mut StdRng, max_len: usize) -> Vec<u32> {
 }
 
 fn random_message(rng: &mut StdRng) -> Message {
-    match rng.random_range(0..9u32) {
+    match rng.random_range(0..13u32) {
         0 => Message::NeighborReq {
             fanout: rng.random_range(0..64),
             nodes: random_ids(rng, 40),
@@ -56,6 +56,27 @@ fn random_message(rng: &mut StdRng) -> Message {
         }
         5 => Message::FeatureUpdateResp { applied: rng.random_range(0..1024) },
         6 => Message::FeatureReqF16 { nodes: random_ids(rng, 40) },
+        9 => {
+            let n = rng.random_range(0..20usize);
+            let edges = (0..n)
+                .map(|_| (rng.random_range(0..1_000_000), rng.random_range(0..1_000_000)))
+                .collect();
+            Message::AddEdgeReq { edges }
+        }
+        10 => Message::AddEdgeResp {
+            applied: rng.random_range(0..1024),
+            rejected: rng.random_range(0..1024),
+        },
+        11 => {
+            let n = rng.random_range(0..16usize);
+            let row = (0..n).map(|_| rng.random::<f32>() * 100.0 - 50.0).collect();
+            Message::AddNodeReq {
+                id: rng.random_range(0..1_000_000),
+                owner: rng.random_range(0..64),
+                row,
+            }
+        }
+        12 => Message::AddNodeResp { id: rng.random_range(0..1_000_000) },
         _ => {
             let dim = rng.random_range(1..16u32);
             let n_rows = rng.random_range(0..10usize);
@@ -70,7 +91,7 @@ fn random_message(rng: &mut StdRng) -> Message {
 #[test]
 fn every_variant_roundtrips() {
     let mut rng = StdRng::seed_from_u64(SEED);
-    let mut seen = [0usize; 9];
+    let mut seen = [0usize; 13];
     for _ in 0..CASES {
         let m = random_message(&mut rng);
         seen[match &m {
@@ -83,6 +104,10 @@ fn every_variant_roundtrips() {
             Message::FeatureReqF16 { .. } => 6,
             Message::FeatureRespF16 { .. } => 7,
             Message::NeighborReqSeeded { .. } => 8,
+            Message::AddEdgeReq { .. } => 9,
+            Message::AddEdgeResp { .. } => 10,
+            Message::AddNodeReq { .. } => 11,
+            Message::AddNodeResp { .. } => 12,
         }] += 1;
         let encoded = m.encode().unwrap();
         assert_eq!(encoded.len(), m.encoded_len(), "encoded_len mismatch for {:?}", m);
@@ -90,7 +115,7 @@ fn every_variant_roundtrips() {
     }
     assert!(
         seen.iter().all(|&c| c > 0),
-        "all nine variants must be exercised: {:?}",
+        "all thirteen variants must be exercised: {:?}",
         seen
     );
 }
@@ -112,6 +137,41 @@ fn single_byte_mutations_never_panic() {
             let _ = Message::decode(Bytes::from(corrupted));
         }
     }
+}
+
+/// Ingest frames get the exhaustive treatment the durable-tier records get
+/// in `disk_proptests.rs`: every prefix of a valid frame must decode to a
+/// typed error (never a panic, never a silent success), and feeding one
+/// ingest frame's payload to a frame of the other kind must be rejected,
+/// not reinterpreted.
+#[test]
+fn ingest_frames_reject_every_truncation_and_cross_format_payloads() {
+    let frames = [
+        Message::AddEdgeReq { edges: vec![(1, 2), (7, 7), (900_000, 3)] },
+        Message::AddEdgeResp { applied: 2, rejected: 1 },
+        Message::AddNodeReq { id: 41, owner: 3, row: vec![1.5, -2.5, 0.0] },
+        Message::AddNodeResp { id: 41 },
+    ];
+    for m in &frames {
+        let encoded = m.encode().unwrap();
+        for cut in 0..encoded.len() {
+            let err = Message::decode(encoded.slice(0..cut));
+            assert!(err.is_err(), "{:?} cut at {} must not decode", m, cut);
+        }
+        assert_eq!(Message::decode(encoded.clone()).unwrap(), *m);
+    }
+    // Cross-format: an AddNodeReq payload under the AddEdgeReq tag reads a
+    // huge count with too few bytes behind it, and vice versa the edge
+    // payload under the AddNodeReq tag runs out of header. Both must be
+    // errors — the type byte is load-bearing.
+    let node = frames[2].encode().unwrap();
+    let edge = frames[0].encode().unwrap();
+    let mut node_as_edge = node.to_vec();
+    node_as_edge[0] = edge[0];
+    assert!(Message::decode(Bytes::from(node_as_edge)).is_err());
+    let mut edge_as_node = edge.to_vec();
+    edge_as_node[0] = node[0];
+    assert!(Message::decode(Bytes::from(edge_as_node)).is_err());
 }
 
 #[test]

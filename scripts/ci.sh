@@ -75,3 +75,15 @@ cargo bench -p bgl-store --bench disk -- --test
 env -u RUST_TEST_THREADS cargo test -q -p bgl --test serve
 env -u RUST_TEST_THREADS cargo test -q --release -p bgl --test serve
 cargo run --release -p bench --bin figures -- --serve --small --out "$(mktemp -d)"
+
+# Streaming ingestion: the churn suites drive live mutation through the
+# store's write-all broadcast path — the TCP parity test opens real
+# sockets and the crash-replay test reopens WALs — so they run uncapped,
+# and once under --release where the churn streams and the bitwise
+# epoch comparison run at full speed. The figures --churn smoke run
+# sweeps churn rate × re-merge period at test scale with the pinned
+# post-churn quality bands (edge-cut/balance vs a from-scratch
+# repartition, cache hit ratio under coherent invalidation) armed.
+env -u RUST_TEST_THREADS cargo test -q -p bgl-ingest
+env -u RUST_TEST_THREADS cargo test -q --release -p bgl-ingest
+cargo run --release -p bench --bin figures -- --churn --small --out "$(mktemp -d)"
