@@ -32,6 +32,13 @@
 //! LDG repartition of the merged graph, and the rows land in
 //! `BENCH_churn.json`.
 //!
+//! `--migrate` (not part of `--all`) sweeps physical rebalancing: the
+//! churn substrate with `moves_per_period` at several drain budgets, so
+//! the crash-safe owner-migration protocol moves bytes behind the
+//! refinement pass. Pins lost/duplicated rows to zero at every budget,
+//! requires the physical edge cut to track the logical cut once a budget
+//! is on, and writes the rows to `BENCH_migrate.json`.
+//!
 //! `--profile` (not part of `--all`) closes the §3.4 loop: it runs the
 //! real pipeline stages under an enabled [`bgl_obs`] registry, emits a
 //! *measured* `StageProfile` (cache `a`/`d` fitted from timed replays at
@@ -598,6 +605,89 @@ fn main() {
         save(
             "BENCH_churn",
             &serde_json::to_string_pretty(&rows_json).expect("serialize churn rows"),
+        );
+    }
+
+    if flags.contains("migrate") {
+        section("Migration — physical rebalancing sweep (drain budget per re-merge)");
+        // Not part of --all, like --churn: every cell stands up a fresh
+        // durable cluster. Budget 0 is the logical-only control; the
+        // physical cut should walk down toward the logical cut as the
+        // budget grows.
+        let (n, cells) = if small {
+            (400usize, vec![(160usize, 0usize), (160, 2), (160, 4096)])
+        } else {
+            (
+                2_000usize,
+                vec![(900usize, 0usize), (900, 4), (900, 16), (900, 4096)],
+            )
+        };
+        let rows: Vec<MigrateRow> =
+            cells.iter().map(|&(ops, budget)| migrate_cell(n, ops, budget)).collect();
+        println!("{}", render_migrate(&rows));
+        for r in &rows {
+            // The hard safety band: rebalancing must never lose a row or
+            // leave one claimed by two primaries, at any budget.
+            assert_eq!(
+                (r.lost_rows, r.dup_rows),
+                (0, 0),
+                "ops={} budget={}: lost={} dup={}",
+                r.churn_ops,
+                r.moves_per_period,
+                r.lost_rows,
+                r.dup_rows
+            );
+            if r.moves_per_period == 0 {
+                assert_eq!(
+                    (r.committed, r.copy_bytes),
+                    (0, 0),
+                    "budget 0 must not move bytes"
+                );
+            } else {
+                assert!(
+                    r.physical_cut <= r.logical_cut + 0.10,
+                    "ops={} budget={}: physical cut {:.3} trails logical {:.3} + 0.10",
+                    r.churn_ops,
+                    r.moves_per_period,
+                    r.physical_cut,
+                    r.logical_cut
+                );
+            }
+        }
+        // An effectively unbounded budget must catch the physical map up:
+        // nothing left queued and no lag beyond nodes skipped as moot.
+        let full = rows.last().expect("sweep has cells");
+        assert_eq!(full.backlog, 0, "unbounded budget leaves no backlog");
+        assert!(
+            full.physical_lag <= 0.01,
+            "unbounded budget still lagging {:.3}",
+            full.physical_lag
+        );
+        let rows_json: Vec<serde_json::Value> = rows
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "churn_ops": r.churn_ops as u64,
+                    "moves_per_period": r.moves_per_period as u64,
+                    "planned": r.planned,
+                    "committed": r.committed,
+                    "aborted": r.aborted,
+                    "repaired": r.repaired,
+                    "skipped": r.skipped,
+                    "backlog": r.backlog as u64,
+                    "copy_bytes": r.copy_bytes,
+                    "invalidations": r.invalidations,
+                    "physical_lag": r.physical_lag,
+                    "logical_cut": r.logical_cut,
+                    "physical_cut": r.physical_cut,
+                    "lost_rows": r.lost_rows as u64,
+                    "dup_rows": r.dup_rows as u64,
+                })
+            })
+            .collect();
+        save(
+            "BENCH_migrate",
+            &serde_json::to_string_pretty(&rows_json).expect("serialize migrate rows"),
         );
     }
 

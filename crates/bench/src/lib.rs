@@ -465,9 +465,11 @@ pub fn churn_cell(n: usize, ops: usize, remerge_period: usize) -> ChurnRow {
         owner,
         bgl_sim::network::NetworkModel::paper_fabric(),
     );
+    // Physical migration off: the churn sweep pins bands on the *logical*
+    // map's quality; the migrate sweep measures physical movement.
     let mut coord = IngestCoordinator::new(
         &p,
-        IngestConfig { remerge_period, capacity_slack: 1.1 },
+        IngestConfig { remerge_period, capacity_slack: 1.1, moves_per_period: 0 },
     );
     let reg = bgl_obs::Registry::enabled();
     coord.attach_metrics(&reg);
@@ -514,7 +516,7 @@ pub fn churn_cell(n: usize, ops: usize, remerge_period: usize) -> ChurnRow {
         .expect("in-process cluster yields merged graph");
     let q = coord.quality(&merged, &scratch);
     let report = coord.report();
-    let stats = cache.stats().clone();
+    let stats = *cache.stats();
     let hits = stats.gpu_local_hits + stats.gpu_peer_hits + stats.cpu_hits;
     let lookups = hits + stats.misses;
     let mean_apply_ns = reg
@@ -575,6 +577,227 @@ pub fn render_churn(rows: &[ChurnRow]) -> String {
             format!("{:.2}", r.scratch_balance),
             format!("{:.2}", r.cache_hit_ratio),
             format!("{:.0}", r.mean_apply_ns),
+        ]);
+    }
+    t.render()
+}
+
+/// One cell of the migration sweep (`figures --migrate`): the same seeded
+/// churn stream as the churn sweep, but with physical migration draining
+/// at a given per-period budget. Measures how closely the physical
+/// placement tracks the logical map (lag + the two edge cuts), what the
+/// movement cost (committed moves, copied bytes, invalidations), and that
+/// rebalancing never loses or double-owns a row.
+#[derive(Clone, Debug)]
+pub struct MigrateRow {
+    pub churn_ops: usize,
+    pub moves_per_period: usize,
+    pub planned: u64,
+    pub committed: u64,
+    pub aborted: u64,
+    pub repaired: u64,
+    pub skipped: u64,
+    pub backlog: usize,
+    pub copy_bytes: u64,
+    pub invalidations: u64,
+    /// Fraction of nodes whose physical owner still trails the logical
+    /// map when the stream ends (backlog the budget hasn't drained yet).
+    pub physical_lag: f64,
+    /// Edge-cut fraction of the logical (refined) map.
+    pub logical_cut: f64,
+    /// Edge-cut fraction of the *physical* owner map — what fetches
+    /// actually pay. Converges toward `logical_cut` as the budget grows.
+    pub physical_cut: f64,
+    /// Nodes no server serves (must be 0).
+    pub lost_rows: usize,
+    /// Nodes whose primary ownership is claimed by more than one server
+    /// (must be 0).
+    pub dup_rows: usize,
+}
+
+/// Run one migration cell: the churn-cell substrate (k-server in-process
+/// cluster, durable tiers, community graph, seeded churn + cache reader)
+/// with [`bgl_ingest::IngestConfig::moves_per_period`] set to `budget`,
+/// so each re-merge drains physical migrations behind the refinement
+/// pass.
+pub fn migrate_cell(n: usize, ops: usize, budget: usize) -> MigrateRow {
+    use bgl_cache::{FeatureCacheEngine, PolicyKind};
+    use bgl_graph::generate::{self, CommunityConfig};
+    use bgl_graph::{FeatureStore, NodeId};
+    use bgl_ingest::{ChurnPlan, IngestConfig, IngestCoordinator};
+    use bgl_partition::metrics::edge_cut_fraction;
+    use bgl_partition::{LdgPartitioner, Partition, Partitioner};
+    use bgl_store::{DiskTierConfig, DurableFeatures, InProcessTransport, StoreCluster};
+    use rand::prelude::*;
+    use std::sync::Arc;
+
+    const DIM: usize = 4;
+    const K: usize = 4;
+    const REMERGE_PERIOD: usize = 32;
+    let g = Arc::new(generate::community_graph(
+        CommunityConfig { n, communities: 8, intra: 6, inter: 1 },
+        13,
+    ));
+    let mut f = FeatureStore::zeros(n, DIM);
+    for v in 0..n as u32 {
+        f.row_mut(v)[0] = v as f32;
+    }
+    let f = Arc::new(f);
+    let scratch = LdgPartitioner::new(5);
+    let p = scratch.partition(&g, &[], K);
+    let owner = Arc::new(p.assignment.clone());
+    let transport = InProcessTransport::new(g.clone(), f.clone(), owner.clone(), K, 5);
+    let mut dirs = Vec::new();
+    for i in 0..K {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!(
+            "bgl-bench-migrate-{}-{}-{}-{}",
+            std::process::id(),
+            ops,
+            budget,
+            i
+        ));
+        let cfg = DiskTierConfig::default().with_page_size(256).with_pool_pages(16);
+        let tier = DurableFeatures::create(&dir, &f, cfg).expect("create migrate tier");
+        transport.server(i).unwrap().attach_disk_tier(tier);
+        dirs.push(dir);
+    }
+    let mut cluster = StoreCluster::with_transport(
+        Box::new(transport),
+        owner,
+        bgl_sim::network::NetworkModel::paper_fabric(),
+    );
+    let mut coord = IngestCoordinator::new(
+        &p,
+        IngestConfig {
+            remerge_period: REMERGE_PERIOD,
+            capacity_slack: 1.1,
+            moves_per_period: budget,
+        },
+    );
+    let mut cache = FeatureCacheEngine::new(1, DIM, (n / 4).max(64), 0, PolicyKind::Lru, &[]);
+    let wl = cluster.worker_location();
+
+    let schedule = ChurnPlan::new(4242).ops(ops).mix(5, 3, 2).schedule(n, DIM);
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut reader = StdRng::seed_from_u64(7);
+    let mut anchor = 0u32;
+    for (step, op) in schedule.iter().enumerate() {
+        coord
+            .apply(&mut cluster, Some(&mut cache), op)
+            .expect("churn op applies");
+        if coord.remerge_due() {
+            coord.remerge_with_cache(&mut cluster, Some(&mut cache), &mut order, &[]);
+        }
+        // The same locality-biased concurrent reader as the churn sweep:
+        // migrations must stay invisible to it beyond cache invalidations.
+        let total = cluster.total_nodes() as u32;
+        if step % 8 == 0 {
+            anchor = reader.random_range(0..total);
+        }
+        let batch: Vec<NodeId> = (0..8)
+            .map(|_| {
+                let lo = anchor.saturating_sub(16);
+                let hi = anchor.saturating_add(16).min(total - 1);
+                reader.random_range(lo..=hi)
+            })
+            .collect();
+        cache.fetch_batch(0, &batch, &mut |ids| {
+            let (rows, _) = cluster.fetch_features(ids, wl).expect("fill from store");
+            rows.to_vec()
+        });
+    }
+    let merged = coord
+        .remerge_with_cache(&mut cluster, Some(&mut cache), &mut order, &[])
+        .expect("in-process cluster yields merged graph");
+
+    // Physical owner map + the no-lost/no-dup sweep, straight from the
+    // servers' own views.
+    let total = cluster.total_nodes();
+    let mut physical = Vec::with_capacity(total);
+    let mut lost_rows = 0usize;
+    let mut dup_rows = 0usize;
+    let mut lag = 0usize;
+    for v in 0..total as u32 {
+        let primaries: Vec<u32> = (0..K as u32)
+            .filter(|&i| {
+                cluster
+                    .in_process_server(i as usize)
+                    .map(|s| s.owner_view(v) == Some(i) && s.serves(v))
+                    .unwrap_or(false)
+            })
+            .collect();
+        match primaries.len() {
+            0 => lost_rows += 1,
+            1 => {}
+            _ => dup_rows += 1,
+        }
+        let owner = primaries.first().copied().unwrap_or(0);
+        physical.push(owner);
+        if coord.assigner().part_of(v) != Some(owner) {
+            lag += 1;
+        }
+    }
+    let physical = Partition::new(K, physical);
+    let logical = coord.assigner().partition();
+    let report = coord.planner().report();
+    let backlog = coord.planner().backlog_len();
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    MigrateRow {
+        churn_ops: ops,
+        moves_per_period: budget,
+        planned: report.planned,
+        committed: report.committed,
+        aborted: report.aborted,
+        repaired: report.repaired,
+        skipped: report.skipped,
+        backlog,
+        copy_bytes: report.copy_bytes,
+        invalidations: report.invalidations,
+        physical_lag: if total == 0 { 0.0 } else { lag as f64 / total as f64 },
+        logical_cut: edge_cut_fraction(&merged, &logical),
+        physical_cut: edge_cut_fraction(&merged, &physical),
+        lost_rows,
+        dup_rows,
+    }
+}
+
+/// Render the migration sweep (`figures --migrate`).
+pub fn render_migrate(rows: &[MigrateRow]) -> String {
+    let mut t = TextTable::new(&[
+        "ops",
+        "budget",
+        "planned",
+        "committed",
+        "aborted",
+        "repaired",
+        "backlog",
+        "copy-bytes",
+        "invalidated",
+        "lag",
+        "logical-cut",
+        "physical-cut",
+        "lost",
+        "dup",
+    ]);
+    for r in rows {
+        t.row(&[
+            r.churn_ops.to_string(),
+            r.moves_per_period.to_string(),
+            r.planned.to_string(),
+            r.committed.to_string(),
+            r.aborted.to_string(),
+            r.repaired.to_string(),
+            r.backlog.to_string(),
+            r.copy_bytes.to_string(),
+            r.invalidations.to_string(),
+            format!("{:.3}", r.physical_lag),
+            format!("{:.3}", r.logical_cut),
+            format!("{:.3}", r.physical_cut),
+            r.lost_rows.to_string(),
+            r.dup_rows.to_string(),
         ]);
     }
     t.render()

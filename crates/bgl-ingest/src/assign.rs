@@ -107,8 +107,17 @@ impl OnlineAssigner {
     /// — so its cost is proportional to the churn since the last merge,
     /// not to the graph.
     pub fn refine(&mut self, g: &Csr, dirty: &[NodeId]) -> usize {
+        self.refine_moves(g, dirty).len()
+    }
+
+    /// [`OnlineAssigner::refine`], but returning the concrete move list —
+    /// `(node, from, to)` per reassignment, in pass order — so the caller
+    /// can feed a [`crate::migrate::MigrationPlanner`] and make the
+    /// *physical* placement follow the logical map instead of drifting
+    /// from it.
+    pub fn refine_moves(&mut self, g: &Csr, dirty: &[NodeId]) -> Vec<(NodeId, u32, u32)> {
         let cap = self.cap();
-        let mut moves = 0usize;
+        let mut moves = Vec::new();
         for &v in dirty {
             let Some(&cur) = self.assignment.get(v as usize) else {
                 continue;
@@ -127,7 +136,7 @@ impl OnlineAssigner {
                 self.sizes[cur as usize] -= 1;
                 self.sizes[best] += 1;
                 self.assignment[v as usize] = best as u32;
-                moves += 1;
+                moves.push((v, cur, best as u32));
             }
         }
         moves
@@ -189,8 +198,12 @@ mod tests {
         let before = bgl_partition::metrics::edge_cut_fraction(&g, &p);
         let mut a = OnlineAssigner::new(&p, 1.2);
         let dirty: Vec<NodeId> = (0..60).collect();
-        let moves = a.refine(&g, &dirty);
-        assert!(moves > 0);
+        let moves = a.refine_moves(&g, &dirty);
+        assert!(!moves.is_empty());
+        for &(v, from, to) in &moves {
+            assert_ne!(from, to, "a move must change the partition");
+            assert_eq!(a.part_of(v), Some(to), "move list mirrors the map");
+        }
         let after = bgl_partition::metrics::edge_cut_fraction(&g, &a.partition());
         assert!(after < before, "refine must cut fewer edges: {after} vs {before}");
         let total: usize = a.sizes().iter().sum();

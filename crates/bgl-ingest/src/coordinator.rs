@@ -18,11 +18,15 @@
 //! Periodically ([`IngestConfig::remerge_period`] applied ops) the
 //! coordinator runs [`IngestCoordinator::remerge`]: compact every
 //! in-process server's delta, run the assigner's local refinement over the
-//! dirty nodes, and repair the proximity-aware training order
-//! incrementally. Everything is counted in an `ingest.*` metric set.
+//! dirty nodes, repair the proximity-aware training order incrementally,
+//! and drain up to [`IngestConfig::moves_per_period`] of the refinement's
+//! moves through the store's crash-safe migration protocol so the physical
+//! placement follows the logical map (DESIGN.md §18). Everything is
+//! counted in `ingest.*` and `migrate.*` metric sets.
 
 use crate::assign::OnlineAssigner;
 use crate::churn::ChurnOp;
+use crate::migrate::MigrationPlanner;
 use crate::reorder::incremental_po_reorder;
 use bgl_cache::FeatureCacheEngine;
 use bgl_graph::{Csr, NodeId};
@@ -40,11 +44,16 @@ pub struct IngestConfig {
     pub remerge_period: usize,
     /// Capacity slack for the online assigner (≥ 1.0).
     pub capacity_slack: f64,
+    /// Physical migrations drained per re-merge pass — the rate limit on
+    /// the [`MigrationPlanner`] that moves bytes after the refinement pass
+    /// moves the logical map. 0 disables physical migration (logical-only,
+    /// the pre-migration behavior).
+    pub moves_per_period: usize,
 }
 
 impl Default for IngestConfig {
     fn default() -> Self {
-        IngestConfig { remerge_period: 64, capacity_slack: 1.1 }
+        IngestConfig { remerge_period: 64, capacity_slack: 1.1, moves_per_period: 8 }
     }
 }
 
@@ -108,6 +117,7 @@ pub struct ChurnQuality {
 /// partition map, the feature cache, and the training order as it goes.
 pub struct IngestCoordinator {
     assigner: OnlineAssigner,
+    planner: MigrationPlanner,
     config: IngestConfig,
     applied_since_merge: usize,
     metrics: IngestMetricSet,
@@ -119,6 +129,7 @@ impl IngestCoordinator {
     pub fn new(partition: &Partition, config: IngestConfig) -> Self {
         IngestCoordinator {
             assigner: OnlineAssigner::new(partition, config.capacity_slack),
+            planner: MigrationPlanner::new(config.moves_per_period),
             config,
             applied_since_merge: 0,
             metrics: IngestMetricSet::default(),
@@ -126,9 +137,10 @@ impl IngestCoordinator {
         }
     }
 
-    /// Mirror the `ingest.*` counters into `reg`.
+    /// Mirror the `ingest.*` and `migrate.*` counters into `reg`.
     pub fn attach_metrics(&mut self, reg: &Registry) {
         self.metrics = IngestMetricSet::attach(reg);
+        self.planner.attach_metrics(reg);
     }
 
     pub fn report(&self) -> IngestReport {
@@ -137,6 +149,12 @@ impl IngestCoordinator {
 
     pub fn assigner(&self) -> &OnlineAssigner {
         &self.assigner
+    }
+
+    /// The migration planner driving physical rebalancing (read access,
+    /// for its `migrate.*` report and backlog depth).
+    pub fn planner(&self) -> &MigrationPlanner {
+        &self.planner
     }
 
     /// True when enough ops have been applied that the caller should run
@@ -214,9 +232,28 @@ impl IngestCoordinator {
     /// from server 0, or `None` for a fully remote cluster — re-merging is
     /// sampling-semantics-preserving, so remote servers may compact on
     /// their own schedule without a control frame.
+    ///
+    /// Equivalent to [`IngestCoordinator::remerge_with_cache`] with no
+    /// cache attached: physical migrations still drain, but there are no
+    /// cache entries to invalidate.
     pub fn remerge(
         &mut self,
         cluster: &mut StoreCluster,
+        train_order: &mut Vec<NodeId>,
+        added_train: &[NodeId],
+    ) -> Option<Arc<Csr>> {
+        self.remerge_with_cache(cluster, None, train_order, added_train)
+    }
+
+    /// [`IngestCoordinator::remerge`], plus the physical follow-through:
+    /// the refinement pass's moves are queued on the [`MigrationPlanner`]
+    /// and up to [`IngestConfig::moves_per_period`] of them drain through
+    /// the store's crash-safe migration protocol, with commit-first
+    /// invalidation of `cache` for every committed move.
+    pub fn remerge_with_cache(
+        &mut self,
+        cluster: &mut StoreCluster,
+        cache: Option<&mut FeatureCacheEngine>,
         train_order: &mut Vec<NodeId>,
         added_train: &[NodeId],
     ) -> Option<Arc<Csr>> {
@@ -238,10 +275,14 @@ impl IngestCoordinator {
         self.report.remerges += 1;
         self.metrics.remerges.incr();
         let g = merged.as_ref()?;
-        let moves = self.assigner.refine(g, &dirty) as u64;
-        self.report.reassignments += moves;
-        self.metrics.reassignments.add(moves);
+        let moves = self.assigner.refine_moves(g, &dirty);
+        self.report.reassignments += moves.len() as u64;
+        self.metrics.reassignments.add(moves.len() as u64);
         incremental_po_reorder(g, train_order, &dirty, added_train);
+        // The logical map moved; now the bytes follow, rate-limited so
+        // rebalance traffic stays a bounded tax on the period.
+        self.planner.plan(&moves);
+        self.planner.drain(cluster, cache);
         merged
     }
 

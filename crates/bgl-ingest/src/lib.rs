@@ -12,6 +12,10 @@
 //! * [`assign`] — [`OnlineAssigner`], the LDG placement rule applied
 //!   per-arrival against a growing per-partition capacity, plus the
 //!   periodic local refinement pass that claws back locality churn erodes;
+//! * [`migrate`] — [`MigrationPlanner`], the rate-limited backlog drain
+//!   that pushes each refinement move through the store's crash-safe
+//!   four-phase migration protocol, so the *physical* placement follows
+//!   the refined logical map instead of drifting from it;
 //! * [`reorder`] — [`incremental_po_reorder`], repairing the proximity-
 //!   aware training order for exactly the train nodes whose neighborhoods
 //!   changed;
@@ -29,17 +33,22 @@
 //!                        │ 3. OnlineAssigner.admit / cache.invalidate
 //!                        ▼
 //!            every `remerge_period` applied ops:
-//!            server.remerge() → refine(dirty) → incremental_po_reorder
+//!            server.remerge() → refine_moves(dirty) → incremental_po_reorder
+//!                                      └─▶ MigrationPlanner.drain (≤ moves_per_period
+//!                                          crash-safe owner migrations, commit-first
+//!                                          cache invalidation)
 //! ```
 
 pub mod assign;
 pub mod churn;
 pub mod coordinator;
+pub mod migrate;
 pub mod reorder;
 
 pub use assign::OnlineAssigner;
 pub use churn::{ChurnOp, ChurnPlan};
 pub use coordinator::{ChurnQuality, IngestConfig, IngestCoordinator, IngestReport};
+pub use migrate::{MigrateReport, MigrationPlanner};
 pub use reorder::incremental_po_reorder;
 
 #[cfg(test)]
@@ -60,6 +69,14 @@ mod tests {
     /// Cluster with a durable tier on every server (feature updates land
     /// on the WAL) partitioned by LDG. Callers remove the returned dirs.
     fn setup(k: usize, tag: &str) -> (Arc<Csr>, StoreCluster, IngestCoordinator, Vec<PathBuf>) {
+        setup_cfg(k, tag, IngestConfig::default())
+    }
+
+    fn setup_cfg(
+        k: usize,
+        tag: &str,
+        cfg: IngestConfig,
+    ) -> (Arc<Csr>, StoreCluster, IngestCoordinator, Vec<PathBuf>) {
         let g = Arc::new(generate::community_graph(
             CommunityConfig { n: 400, communities: 8, intra: 6, inter: 1 },
             13,
@@ -86,7 +103,7 @@ mod tests {
             owner,
             NetworkModel::paper_fabric(),
         );
-        let coord = IngestCoordinator::new(&p, IngestConfig::default());
+        let coord = IngestCoordinator::new(&p, cfg);
         (g, cluster, coord, dirs)
     }
 
@@ -202,6 +219,49 @@ mod tests {
         );
         // And the store itself reflects the merged view.
         assert_eq!(merged.num_nodes(), cluster.total_nodes());
+        cleanup(dirs);
+    }
+
+    #[test]
+    fn remerge_migrates_bytes_to_follow_the_logical_map() {
+        // An unbounded move budget must leave the physical owner of every
+        // node equal to the assigner's logical map after the final drain —
+        // the exact drift PR 9 deferred and the planner exists to close.
+        let cfg = IngestConfig { remerge_period: 32, capacity_slack: 1.1, moves_per_period: 4096 };
+        let (_, mut cluster, mut coord, dirs) = setup_cfg(3, "migrate", cfg);
+        // No feature updates in the mix: base rows keep their seeded
+        // values, so a migrated row's bytes are checkable by eye.
+        let schedule = ChurnPlan::new(51).ops(200).mix(5, 3, 0).schedule(400, DIM);
+        let mut order = Vec::new();
+        for op in &schedule {
+            coord.apply(&mut cluster, None, op).unwrap();
+            if coord.remerge_due() {
+                coord.remerge(&mut cluster, &mut order, &[]);
+            }
+        }
+        coord.remerge(&mut cluster, &mut order, &[]);
+        let r = coord.planner().report();
+        assert!(r.committed > 0, "refinement must drive physical moves: {r:?}");
+        assert_eq!(r.aborted, 0, "no faults injected, so no aborts: {r:?}");
+        assert_eq!(coord.planner().backlog_len(), 0, "budget covers the backlog");
+        assert!(r.copy_bytes > 0);
+        let total = cluster.total_nodes() as u32;
+        for v in 0..total {
+            assert_eq!(
+                cluster.owner_of(v).unwrap() as u32,
+                coord.assigner().part_of(v).unwrap(),
+                "physical owner of {v} must match the logical map"
+            );
+        }
+        // Migrated base rows read back bitwise through the new placement.
+        let w = cluster.worker_location();
+        let mut checked = 0;
+        for v in (0..400u32).step_by(7) {
+            let (row, _) = cluster.fetch_features(&[v], w).unwrap();
+            assert_eq!(row.to_vec()[0], v as f32, "row {v} after migration");
+            checked += 1;
+        }
+        assert!(checked > 50);
         cleanup(dirs);
     }
 

@@ -321,6 +321,7 @@ const ERR_DEADLINE_EXCEEDED: u8 = 9;
 const ERR_ALL_REPLICAS_FAILED: u8 = 10;
 const ERR_STORAGE: u8 = 11;
 const ERR_TOO_LARGE: u8 = 12;
+const ERR_NOT_OWNER: u8 = 13;
 
 /// The `Malformed` messages the store actually produces. `StoreError::
 /// Malformed` holds a `&'static str`, so the decoder resolves the wire
@@ -363,6 +364,12 @@ const KNOWN_MALFORMED: &[&str] = &[
     "add-node id gap",
     "partial edge ack",
     "node append ack mismatch",
+    "migrate to current owner",
+    "migrate adjacency mismatch",
+    "migrate row dim mismatch",
+    "tombstone before commit",
+    "migrate frame length mismatch",
+    "truncated migrate row",
 ];
 
 /// The `Storage` messages the durable disk tier actually produces, resolved
@@ -393,6 +400,8 @@ const KNOWN_TOO_LARGE: &[&str] = &[
     "edge batch count",
     "add-node row len",
     "node id space",
+    "migrate row len",
+    "migrate neighbor count",
 ];
 
 /// Encode a [`StoreError`] for an `Err` frame payload.
@@ -444,6 +453,11 @@ pub fn encode_store_error(e: &StoreError) -> Bytes {
             buf.put_u8(ERR_TOO_LARGE);
             buf.put_u32_le(what.len() as u32);
             buf.put_slice(what.as_bytes());
+        }
+        StoreError::NotOwner { node, owner } => {
+            buf.put_u8(ERR_NOT_OWNER);
+            buf.put_u32_le(*node);
+            buf.put_u32_le(*owner);
         }
     }
     buf.freeze()
@@ -515,6 +529,11 @@ pub fn decode_store_error(mut buf: Bytes) -> Result<StoreError, NetError> {
                 .copied()
                 .unwrap_or("too large (reported by remote)");
             Ok(StoreError::TooLarge(what))
+        }
+        ERR_NOT_OWNER => {
+            let node = get_u32(&mut buf)?;
+            let owner = get_u32(&mut buf)?;
+            Ok(StoreError::NotOwner { node, owner })
         }
         _ => Err(NetError::Malformed("unknown error code")),
     }
@@ -607,6 +626,10 @@ mod tests {
             StoreError::AllReplicasFailed { node_owner: 2 },
             StoreError::Storage("no disk tier attached"),
             StoreError::TooLarge("feature row payload"),
+            StoreError::NotOwner { node: 12, owner: 2 },
+            StoreError::Malformed("migrate adjacency mismatch"),
+            StoreError::Malformed("tombstone before commit"),
+            StoreError::TooLarge("migrate row len"),
         ];
         for e in all {
             let decoded = decode_store_error(encode_store_error(&e)).unwrap();

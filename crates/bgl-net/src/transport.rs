@@ -16,11 +16,20 @@ use crate::NetError;
 use bgl_obs::Registry;
 use bgl_store::{StoreError, StoreTransport};
 use bytes::Bytes;
+use std::sync::Mutex;
 
 /// A [`StoreTransport`] speaking the bgl-net protocol to one TCP server
 /// per cluster slot.
+///
+/// The client pool sits behind a `Mutex` so the `&self` control-plane
+/// trait methods (`set_down`, `requests_per_server`) can drive it — the
+/// same sharing contract the in-process transport gets from its servers'
+/// interior mutability. Data-path methods take `&mut self` and bypass the
+/// lock entirely.
 pub struct TcpTransport {
-    client: NetClient,
+    client: Mutex<NetClient>,
+    /// Cluster size, fixed at connect time (one address per server slot).
+    num_servers: usize,
     /// Feature dimensionality, learned from the first successful
     /// handshake. Cached so the fetch path never depends on any one
     /// server staying alive just to answer a shape question.
@@ -35,12 +44,16 @@ impl TcpTransport {
         config: NetClientConfig,
         registry: &Registry,
     ) -> Result<TcpTransport, NetError> {
-        Ok(TcpTransport { client: NetClient::new(addrs, config, registry)?, feature_dim: None })
+        Ok(TcpTransport {
+            num_servers: addrs.len(),
+            client: Mutex::new(NetClient::new(addrs, config, registry)?),
+            feature_dim: None,
+        })
     }
 
     /// The underlying pool, for direct pipelining or control access.
     pub fn client_mut(&mut self) -> &mut NetClient {
-        &mut self.client
+        self.client.get_mut().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -50,21 +63,21 @@ impl StoreTransport for TcpTransport {
     }
 
     fn num_servers(&self) -> usize {
-        self.client.num_servers()
+        self.num_servers
     }
 
     fn features_dim(&mut self) -> Result<usize, StoreError> {
         if let Some(dim) = self.feature_dim {
             return Ok(dim);
         }
-        if self.client.num_servers() == 0 {
+        if self.num_servers == 0 {
             return Err(StoreError::EmptyCluster);
         }
         // Any live server can answer the shape question; only fail if
         // every one of them is unreachable.
         let mut last = StoreError::EmptyCluster;
-        for server in 0..self.client.num_servers() {
-            match self.client.handshake(server) {
+        for server in 0..self.num_servers {
+            match self.client_mut().handshake(server) {
                 Ok(ack) => {
                     let dim = ack.feature_dim as usize;
                     self.feature_dim = Some(dim);
@@ -77,19 +90,21 @@ impl StoreTransport for TcpTransport {
     }
 
     fn call(&mut self, to: usize, frame: Bytes) -> Result<Bytes, StoreError> {
-        if to >= self.client.num_servers() {
+        if to >= self.num_servers {
             return Err(StoreError::InvalidServer(to));
         }
-        self.client
+        self.client_mut()
             .request(to, frame)
             .map_err(|e| e.into_store_error(to))
     }
 
-    fn set_down(&mut self, server: usize, down: bool) -> Result<(), StoreError> {
-        if server >= self.client.num_servers() {
+    fn set_down(&self, server: usize, down: bool) -> Result<(), StoreError> {
+        if server >= self.num_servers {
             return Err(StoreError::InvalidServer(server));
         }
         self.client
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
             .control(server, ControlOp::SetDown(down))
             .map(|_| ())
             .map_err(|e| e.into_store_error(server))
@@ -100,19 +115,19 @@ impl StoreTransport for TcpTransport {
         replication: usize,
         num_servers: usize,
     ) -> Result<(), StoreError> {
-        for server in 0..self.client.num_servers() {
-            self.client
+        for server in 0..self.num_servers {
+            self.client_mut()
                 .control(server, ControlOp::SetReplication { replication, num_servers })
                 .map_err(|e| e.into_store_error(server))?;
         }
         Ok(())
     }
 
-    fn requests_per_server(&mut self) -> Result<Vec<u64>, StoreError> {
-        let mut out = Vec::with_capacity(self.client.num_servers());
-        for server in 0..self.client.num_servers() {
-            let stats = self
-                .client
+    fn requests_per_server(&self) -> Result<Vec<u64>, StoreError> {
+        let mut out = Vec::with_capacity(self.num_servers);
+        let mut client = self.client.lock().unwrap_or_else(|p| p.into_inner());
+        for server in 0..self.num_servers {
+            let stats = client
                 .control(server, ControlOp::Stats)
                 .map_err(|e| e.into_store_error(server))?
                 .ok_or(StoreError::Malformed("stats reply missing"))?;

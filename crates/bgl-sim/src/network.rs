@@ -85,6 +85,9 @@ pub struct RobustnessStats {
     pub degraded_batches: u64,
     /// Individual feature rows served as zeros.
     pub degraded_rows: u64,
+    /// Requests re-routed after a `NotOwner` hint (stale owner map chased
+    /// a migrated node; the hint redirected it instead of hanging).
+    pub redirects: u64,
     /// Simulated time spent waiting in retry backoff.
     pub backoff_time: SimTime,
     /// Simulated time from a breaker opening until it closed again.
@@ -103,6 +106,7 @@ impl RobustnessStats {
         self.breaker_probes += other.breaker_probes;
         self.degraded_batches += other.degraded_batches;
         self.degraded_rows += other.degraded_rows;
+        self.redirects += other.redirects;
         self.backoff_time += other.backoff_time;
         self.recovery_time += other.recovery_time;
     }

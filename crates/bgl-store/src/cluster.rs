@@ -57,6 +57,14 @@ pub struct SampleTiming {
     pub remote_requests: u64,
 }
 
+/// Redirect budget per logical operation: each `NotOwner` hint teaches the
+/// cluster one node's new owner and retries the operation, so the budget
+/// bounds how many *stale* nodes one batch may chase. Migration is
+/// rate-limited (bounded moves per re-merge period), so staleness per
+/// batch is small; the cap only exists to turn a routing contradiction
+/// (a server redirecting in a cycle) into an error instead of a hang.
+const MAX_REDIRECTS: u32 = 16;
+
 /// A distributed graph store: one server per partition, reached through a
 /// [`StoreTransport`] (in-process by default, TCP via `bgl-net`).
 pub struct StoreCluster {
@@ -65,6 +73,11 @@ pub struct StoreCluster {
     /// Owners of nodes appended by ingest (`owner_ext[i]` is the primary
     /// of node `owner.len() + i`), mirroring the servers' own extensions.
     owner_ext: Vec<u32>,
+    /// Per-node owner overrides learned from committed migrations — either
+    /// driven by this cluster ([`StoreCluster::migrate_node`]) or taught by
+    /// a server's `NotOwner` redirect. Consulted before the base map and
+    /// the ingest extension, mirroring the servers' own override maps.
+    owner_override: HashMap<NodeId, u32>,
     net: NetworkModel,
     /// Cumulative traffic across all operations.
     pub ledger: TrafficLedger,
@@ -118,6 +131,7 @@ impl StoreCluster {
             transport,
             owner,
             owner_ext: Vec::new(),
+            owner_override: HashMap::new(),
             net,
             ledger: TrafficLedger::default(),
             replication: 1,
@@ -240,9 +254,14 @@ impl StoreCluster {
         self.replication
     }
 
-    /// The server owning node `v` (its primary) — base partition map for
-    /// frozen ids, the ingest extension for appended ones.
+    /// The server owning node `v` (its primary) — the migration override
+    /// first (committed moves trump every static map), then the base
+    /// partition map for frozen ids, the ingest extension for appended
+    /// ones.
     pub fn owner_of(&self, v: NodeId) -> Result<usize, StoreError> {
+        if let Some(&o) = self.owner_override.get(&v) {
+            return Ok(o as usize);
+        }
         let base = self.owner.len();
         let slot = if (v as usize) < base {
             self.owner.get(v as usize)
@@ -264,7 +283,7 @@ impl StoreCluster {
         Ok(self.replica_chain(primary))
     }
 
-    fn replica_chain(&self, primary: usize) -> Vec<usize> {
+    pub(crate) fn replica_chain(&self, primary: usize) -> Vec<usize> {
         let k = self.transport.num_servers();
         if k == 0 {
             return Vec::new();
@@ -280,14 +299,62 @@ impl StoreCluster {
 
     /// Failure injection: take a server down / bring it back (app-level —
     /// over TCP the server keeps its sockets and rejects requests).
-    pub fn set_server_down(&mut self, server: usize, down: bool) -> Result<(), StoreError> {
+    /// `&self`: serve, ingest and migration paths share the cluster
+    /// without exclusive borrows.
+    pub fn set_server_down(&self, server: usize, down: bool) -> Result<(), StoreError> {
         self.transport.set_down(server, down)
     }
 
     /// Per-server request counts (sampling load balance, Table 3's cause).
     /// A transport that cannot reach its servers reports zeros.
-    pub fn requests_per_server(&mut self) -> Vec<u64> {
+    pub fn requests_per_server(&self) -> Vec<u64> {
         self.transport.requests_per_server().unwrap_or_default()
+    }
+
+    /// Record that `node` now lives on `owner` (a committed migration),
+    /// without counting a redirect — the planner's own commits and repair
+    /// go through here.
+    pub(crate) fn hint_owner(&mut self, node: NodeId, owner: u32) {
+        self.owner_override.insert(node, owner);
+    }
+
+    /// Learn a server's `NotOwner` hint: adopt the authoritative owner and
+    /// account the redirect in the robustness trace.
+    pub fn learn_owner(&mut self, node: NodeId, owner: u32) {
+        self.hint_owner(node, owner);
+        self.robustness.redirects += 1;
+        self.events.push(RobustEvent::Redirected { node, owner });
+    }
+
+    /// Run `op`, chasing `NotOwner` redirects: each hint teaches the
+    /// cluster one node's post-migration owner, then the whole operation
+    /// retries against the corrected map. Bounded by [`MAX_REDIRECTS`] so
+    /// a contradictory redirect cycle errors instead of hanging.
+    fn redirecting<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut redirects = 0u32;
+        loop {
+            match op(self) {
+                Err(StoreError::NotOwner { node, owner }) if redirects < MAX_REDIRECTS => {
+                    self.learn_owner(node, owner);
+                    redirects += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Observability seam for sibling modules (the migration driver).
+    pub(crate) fn obs(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    /// Mirror the robustness counters and wire ledger into the attached
+    /// registry (no-op when none is attached).
+    pub(crate) fn publish_metrics(&mut self) {
+        self.metrics.publish(&self.robustness, &self.ledger);
     }
 
     /// One request attempt from location `from` to server `to`: the fault
@@ -357,7 +424,7 @@ impl StoreCluster {
     /// breakers gating each server, all under the retry deadline. Returns
     /// the response and the total simulated time this logical request
     /// consumed (wire + backoff across every attempt).
-    fn rpc_robust(
+    pub(crate) fn rpc_robust(
         &mut self,
         from: usize,
         primary: usize,
@@ -436,7 +503,7 @@ impl StoreCluster {
     /// One logical request to exactly `srv` — retry ladder only, NO
     /// failover. The write path uses this: an update must land on the
     /// named replica itself, not on whoever else answers.
-    fn rpc_retrying(
+    pub(crate) fn rpc_retrying(
         &mut self,
         from: usize,
         srv: usize,
@@ -487,7 +554,7 @@ impl StoreCluster {
         from: usize,
     ) -> Result<(u32, SimTime), StoreError> {
         let span = self.metrics.registry().span("store.update_features");
-        let result = self.update_features_inner(nodes, rows, from);
+        let result = self.redirecting(|c| c.update_features_inner(nodes, rows, from));
         self.metrics.publish(&self.robustness, &self.ledger);
         span.end();
         result
@@ -556,6 +623,19 @@ impl StoreCluster {
     /// from the first server's ack — a server that already held part of a
     /// retried batch reports more rejects, which is the idempotence
     /// working, not divergence.
+    ///
+    /// **Partial-broadcast invariant.** Write-all is *not* atomic across
+    /// servers: when the broadcast fails at server `k > 0`, servers
+    /// `0..k` have already applied the batch and keep it — there is no
+    /// rollback. What makes this safe is idempotent re-apply: broadcasting
+    /// the identical request again converges every server to the same
+    /// state without double-counting (an edge already present is a counted
+    /// rejection, never a second arc; a node append with the same id is a
+    /// re-ack; a feature update is a full-row overwrite). A failed
+    /// broadcast therefore leaves the cluster *behind*, never *diverged*
+    /// beyond re-apply — the caller retries the same batch until every
+    /// server acks, and the first server's rising reject count is the
+    /// proof the invariant held.
     pub fn ingest_add_edges(
         &mut self,
         edges: &[(NodeId, NodeId)],
@@ -686,7 +766,7 @@ impl StoreCluster {
         home: usize,
     ) -> Result<(MiniBatch, SampleTiming), StoreError> {
         let span = self.metrics.registry().span("store.sample_batch");
-        let result = self.sample_batch_inner(fanouts, seeds, home, None);
+        let result = self.redirecting(|c| c.sample_batch_inner(fanouts, seeds, home, None));
         self.metrics.publish(&self.robustness, &self.ledger);
         span.end();
         result
@@ -706,7 +786,7 @@ impl StoreCluster {
         salt: u64,
     ) -> Result<(MiniBatch, SampleTiming), StoreError> {
         let span = self.metrics.registry().span("store.sample_batch");
-        let result = self.sample_batch_inner(fanouts, seeds, home, Some(salt));
+        let result = self.redirecting(|c| c.sample_batch_inner(fanouts, seeds, home, Some(salt)));
         self.metrics.publish(&self.robustness, &self.ledger);
         span.end();
         result
@@ -800,7 +880,7 @@ impl StoreCluster {
         from: usize,
     ) -> Result<(FeatureBlock, SimTime), StoreError> {
         let span = self.metrics.registry().span("store.fetch_features");
-        let result = self.fetch_features_inner(nodes, from);
+        let result = self.redirecting(|c| c.fetch_features_inner(nodes, from));
         self.metrics.publish(&self.robustness, &self.ledger);
         span.end();
         result
@@ -1439,6 +1519,89 @@ mod tests {
         for dir in dirs {
             std::fs::remove_dir_all(dir).ok();
         }
+    }
+
+    #[test]
+    fn partial_broadcast_reapply_converges_without_double_counting() {
+        // The partial-broadcast invariant (see `ingest_add_edges` docs):
+        // write-all failing at server k>0 leaves servers 0..k applied, and
+        // idempotent re-apply of the identical batch converges every view.
+        let (g, mut cluster) = setup(2);
+        let w = cluster.worker_location();
+        let u: NodeId = 0;
+        let v = (1..200u32).find(|&v| !g.has_edge(u, v)).unwrap();
+        let base_edges = cluster.in_process_server(0).unwrap().num_edges();
+        let base_nodes = cluster.total_nodes();
+        // Server 1 dies mid-broadcast: server 0 already applied the edge.
+        cluster.set_server_down(1, true).unwrap();
+        assert_eq!(
+            cluster.ingest_add_edges(&[(u, v)], w).unwrap_err(),
+            StoreError::ServerDown(1)
+        );
+        assert_eq!(cluster.in_process_server(0).unwrap().num_edges(), base_edges + 2);
+        assert_eq!(cluster.in_process_server(1).unwrap().num_edges(), base_edges);
+        // Re-apply the identical batch: server 0 counts a rejection (the
+        // idempotence working), server 1 applies, views converge.
+        cluster.set_server_down(1, false).unwrap();
+        let (applied, rejected, _) = cluster.ingest_add_edges(&[(u, v)], w).unwrap();
+        assert_eq!((applied, rejected), (0, 1));
+        for i in 0..2 {
+            assert_eq!(
+                cluster.in_process_server(i).unwrap().num_edges(),
+                base_edges + 2,
+                "server {} converged with exactly one copy of the edge",
+                i
+            );
+        }
+        // Node appends hold the same invariant: the id is not consumed on
+        // a failed broadcast, so the retry re-acks on server 0 and applies
+        // on server 1 — no double append, no id gap.
+        cluster.set_server_down(1, true).unwrap();
+        assert_eq!(
+            cluster.ingest_add_node(0, &[5.0; 4], w).unwrap_err(),
+            StoreError::ServerDown(1)
+        );
+        assert_eq!(cluster.total_nodes(), base_nodes, "routing map did not grow");
+        cluster.set_server_down(1, false).unwrap();
+        let (id, _) = cluster.ingest_add_node(0, &[5.0; 4], w).unwrap();
+        assert_eq!(id as usize, base_nodes);
+        for i in 0..2 {
+            assert_eq!(cluster.in_process_server(i).unwrap().num_nodes(), base_nodes + 1);
+        }
+        assert_eq!(cluster.total_nodes(), base_nodes + 1);
+    }
+
+    #[test]
+    fn stale_owner_map_redirects_instead_of_hanging() {
+        let (_, mut cluster) = setup(2);
+        let v: NodeId = 1; // round-robin: owned by server 1
+        // Flip ownership behind the cluster's back (as a peer planner
+        // would): both servers commit v → server 0, this cluster's map
+        // stays stale.
+        let commit = Message::CommitMigrateReq { node: v, owner: 0 }.encode().unwrap();
+        for i in 0..2 {
+            cluster.in_process_server(i).unwrap().handle(commit.clone()).unwrap();
+        }
+        assert_eq!(cluster.owner_of(v).unwrap(), 1, "map is stale");
+        // The stale fetch hits server 1, learns the NotOwner hint, and
+        // lands on server 0 — one redirect, no hang, no error.
+        let w = cluster.worker_location();
+        let (rows, _) = cluster.fetch_features(&[v], w).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(cluster.robustness.redirects, 1);
+        assert!(cluster
+            .events
+            .iter()
+            .any(|e| matches!(e, RobustEvent::Redirected { node: 1, owner: 0 })));
+        assert_eq!(cluster.owner_of(v).unwrap(), 0, "the hint stuck");
+        // Sampling takes the same redirect path with a fresh stale node.
+        let commit = Message::CommitMigrateReq { node: 3, owner: 0 }.encode().unwrap();
+        for i in 0..2 {
+            cluster.in_process_server(i).unwrap().handle(commit.clone()).unwrap();
+        }
+        let (mb, _) = cluster.sample_batch(&[2], &[3], 0).unwrap();
+        assert_eq!(mb.seeds, vec![3]);
+        assert_eq!(cluster.robustness.redirects, 2);
     }
 
     #[test]

@@ -131,6 +131,9 @@ pub enum RobustEvent {
     BreakerClosed { server: usize },
     /// A feature group fell back to zero rows.
     Degraded { server: usize, rows: u64 },
+    /// A `NotOwner` hint taught the cluster that `node` now lives on
+    /// `owner`; the request was re-routed there.
+    Redirected { node: u32, owner: u32 },
 }
 
 /// Executes a [`FaultPlan`] against the live request stream.

@@ -44,6 +44,7 @@ pub mod cluster;
 pub mod disk;
 pub mod fault;
 pub mod health;
+pub mod migrate;
 pub mod obs;
 pub mod pager;
 pub mod retry;
@@ -57,6 +58,7 @@ pub use bufpool::{BufPoolStats, BufferPool, DiskPolicyKind, Replacer};
 pub use cluster::{SampleTiming, StoreCluster};
 pub use fault::{FaultInjector, FaultPlan, RobustEvent};
 pub use health::{BreakerState, CircuitBreaker};
+pub use migrate::{MigratePhase, Migration};
 pub use pager::{DiskError, IoFault, IoFaultInjector, IoFaultPlan, Pager, ShadowFile};
 pub use retry::RetryPolicy;
 pub use server::GraphStoreServer;
@@ -77,6 +79,13 @@ pub enum StoreError {
     CorruptFrame(usize),
     /// A request named a node the server does not own (or replicate).
     NotOwned { node: u32, server: usize },
+    /// The node migrated away and the server knows the new owner: `owner`
+    /// is the server's authoritative view after a committed migration.
+    /// Not transient (a blind same-server retry repeats the failure) but
+    /// *redirectable*: the cluster learns the hint and re-routes, so
+    /// in-flight requests chasing a stale owner map converge instead of
+    /// hanging.
+    NotOwner { node: u32, owner: u32 },
     /// A frame failed to decode (protocol-level corruption or misuse).
     Malformed(&'static str),
     /// A value does not fit its wire/header field (e.g. a batch larger
@@ -127,6 +136,9 @@ impl fmt::Display for StoreError {
             StoreError::NotOwned { node, server } => {
                 write!(f, "node {} is not owned by server {}", node, server)
             }
+            StoreError::NotOwner { node, owner } => {
+                write!(f, "node {} migrated; current owner is server {}", node, owner)
+            }
             StoreError::Malformed(what) => write!(f, "malformed frame: {}", what),
             StoreError::TooLarge(what) => {
                 write!(f, "value does not fit wire field: {}", what)
@@ -161,6 +173,7 @@ mod tests {
         assert!(StoreError::RequestDropped(1).is_transient());
         assert!(StoreError::CorruptFrame(2).is_transient());
         assert!(!StoreError::NotOwned { node: 3, server: 0 }.is_transient());
+        assert!(!StoreError::NotOwner { node: 3, owner: 1 }.is_transient());
         assert!(!StoreError::Malformed("x").is_transient());
         assert!(!StoreError::InvalidNode(9).is_transient());
         assert!(!StoreError::InvalidServer(9).is_transient());

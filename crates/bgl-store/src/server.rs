@@ -18,6 +18,7 @@ use crate::StoreError;
 use bgl_graph::{Csr, DynamicGraph, FeatureStore, NodeId};
 use bytes::Bytes;
 use rand::prelude::*;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -59,6 +60,17 @@ pub struct GraphStoreServer {
     /// Optional durable disk tier. When attached, feature reads go through
     /// its buffer pool and feature updates go WAL-first (DESIGN.md §14).
     disk: Mutex<Option<DurableFeatures>>,
+    /// Committed migration owner flips, overriding the shared base map
+    /// (and `owner_ext`). Consulted *first* by [`owner_primary`], so
+    /// `serves` reflects a migration the moment its commit lands here.
+    /// Journaled to the WAL before insertion when a tier is attached.
+    ///
+    /// [`owner_primary`]: GraphStoreServer::owner_primary
+    owner_override: RwLock<HashMap<NodeId, u32>>,
+    /// Nodes whose source copy this server retired after a committed
+    /// migration (phase 4). Logical retirement: `serves` already rejects
+    /// post-commit; the set keeps retirement idempotent across retries.
+    tombstoned: RwLock<HashSet<NodeId>>,
 }
 
 /// Flatten a [`DiskError`] into the store's wire-expressible error space.
@@ -101,12 +113,27 @@ impl GraphStoreServer {
             requests_served: AtomicU64::new(0),
             nodes_sampled: AtomicU64::new(0),
             disk: Mutex::new(None),
+            owner_override: RwLock::new(HashMap::new()),
+            tombstoned: RwLock::new(HashSet::new()),
         }
     }
 
     /// Attach a durable disk tier: feature reads now come from its buffer
-    /// pool, and feature updates are accepted, WAL-first.
+    /// pool, and feature updates are accepted, WAL-first. Owner flips and
+    /// tombstones the tier's WAL replayed are folded back into the live
+    /// maps, so a crashed server rejoins with its post-migration view
+    /// wherever its tier reattaches.
     pub fn attach_disk_tier(&self, tier: DurableFeatures) {
+        {
+            let mut ov = self.owner_override.write().unwrap_or_else(|p| p.into_inner());
+            for &(node, owner) in tier.pending_owner_sets() {
+                ov.insert(node, owner);
+            }
+            let mut ts = self.tombstoned.write().unwrap_or_else(|p| p.into_inner());
+            for &(node, _) in tier.pending_tombstones() {
+                ts.insert(node);
+            }
+        }
         *self.disk.lock().unwrap_or_else(|p| p.into_inner()) = Some(tier);
     }
 
@@ -169,9 +196,18 @@ impl GraphStoreServer {
         self.nodes_sampled.load(Ordering::Relaxed)
     }
 
-    /// Primary owner of `v`, consulting the frozen base map first and the
+    /// Primary owner of `v`: the migration override map first (committed
+    /// moves beat every static map), then the frozen base map, then the
     /// ingest extension for appended ids.
     fn owner_primary(&self, v: NodeId) -> Option<u32> {
+        if let Some(&o) = self
+            .owner_override
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&v)
+        {
+            return Some(o);
+        }
         let base = self.owner.len();
         if (v as usize) < base {
             self.owner.get(v as usize).copied()
@@ -182,6 +218,37 @@ impl GraphStoreServer {
                 .get(v as usize - base)
                 .copied()
         }
+    }
+
+    /// This server's authoritative owner view for `v` — what `OwnerReq`
+    /// answers and what repair trusts.
+    pub fn owner_view(&self, v: NodeId) -> Option<u32> {
+        self.owner_primary(v)
+    }
+
+    /// Whether this server holds a committed migration override for `v`.
+    pub fn owner_override_of(&self, v: NodeId) -> Option<u32> {
+        self.owner_override
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&v)
+            .copied()
+    }
+
+    /// Whether this server tombstoned its source copy of `v`.
+    pub fn is_tombstoned(&self, v: NodeId) -> bool {
+        self.tombstoned.read().unwrap_or_else(|p| p.into_inner()).contains(&v)
+    }
+
+    /// The serve-check failure for `v`: a [`StoreError::NotOwner`] carrying
+    /// the post-migration owner when this server committed a move for `v`
+    /// (the hint lets clients redirect without another RPC), else the
+    /// classic [`StoreError::NotOwned`].
+    fn not_served_err(&self, v: NodeId) -> StoreError {
+        if let Some(owner) = self.owner_override_of(v) {
+            return StoreError::NotOwner { node: v, owner };
+        }
+        StoreError::NotOwned { node: v, server: self.id }
     }
 
     /// Total nodes this server knows about (frozen base + ingest appends).
@@ -257,7 +324,7 @@ impl GraphStoreServer {
                 let mut lists = Vec::with_capacity(nodes.len());
                 for &v in &nodes {
                     if !self.serves(v) {
-                        return Err(StoreError::NotOwned { node: v, server: self.id });
+                        return Err(self.not_served_err(v));
                     }
                     lists.push(self.sample_neighbors(&mut rng, &g, &mut scratch, v, fanout as usize));
                 }
@@ -274,7 +341,7 @@ impl GraphStoreServer {
                 let mut lists = Vec::with_capacity(nodes.len());
                 for &v in &nodes {
                     if !self.serves(v) {
-                        return Err(StoreError::NotOwned { node: v, server: self.id });
+                        return Err(self.not_served_err(v));
                     }
                     let mut rng =
                         StdRng::seed_from_u64(crate::wire::mix64(salt, v as u64));
@@ -305,7 +372,7 @@ impl GraphStoreServer {
                     .ok_or(StoreError::Storage("no disk tier attached"))?;
                 for &v in &nodes {
                     if !self.serves(v) {
-                        return Err(StoreError::NotOwned { node: v, server: self.id });
+                        return Err(self.not_served_err(v));
                     }
                 }
                 let base_nodes = self.features.num_nodes();
@@ -394,12 +461,152 @@ impl GraphStoreServer {
                     .push(owner);
                 Message::AddNodeResp { id }.encode()
             }
+            Message::PrepareMigrateReq { node, dest } => {
+                // Phase 1: only the current owner can snapshot a node for
+                // migration, and moving a node onto its own owner is
+                // protocol misuse.
+                if !self.owns(node) {
+                    return Err(self.not_served_err(node));
+                }
+                if dest as usize == self.id {
+                    return Err(StoreError::Malformed("migrate to current owner"));
+                }
+                let num_servers = self.num_servers.load(Ordering::Relaxed);
+                if num_servers > 0 && dest as usize >= num_servers {
+                    return Err(StoreError::InvalidServer(dest as usize));
+                }
+                let (_, row) = self.gather_rows(&[node])?;
+                let mut neighbors = Vec::new();
+                {
+                    let g = self.graph.read().unwrap_or_else(|p| p.into_inner());
+                    match g.clean_neighbors(node) {
+                        Some(s) => neighbors.extend_from_slice(s),
+                        None => g.neighbors_into(node, &mut neighbors),
+                    }
+                }
+                Message::PrepareMigrateResp { node, owner: self.id as u32, row, neighbors }
+                    .encode()
+            }
+            Message::MigrateCopyReq { node, dest: _, row, neighbors } => {
+                // Phase 2: install the authoritative bytes. Deliberately
+                // NOT gated on `serves` — the point is to land data on a
+                // chain that does not serve the node yet, and the write is
+                // inert until a commit makes it visible. Idempotent: a
+                // re-copy overwrites with the same bytes.
+                let dim = self.features.dim();
+                if row.len() != dim {
+                    return Err(StoreError::Malformed("migrate row dim mismatch"));
+                }
+                {
+                    // Cross-check the shipped adjacency against the local
+                    // merged view: every server applied the same broadcast
+                    // mutation stream, so a disagreement means a corrupt
+                    // frame or a protocol bug — refuse the copy.
+                    let g = self.graph.read().unwrap_or_else(|p| p.into_inner());
+                    if (node as usize) >= g.num_nodes() {
+                        return Err(StoreError::InvalidNode(node));
+                    }
+                    let mut local = Vec::new();
+                    match g.clean_neighbors(node) {
+                        Some(s) => local.extend_from_slice(s),
+                        None => g.neighbors_into(node, &mut local),
+                    }
+                    let mut shipped = neighbors.clone();
+                    shipped.sort_unstable();
+                    local.sort_unstable();
+                    if shipped != local {
+                        return Err(StoreError::Malformed("migrate adjacency mismatch"));
+                    }
+                }
+                let base_nodes = self.features.num_nodes();
+                let mut disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
+                if (node as usize) < base_nodes {
+                    // Base rows diverge only through the durable tier (the
+                    // in-RAM base image is immutable), so that is the only
+                    // thing a copy must refresh.
+                    if let Some(tier) = disk.as_mut() {
+                        tier.update_row(node, &row).map_err(storage_err)?;
+                    }
+                } else {
+                    // Appended rows live in the per-server overlay: journal
+                    // (when durable) and refresh it so this chain serves
+                    // the source's exact bytes after commit.
+                    if let Some(tier) = disk.as_mut() {
+                        let owner = self.owner_primary(node).unwrap_or(self.id as u32);
+                        tier.append_node(node, owner, &row).map_err(storage_err)?;
+                    }
+                    let mut ext = self.feat_ext.write().unwrap_or_else(|p| p.into_inner());
+                    let at = (node as usize - base_nodes) * dim;
+                    let slot = ext
+                        .get_mut(at..at + dim)
+                        .ok_or(StoreError::InvalidNode(node))?;
+                    slot.copy_from_slice(&row);
+                }
+                Message::MigrateCopyResp { node }.encode()
+            }
+            Message::CommitMigrateReq { node, owner } => {
+                // Phase 3: flip the owner. WAL-journaled before the live
+                // map when durable, so a crashed server replays to the
+                // committed mapping; idempotent so the coordinator can
+                // re-drive a partially-broadcast commit.
+                let num_servers = self.num_servers.load(Ordering::Relaxed);
+                if num_servers > 0 && owner as usize >= num_servers {
+                    return Err(StoreError::InvalidServer(owner as usize));
+                }
+                if self.owner_primary(node).is_none() {
+                    return Err(StoreError::InvalidNode(node));
+                }
+                if self.owner_override_of(node) != Some(owner) {
+                    if let Some(tier) =
+                        self.disk.lock().unwrap_or_else(|p| p.into_inner()).as_mut()
+                    {
+                        tier.set_owner(node, owner).map_err(storage_err)?;
+                    }
+                    self.owner_override
+                        .write()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .insert(node, owner);
+                }
+                Message::CommitMigrateResp { node, owner }.encode()
+            }
+            Message::OwnerReq { node } => {
+                let owner = self.owner_primary(node).ok_or(StoreError::InvalidNode(node))?;
+                Message::OwnerResp { node, owner }.encode()
+            }
+            Message::TombstoneReq { node, old_owner } => {
+                // Phase 4: retire the source copy. Logical retirement —
+                // `serves` already rejects post-commit — journaled for
+                // idempotence across crashes.
+                if !self.is_tombstoned(node) {
+                    if self.owner_override_of(node).is_none() {
+                        // Retiring an authoritative copy would lose the
+                        // node: a tombstone is only legal after the commit
+                        // is visible here.
+                        return Err(StoreError::Malformed("tombstone before commit"));
+                    }
+                    if let Some(tier) =
+                        self.disk.lock().unwrap_or_else(|p| p.into_inner()).as_mut()
+                    {
+                        tier.tombstone(node, old_owner).map_err(storage_err)?;
+                    }
+                    self.tombstoned
+                        .write()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .insert(node);
+                }
+                Message::TombstoneResp { node }.encode()
+            }
             Message::NeighborResp { .. }
             | Message::FeatureResp { .. }
             | Message::FeatureRespF16 { .. }
             | Message::FeatureUpdateResp { .. }
             | Message::AddEdgeResp { .. }
-            | Message::AddNodeResp { .. } => {
+            | Message::AddNodeResp { .. }
+            | Message::PrepareMigrateResp { .. }
+            | Message::MigrateCopyResp { .. }
+            | Message::CommitMigrateResp { .. }
+            | Message::OwnerResp { .. }
+            | Message::TombstoneResp { .. } => {
                 Err(StoreError::Malformed("response sent to server"))
             }
         }
@@ -415,7 +622,7 @@ impl GraphStoreServer {
         let mut disk = self.disk.lock().unwrap_or_else(|p| p.into_inner());
         for &v in nodes {
             if !self.serves(v) {
-                return Err(StoreError::NotOwned { node: v, server: self.id });
+                return Err(self.not_served_err(v));
             }
             if (v as usize) >= base_nodes {
                 let ext = self.feat_ext.read().unwrap_or_else(|p| p.into_inner());
@@ -791,6 +998,97 @@ mod tests {
         // Folding keeps the last row per id.
         assert_eq!(tier.pending_nodes().last().unwrap(), &(100, 0, vec![70.0; 4]));
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn migration_phases_flip_ownership_and_stay_idempotent() {
+        let (g, f, owner) = setup(2);
+        let s0 = GraphStoreServer::new(0, g.clone(), f.clone(), owner.clone(), 7);
+        let s1 = GraphStoreServer::new(1, g, f, owner, 8);
+        s0.set_replication(1, 2);
+        s1.set_replication(1, 2);
+        let ask = |s: &GraphStoreServer, req: Message| {
+            Message::decode(s.handle(req.encode().unwrap()).unwrap()).unwrap()
+        };
+
+        // Phase 1 on the owner: snapshot row + adjacency for node 2 -> 1.
+        let (row, neighbors) =
+            match ask(&s0, Message::PrepareMigrateReq { node: 2, dest: 1 }) {
+                Message::PrepareMigrateResp { node, owner, row, neighbors } => {
+                    assert_eq!((node, owner), (2, 0));
+                    assert!(!neighbors.is_empty());
+                    (row, neighbors)
+                }
+                other => panic!("unexpected {:?}", other),
+            };
+        // Prepare misuse is typed: non-owners refuse, and so does a
+        // move onto the current owner.
+        assert_eq!(
+            s1.handle(Message::PrepareMigrateReq { node: 2, dest: 0 }.encode().unwrap()),
+            Err(StoreError::NotOwned { node: 2, server: 1 })
+        );
+        assert_eq!(
+            s0.handle(Message::PrepareMigrateReq { node: 2, dest: 0 }.encode().unwrap()),
+            Err(StoreError::Malformed("migrate to current owner"))
+        );
+        // A tombstone before the commit would lose the node.
+        assert_eq!(
+            s0.handle(Message::TombstoneReq { node: 2, old_owner: 0 }.encode().unwrap()),
+            Err(StoreError::Malformed("tombstone before commit"))
+        );
+
+        // Phase 2 on the destination: idempotent (copy twice), and an
+        // adjacency that disagrees with the local view is refused.
+        for _ in 0..2 {
+            assert_eq!(
+                ask(&s1, Message::MigrateCopyReq {
+                    node: 2,
+                    dest: 1,
+                    row: row.clone(),
+                    neighbors: neighbors.clone(),
+                }),
+                Message::MigrateCopyResp { node: 2 }
+            );
+        }
+        assert_eq!(
+            s1.handle(
+                Message::MigrateCopyReq { node: 2, dest: 1, row: row.clone(), neighbors: vec![99] }
+                    .encode()
+                    .unwrap()
+            ),
+            Err(StoreError::Malformed("migrate adjacency mismatch"))
+        );
+
+        // Phase 3 everywhere: both servers flip node 2's owner to 1.
+        for s in [&s0, &s1] {
+            for _ in 0..2 {
+                // Idempotent re-commit re-acks.
+                assert_eq!(
+                    ask(s, Message::CommitMigrateReq { node: 2, owner: 1 }),
+                    Message::CommitMigrateResp { node: 2, owner: 1 }
+                );
+            }
+            assert_eq!(ask(s, Message::OwnerReq { node: 2 }), Message::OwnerResp {
+                node: 2,
+                owner: 1
+            });
+        }
+        assert!(!s0.serves(2) && s1.owns(2));
+        // The stale path now redirects with a hint instead of NotOwned.
+        assert_eq!(
+            s0.handle(Message::FeatureReq { nodes: vec![2] }.encode().unwrap()),
+            Err(StoreError::NotOwner { node: 2, owner: 1 })
+        );
+        assert!(s1.handle(Message::FeatureReq { nodes: vec![2] }.encode().unwrap()).is_ok());
+
+        // Phase 4 on the source: retire, idempotently.
+        for _ in 0..2 {
+            assert_eq!(
+                ask(&s0, Message::TombstoneReq { node: 2, old_owner: 0 }),
+                Message::TombstoneResp { node: 2 }
+            );
+        }
+        assert!(s0.is_tombstoned(2));
     }
 
     /// Satellite: the counters must stay exact when one server is hammered

@@ -113,6 +113,12 @@ pub struct RecoveryReport {
     pub replayed_edges: usize,
     /// Node-append records replayed into [`DurableFeatures::pending_nodes`].
     pub replayed_nodes: usize,
+    /// Committed migration owner flips replayed into
+    /// [`DurableFeatures::pending_owner_sets`].
+    pub replayed_owner_sets: usize,
+    /// Migration tombstones replayed into
+    /// [`DurableFeatures::pending_tombstones`].
+    pub replayed_tombstones: usize,
     /// Torn WAL tail truncated away.
     pub torn_wal_bytes: u64,
     /// Torn page writes redone from the double-write slot.
@@ -132,6 +138,14 @@ pub struct DurableFeatures {
     /// past the pager's fixed range. Replay order is append order, so a
     /// consumer folding these takes the *last* row per id.
     pending_nodes: Vec<(u32, u32, Vec<f32>)>,
+    /// Committed migration owner flips (node, new owner), in commit
+    /// order. Last write per node wins; the server folds these into its
+    /// owner override map on attach.
+    pending_owner_sets: Vec<(u32, u32)>,
+    /// Migration tombstones (node, pre-move owner): the source side
+    /// retired its copy. Kept so a re-sent retire stays an idempotent ack
+    /// across a crash.
+    pending_tombstones: Vec<(u32, u32)>,
     injector: Option<Arc<Mutex<IoFaultInjector>>>,
     metrics: DiskMetrics,
 }
@@ -182,6 +196,8 @@ impl DurableFeatures {
             wal,
             pending_edges: Vec::new(),
             pending_nodes: Vec::new(),
+            pending_owner_sets: Vec::new(),
+            pending_tombstones: Vec::new(),
             injector,
             metrics,
         })
@@ -230,6 +246,8 @@ impl DurableFeatures {
             wal,
             pending_edges: Vec::new(),
             pending_nodes: Vec::new(),
+            pending_owner_sets: Vec::new(),
+            pending_tombstones: Vec::new(),
             injector: injector.clone(),
             metrics: DiskMetrics::attach(&cfg.registry),
         };
@@ -247,6 +265,14 @@ impl DurableFeatures {
                 WalRecord::NodeAppend { node, owner, row } => {
                     tier.pending_nodes.push((*node, *owner, row.clone()));
                     report.replayed_nodes += 1;
+                }
+                WalRecord::OwnerSet { node, owner } => {
+                    tier.pending_owner_sets.push((*node, *owner));
+                    report.replayed_owner_sets += 1;
+                }
+                WalRecord::Tombstone { node, owner } => {
+                    tier.pending_tombstones.push((*node, *owner));
+                    report.replayed_tombstones += 1;
                 }
             }
         }
@@ -325,6 +351,35 @@ impl DurableFeatures {
         &self.pending_nodes
     }
 
+    /// Journal a committed migration owner flip durably. This is the
+    /// migration commit's ack point on a durable server: the override is
+    /// applied in memory only after this returns, so a crash between WAL
+    /// and memory replays to the committed mapping.
+    pub fn set_owner(&mut self, node: u32, owner: u32) -> Result<(), DiskError> {
+        self.wal.append(&WalRecord::OwnerSet { node, owner })?;
+        self.wal.sync()?;
+        self.pending_owner_sets.push((node, owner));
+        Ok(())
+    }
+
+    /// Committed owner flips, in commit order (last write per node wins).
+    pub fn pending_owner_sets(&self) -> &[(u32, u32)] {
+        &self.pending_owner_sets
+    }
+
+    /// Journal the source-side retirement of a migrated node.
+    pub fn tombstone(&mut self, node: u32, owner: u32) -> Result<(), DiskError> {
+        self.wal.append(&WalRecord::Tombstone { node, owner })?;
+        self.wal.sync()?;
+        self.pending_tombstones.push((node, owner));
+        Ok(())
+    }
+
+    /// Tombstoned nodes, in retirement order.
+    pub fn pending_tombstones(&self) -> &[(u32, u32)] {
+        &self.pending_tombstones
+    }
+
     /// Checkpoint: make the paged file catch up with the WAL, then empty
     /// the WAL. Ordering is the crash-safety argument — pages are synced
     /// before the log that covers them is dropped.
@@ -346,7 +401,19 @@ impl DurableFeatures {
                 row: row.clone(),
             })?;
         }
-        if !self.pending_edges.is_empty() || !self.pending_nodes.is_empty() {
+        // Owner flips and tombstones live only in the WAL, like the graph
+        // mutations above — dropping the log would silently un-migrate.
+        for &(node, owner) in &self.pending_owner_sets {
+            self.wal.append(&WalRecord::OwnerSet { node, owner })?;
+        }
+        for &(node, owner) in &self.pending_tombstones {
+            self.wal.append(&WalRecord::Tombstone { node, owner })?;
+        }
+        if !self.pending_edges.is_empty()
+            || !self.pending_nodes.is_empty()
+            || !self.pending_owner_sets.is_empty()
+            || !self.pending_tombstones.is_empty()
+        {
             self.wal.sync()?;
         }
         Ok(())
@@ -593,6 +660,27 @@ mod tests {
             t.pending_nodes(),
             &[(40, 1, vec![8.0, 9.0]), (40, 1, vec![80.0, 90.0])]
         );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn owner_sets_and_tombstones_survive_checkpoint_and_reopen() {
+        let dir = tmp_dir("ownerset");
+        let fs = features(40, 2);
+        {
+            let mut t = DurableFeatures::create(&dir, &fs, small_cfg()).unwrap();
+            t.set_owner(7, 2).unwrap();
+            t.set_owner(9, 1).unwrap();
+            t.tombstone(7, 0).unwrap();
+            // Last-write-wins ordering survives the checkpoint re-log.
+            t.set_owner(7, 3).unwrap();
+            t.checkpoint().unwrap();
+        }
+        let (t, report) = DurableFeatures::open(&dir, small_cfg()).unwrap();
+        assert_eq!(report.replayed_owner_sets, 3);
+        assert_eq!(report.replayed_tombstones, 1);
+        assert_eq!(t.pending_owner_sets(), &[(7, 2), (9, 1), (7, 3)]);
+        assert_eq!(t.pending_tombstones(), &[(7, 0)]);
         std::fs::remove_dir_all(dir).ok();
     }
 

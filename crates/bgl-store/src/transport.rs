@@ -44,14 +44,18 @@ pub trait StoreTransport: Send {
 
     /// Failure injection: mark a server down (app-level; it keeps accepting
     /// transport traffic but rejects every request) or bring it back.
-    fn set_down(&mut self, server: usize, down: bool) -> Result<(), StoreError>;
+    /// `&self`: an atomic-flag write in-process, an internally-synchronized
+    /// control frame over TCP — so serve/ingest/migration paths can share
+    /// the cluster without exclusive borrows.
+    fn set_down(&self, server: usize, down: bool) -> Result<(), StoreError>;
 
     /// Propagate the replication layout to every server.
     fn set_replication(&mut self, replication: usize, num_servers: usize)
         -> Result<(), StoreError>;
 
     /// Per-server request counts (sampling load balance, Table 3's cause).
-    fn requests_per_server(&mut self) -> Result<Vec<u64>, StoreError>;
+    /// `&self` for the same sharing reason as [`StoreTransport::set_down`].
+    fn requests_per_server(&self) -> Result<Vec<u64>, StoreError>;
 
     /// Downcast hook: the in-process transport exposes its servers so
     /// chaos harnesses can attach (and crash) durable disk tiers behind
@@ -114,7 +118,7 @@ impl StoreTransport for InProcessTransport {
             .handle(frame)
     }
 
-    fn set_down(&mut self, server: usize, down: bool) -> Result<(), StoreError> {
+    fn set_down(&self, server: usize, down: bool) -> Result<(), StoreError> {
         self.servers
             .get(server)
             .ok_or(StoreError::InvalidServer(server))?
@@ -133,7 +137,7 @@ impl StoreTransport for InProcessTransport {
         Ok(())
     }
 
-    fn requests_per_server(&mut self) -> Result<Vec<u64>, StoreError> {
+    fn requests_per_server(&self) -> Result<Vec<u64>, StoreError> {
         Ok(self.servers.iter().map(|s| s.requests_served()).collect())
     }
 

@@ -35,6 +35,8 @@ const MAX_RECORD_LEN: u32 = 1 << 24;
 const TAG_FEATURE_UPDATE: u8 = 1;
 const TAG_EDGE_INSERT: u8 = 2;
 const TAG_NODE_APPEND: u8 = 3;
+const TAG_OWNER_SET: u8 = 4;
+const TAG_TOMBSTONE: u8 = 5;
 
 /// One logged update.
 #[derive(Clone, Debug, PartialEq)]
@@ -48,6 +50,15 @@ pub enum WalRecord {
     /// owner and full feature row. Idempotent full-row semantics like
     /// [`WalRecord::FeatureUpdate`]: replay keeps the last row per node.
     NodeAppend { node: u32, owner: u32, row: Vec<f32> },
+    /// A committed owner-map override from a migration: `node` is now
+    /// owned by server `owner`. Journaled before the commit ack so a
+    /// crashed server rejoins with its post-migration owner view.
+    /// Idempotent last-write-wins, like every record here.
+    OwnerSet { node: u32, owner: u32 },
+    /// The source side of a completed migration retired its copy of
+    /// `node` (it was owned by `owner` before the move). Replay keeps the
+    /// tombstone set so a re-sent retire request stays an idempotent ack.
+    Tombstone { node: u32, owner: u32 },
 }
 
 impl WalRecord {
@@ -80,6 +91,20 @@ impl WalRecord {
                 for &x in row {
                     out.extend_from_slice(&x.to_le_bytes());
                 }
+                out
+            }
+            WalRecord::OwnerSet { node, owner } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(TAG_OWNER_SET);
+                out.extend_from_slice(&node.to_le_bytes());
+                out.extend_from_slice(&owner.to_le_bytes());
+                out
+            }
+            WalRecord::Tombstone { node, owner } => {
+                let mut out = Vec::with_capacity(9);
+                out.push(TAG_TOMBSTONE);
+                out.extend_from_slice(&node.to_le_bytes());
+                out.extend_from_slice(&owner.to_le_bytes());
                 out
             }
         }
@@ -131,6 +156,24 @@ impl WalRecord {
                     .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
                     .collect();
                 Ok(WalRecord::NodeAppend { node, owner, row })
+            }
+            TAG_OWNER_SET => {
+                if rest.len() != 8 {
+                    return Err(DiskError::Invariant("WAL owner-set length"));
+                }
+                Ok(WalRecord::OwnerSet {
+                    node: u32::from_le_bytes(rest[0..4].try_into().unwrap()),
+                    owner: u32::from_le_bytes(rest[4..8].try_into().unwrap()),
+                })
+            }
+            TAG_TOMBSTONE => {
+                if rest.len() != 8 {
+                    return Err(DiskError::Invariant("WAL tombstone length"));
+                }
+                Ok(WalRecord::Tombstone {
+                    node: u32::from_le_bytes(rest[0..4].try_into().unwrap()),
+                    owner: u32::from_le_bytes(rest[4..8].try_into().unwrap()),
+                })
             }
             _ => Err(DiskError::Invariant("unknown WAL record tag")),
         }
@@ -308,8 +351,32 @@ mod tests {
             WalRecord::FeatureUpdate { node: 3, row: vec![1.0, -2.5] },
             WalRecord::EdgeInsert { src: 1, dst: 9 },
             WalRecord::NodeAppend { node: 40, owner: 1, row: vec![5.5, -6.5] },
+            WalRecord::OwnerSet { node: 7, owner: 2 },
+            WalRecord::Tombstone { node: 7, owner: 0 },
             WalRecord::FeatureUpdate { node: 0, row: vec![0.0, 7.5] },
         ]
+    }
+
+    #[test]
+    fn migration_records_validate_exact_length() {
+        for (rec, err) in [
+            (WalRecord::OwnerSet { node: 7, owner: 2 }, "WAL owner-set length"),
+            (WalRecord::Tombstone { node: 7, owner: 0 }, "WAL tombstone length"),
+        ] {
+            let payload = rec.encode_payload();
+            assert_eq!(WalRecord::decode_payload(&payload).unwrap(), rec);
+            // A byte short or a byte long is corrupt, not a variant.
+            assert!(matches!(
+                WalRecord::decode_payload(&payload[..payload.len() - 1]),
+                Err(DiskError::Invariant(e)) if e == err
+            ));
+            let mut long = payload.clone();
+            long.push(0);
+            assert!(matches!(
+                WalRecord::decode_payload(&long),
+                Err(DiskError::Invariant(e)) if e == err
+            ));
+        }
     }
 
     #[test]
@@ -322,14 +389,14 @@ mod tests {
                 w.append(&r).unwrap();
                 w.sync().unwrap();
             }
-            assert_eq!(w.stats.appends, 4);
-            assert_eq!(w.stats.syncs, 4);
+            assert_eq!(w.stats.appends, recs().len() as u64);
+            assert_eq!(w.stats.syncs, recs().len() as u64);
         }
         let f = Box::new(RealFile::open(&path).unwrap());
         let (w, rec) = Wal::open(f, Histogram::noop()).unwrap();
         assert_eq!(rec.records, recs());
         assert_eq!(rec.torn_bytes, 0);
-        assert_eq!(w.stats.replayed, 4);
+        assert_eq!(w.stats.replayed, recs().len() as u64);
         std::fs::remove_file(path).ok();
     }
 
@@ -386,7 +453,7 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let f = Box::new(RealFile::open(&path).unwrap());
         let (_, rec) = Wal::open(f, Histogram::noop()).unwrap();
-        assert_eq!(rec.records.len(), 3, "flip in the tail record truncates it");
+        assert_eq!(rec.records.len(), recs().len() - 1, "flip in the tail record truncates it");
         assert!(rec.torn_bytes > 0);
         std::fs::remove_file(path).ok();
     }

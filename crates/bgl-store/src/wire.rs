@@ -33,6 +33,16 @@ const TAG_ADD_EDGE_REQ: u8 = 10;
 const TAG_ADD_EDGE_RESP: u8 = 11;
 const TAG_ADD_NODE_REQ: u8 = 12;
 const TAG_ADD_NODE_RESP: u8 = 13;
+const TAG_PREPARE_MIGRATE_REQ: u8 = 14;
+const TAG_PREPARE_MIGRATE_RESP: u8 = 15;
+const TAG_MIGRATE_COPY_REQ: u8 = 16;
+const TAG_MIGRATE_COPY_RESP: u8 = 17;
+const TAG_COMMIT_MIGRATE_REQ: u8 = 18;
+const TAG_COMMIT_MIGRATE_RESP: u8 = 19;
+const TAG_OWNER_REQ: u8 = 20;
+const TAG_OWNER_RESP: u8 = 21;
+const TAG_TOMBSTONE_REQ: u8 = 22;
+const TAG_TOMBSTONE_RESP: u8 = 23;
 
 /// splitmix64 finalizer: mixes a salt with a node id into a well-spread
 /// RNG seed. Public because the serving path derives per-hop salts with
@@ -88,6 +98,37 @@ pub enum Message {
     AddNodeReq { id: NodeId, owner: u32, row: Vec<f32> },
     /// Ack: echoes the appended (or already-present) node id.
     AddNodeResp { id: NodeId },
+    /// Migration phase 1: ask `node`'s current owner to snapshot the row
+    /// and merged adjacency for a move to server `dest`. Read-only — a
+    /// failure after prepare leaves the old owner authoritative.
+    PrepareMigrateReq { node: NodeId, dest: u32 },
+    /// The authoritative snapshot: the owner's view of the node's full
+    /// feature row and merged (base + delta) adjacency.
+    PrepareMigrateResp { node: NodeId, owner: u32, row: Vec<f32>, neighbors: Vec<NodeId> },
+    /// Migration phase 2: install `node`'s row and adjacency on a member
+    /// of `dest`'s replica chain. Idempotent full-row semantics — a
+    /// re-copy after an ambiguous failure overwrites with the same bytes.
+    /// Inert until commit: visibility is governed by the owner map, so an
+    /// aborted migration leaves these bytes unreachable, not wrong.
+    MigrateCopyReq { node: NodeId, dest: u32, row: Vec<f32>, neighbors: Vec<NodeId> },
+    /// Ack: echoes the copied node id.
+    MigrateCopyResp { node: NodeId },
+    /// Migration phase 3: flip `node`'s owner to `owner` in the server's
+    /// override map (journaled to the WAL before the ack when a durable
+    /// tier is attached). Idempotent: re-committing the same mapping
+    /// re-acks. The source server's commit is the protocol's commit point.
+    CommitMigrateReq { node: NodeId, owner: u32 },
+    /// Ack: echoes the committed mapping.
+    CommitMigrateResp { node: NodeId, owner: u32 },
+    /// Repair probe: ask a server for its authoritative owner of `node`.
+    OwnerReq { node: NodeId },
+    /// The server's current owner view for `node`.
+    OwnerResp { node: NodeId, owner: u32 },
+    /// Migration phase 4: retire the source copy. `old_owner` names the
+    /// server being tombstoned (diagnostic); only legal after commit.
+    TombstoneReq { node: NodeId, old_owner: u32 },
+    /// Ack: echoes the tombstoned node id.
+    TombstoneResp { node: NodeId },
 }
 
 /// Checked narrowing for wire count fields.
@@ -199,6 +240,69 @@ impl Message {
                 buf.put_u8(TAG_ADD_NODE_RESP);
                 buf.put_u32_le(*id);
             }
+            Message::PrepareMigrateReq { node, dest } => {
+                buf.put_u8(TAG_PREPARE_MIGRATE_REQ);
+                buf.put_u32_le(*node);
+                buf.put_u32_le(*dest);
+            }
+            Message::PrepareMigrateResp { node, owner, row, neighbors } => {
+                buf.put_u8(TAG_PREPARE_MIGRATE_RESP);
+                buf.put_u32_le(*node);
+                buf.put_u32_le(*owner);
+                buf.put_u32_le(u32_len(row.len(), "migrate row len")?);
+                for &x in row {
+                    buf.put_f32_le(x);
+                }
+                buf.put_u32_le(u32_len(neighbors.len(), "migrate neighbor count")?);
+                for &v in neighbors {
+                    buf.put_u32_le(v);
+                }
+            }
+            Message::MigrateCopyReq { node, dest, row, neighbors } => {
+                buf.put_u8(TAG_MIGRATE_COPY_REQ);
+                buf.put_u32_le(*node);
+                buf.put_u32_le(*dest);
+                buf.put_u32_le(u32_len(row.len(), "migrate row len")?);
+                for &x in row {
+                    buf.put_f32_le(x);
+                }
+                buf.put_u32_le(u32_len(neighbors.len(), "migrate neighbor count")?);
+                for &v in neighbors {
+                    buf.put_u32_le(v);
+                }
+            }
+            Message::MigrateCopyResp { node } => {
+                buf.put_u8(TAG_MIGRATE_COPY_RESP);
+                buf.put_u32_le(*node);
+            }
+            Message::CommitMigrateReq { node, owner } => {
+                buf.put_u8(TAG_COMMIT_MIGRATE_REQ);
+                buf.put_u32_le(*node);
+                buf.put_u32_le(*owner);
+            }
+            Message::CommitMigrateResp { node, owner } => {
+                buf.put_u8(TAG_COMMIT_MIGRATE_RESP);
+                buf.put_u32_le(*node);
+                buf.put_u32_le(*owner);
+            }
+            Message::OwnerReq { node } => {
+                buf.put_u8(TAG_OWNER_REQ);
+                buf.put_u32_le(*node);
+            }
+            Message::OwnerResp { node, owner } => {
+                buf.put_u8(TAG_OWNER_RESP);
+                buf.put_u32_le(*node);
+                buf.put_u32_le(*owner);
+            }
+            Message::TombstoneReq { node, old_owner } => {
+                buf.put_u8(TAG_TOMBSTONE_REQ);
+                buf.put_u32_le(*node);
+                buf.put_u32_le(*old_owner);
+            }
+            Message::TombstoneResp { node } => {
+                buf.put_u8(TAG_TOMBSTONE_RESP);
+                buf.put_u32_le(*node);
+            }
         }
         Ok(buf.freeze())
     }
@@ -224,6 +328,20 @@ impl Message {
             Message::AddEdgeResp { .. } => 1 + 4 + 4,
             Message::AddNodeReq { row, .. } => 1 + 4 + 4 + 4 + 4 * row.len(),
             Message::AddNodeResp { .. } => 1 + 4,
+            Message::PrepareMigrateReq { .. } => 1 + 4 + 4,
+            Message::PrepareMigrateResp { row, neighbors, .. } => {
+                1 + 4 + 4 + 4 + 4 * row.len() + 4 + 4 * neighbors.len()
+            }
+            Message::MigrateCopyReq { row, neighbors, .. } => {
+                1 + 4 + 4 + 4 + 4 * row.len() + 4 + 4 * neighbors.len()
+            }
+            Message::MigrateCopyResp { .. } => 1 + 4,
+            Message::CommitMigrateReq { .. } => 1 + 4 + 4,
+            Message::CommitMigrateResp { .. } => 1 + 4 + 4,
+            Message::OwnerReq { .. } => 1 + 4,
+            Message::OwnerResp { .. } => 1 + 4 + 4,
+            Message::TombstoneReq { .. } => 1 + 4 + 4,
+            Message::TombstoneResp { .. } => 1 + 4,
         }
     }
 
@@ -362,6 +480,91 @@ impl Message {
                 let id = get_u32(&mut buf, "node id")?;
                 Ok(Message::AddNodeResp { id })
             }
+            TAG_PREPARE_MIGRATE_REQ => {
+                let node = get_u32(&mut buf, "node id")?;
+                let dest = get_u32(&mut buf, "migrate dest")?;
+                if buf.remaining() != 0 {
+                    return Err(StoreError::Malformed("migrate frame length mismatch"));
+                }
+                Ok(Message::PrepareMigrateReq { node, dest })
+            }
+            TAG_PREPARE_MIGRATE_RESP => {
+                let node = get_u32(&mut buf, "node id")?;
+                let owner = get_u32(&mut buf, "migrate owner")?;
+                let n = get_u32(&mut buf, "row len")? as usize;
+                let row = get_floats(&mut buf, n)?;
+                let m = get_u32(&mut buf, "count")? as usize;
+                let neighbors = get_ids(&mut buf, m)?;
+                if buf.remaining() != 0 {
+                    return Err(StoreError::Malformed("migrate frame length mismatch"));
+                }
+                Ok(Message::PrepareMigrateResp { node, owner, row, neighbors })
+            }
+            TAG_MIGRATE_COPY_REQ => {
+                let node = get_u32(&mut buf, "node id")?;
+                let dest = get_u32(&mut buf, "migrate dest")?;
+                let n = get_u32(&mut buf, "row len")? as usize;
+                let row = get_floats(&mut buf, n)?;
+                let m = get_u32(&mut buf, "count")? as usize;
+                let neighbors = get_ids(&mut buf, m)?;
+                if buf.remaining() != 0 {
+                    return Err(StoreError::Malformed("migrate frame length mismatch"));
+                }
+                Ok(Message::MigrateCopyReq { node, dest, row, neighbors })
+            }
+            TAG_MIGRATE_COPY_RESP => {
+                let node = get_u32(&mut buf, "node id")?;
+                if buf.remaining() != 0 {
+                    return Err(StoreError::Malformed("migrate frame length mismatch"));
+                }
+                Ok(Message::MigrateCopyResp { node })
+            }
+            TAG_COMMIT_MIGRATE_REQ => {
+                let node = get_u32(&mut buf, "node id")?;
+                let owner = get_u32(&mut buf, "migrate owner")?;
+                if buf.remaining() != 0 {
+                    return Err(StoreError::Malformed("migrate frame length mismatch"));
+                }
+                Ok(Message::CommitMigrateReq { node, owner })
+            }
+            TAG_COMMIT_MIGRATE_RESP => {
+                let node = get_u32(&mut buf, "node id")?;
+                let owner = get_u32(&mut buf, "migrate owner")?;
+                if buf.remaining() != 0 {
+                    return Err(StoreError::Malformed("migrate frame length mismatch"));
+                }
+                Ok(Message::CommitMigrateResp { node, owner })
+            }
+            TAG_OWNER_REQ => {
+                let node = get_u32(&mut buf, "node id")?;
+                if buf.remaining() != 0 {
+                    return Err(StoreError::Malformed("migrate frame length mismatch"));
+                }
+                Ok(Message::OwnerReq { node })
+            }
+            TAG_OWNER_RESP => {
+                let node = get_u32(&mut buf, "node id")?;
+                let owner = get_u32(&mut buf, "migrate owner")?;
+                if buf.remaining() != 0 {
+                    return Err(StoreError::Malformed("migrate frame length mismatch"));
+                }
+                Ok(Message::OwnerResp { node, owner })
+            }
+            TAG_TOMBSTONE_REQ => {
+                let node = get_u32(&mut buf, "node id")?;
+                let old_owner = get_u32(&mut buf, "migrate owner")?;
+                if buf.remaining() != 0 {
+                    return Err(StoreError::Malformed("migrate frame length mismatch"));
+                }
+                Ok(Message::TombstoneReq { node, old_owner })
+            }
+            TAG_TOMBSTONE_RESP => {
+                let node = get_u32(&mut buf, "node id")?;
+                if buf.remaining() != 0 {
+                    return Err(StoreError::Malformed("migrate frame length mismatch"));
+                }
+                Ok(Message::TombstoneResp { node })
+            }
             _ => Err(StoreError::Malformed("unknown tag")),
         }
     }
@@ -384,6 +587,18 @@ fn get_u32(buf: &mut Bytes, what: &'static str) -> Result<u32, StoreError> {
         return Err(StoreError::Malformed(what));
     }
     Ok(buf.get_u32_le())
+}
+
+fn get_floats(buf: &mut Bytes, n: usize) -> Result<Vec<f32>, StoreError> {
+    if buf.remaining() < n * 4 {
+        return Err(StoreError::Malformed("truncated migrate row"));
+    }
+    // Same preallocation cap discipline as `get_ids`.
+    let mut row = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        row.push(buf.get_f32_le());
+    }
+    Ok(row)
 }
 
 fn get_ids(buf: &mut Bytes, n: usize) -> Result<Vec<NodeId>, StoreError> {
@@ -669,6 +884,86 @@ mod tests {
         assert_eq!(
             Message::decode(bad.freeze()),
             Err(StoreError::Malformed("add-node row mismatch"))
+        );
+    }
+
+    #[test]
+    fn migration_frames_roundtrip() {
+        let msgs = vec![
+            Message::PrepareMigrateReq { node: 7, dest: 2 },
+            Message::PrepareMigrateResp {
+                node: 7,
+                owner: 1,
+                row: vec![1.5, -2.5],
+                neighbors: vec![3, 9, 11],
+            },
+            Message::MigrateCopyReq {
+                node: 7,
+                dest: 2,
+                row: vec![1.5, -2.5],
+                neighbors: vec![3, 9, 11],
+            },
+            Message::MigrateCopyResp { node: 7 },
+            Message::CommitMigrateReq { node: 7, owner: 2 },
+            Message::CommitMigrateResp { node: 7, owner: 2 },
+            Message::OwnerReq { node: 7 },
+            Message::OwnerResp { node: 7, owner: 2 },
+            Message::TombstoneReq { node: 7, old_owner: 1 },
+            Message::TombstoneResp { node: 7 },
+        ];
+        for m in msgs {
+            let enc = m.encode().unwrap();
+            assert_eq!(enc.len(), m.encoded_len(), "{:?}", m);
+            assert_eq!(Message::decode(enc).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn migration_frames_reject_trailing_garbage() {
+        // Fixed-size migration frames validate exact length: a byte of
+        // trailing garbage is protocol corruption, not slack.
+        for m in [
+            Message::CommitMigrateReq { node: 1, owner: 0 },
+            Message::OwnerResp { node: 1, owner: 0 },
+            Message::TombstoneResp { node: 1 },
+            Message::MigrateCopyReq { node: 1, dest: 0, row: vec![0.5], neighbors: vec![2] },
+        ] {
+            let enc = m.encode().unwrap();
+            let mut long = BytesMut::new();
+            long.put_slice(&enc);
+            long.put_u8(0xAB);
+            assert_eq!(
+                Message::decode(long.freeze()),
+                Err(StoreError::Malformed("migrate frame length mismatch")),
+                "{:?}",
+                m
+            );
+        }
+    }
+
+    #[test]
+    fn migrate_copy_truncation_and_huge_counts_fail_fast() {
+        let m = Message::MigrateCopyReq {
+            node: 4,
+            dest: 1,
+            row: vec![1.0, 2.0, 3.0],
+            neighbors: vec![8, 9],
+        };
+        let enc = m.encode().unwrap();
+        // Every proper prefix must fail to decode (no partial successes).
+        for cut in 0..enc.len() {
+            assert!(Message::decode(enc.slice(0..cut)).is_err(), "cut at {}", cut);
+        }
+        // A row length claiming u32::MAX floats with no payload fails fast
+        // without a giant reservation.
+        let mut bad = BytesMut::new();
+        bad.put_u8(TAG_MIGRATE_COPY_REQ);
+        bad.put_u32_le(4);
+        bad.put_u32_le(1);
+        bad.put_u32_le(u32::MAX);
+        assert_eq!(
+            Message::decode(bad.freeze()),
+            Err(StoreError::Malformed("truncated migrate row"))
         );
     }
 

@@ -19,8 +19,13 @@ fn random_ids(rng: &mut StdRng, max_len: usize) -> Vec<u32> {
     (0..n).map(|_| rng.random_range(0..1_000_000)).collect()
 }
 
+fn random_row(rng: &mut StdRng, max_len: usize) -> Vec<f32> {
+    let n = rng.random_range(0..=max_len);
+    (0..n).map(|_| rng.random::<f32>() * 100.0 - 50.0).collect()
+}
+
 fn random_message(rng: &mut StdRng) -> Message {
-    match rng.random_range(0..13u32) {
+    match rng.random_range(0..23u32) {
         0 => Message::NeighborReq {
             fanout: rng.random_range(0..64),
             nodes: random_ids(rng, 40),
@@ -77,6 +82,41 @@ fn random_message(rng: &mut StdRng) -> Message {
             }
         }
         12 => Message::AddNodeResp { id: rng.random_range(0..1_000_000) },
+        13 => Message::PrepareMigrateReq {
+            node: rng.random_range(0..1_000_000),
+            dest: rng.random_range(0..64),
+        },
+        14 => Message::PrepareMigrateResp {
+            node: rng.random_range(0..1_000_000),
+            owner: rng.random_range(0..64),
+            row: random_row(rng, 16),
+            neighbors: random_ids(rng, 30),
+        },
+        15 => Message::MigrateCopyReq {
+            node: rng.random_range(0..1_000_000),
+            dest: rng.random_range(0..64),
+            row: random_row(rng, 16),
+            neighbors: random_ids(rng, 30),
+        },
+        16 => Message::MigrateCopyResp { node: rng.random_range(0..1_000_000) },
+        17 => Message::CommitMigrateReq {
+            node: rng.random_range(0..1_000_000),
+            owner: rng.random_range(0..64),
+        },
+        18 => Message::CommitMigrateResp {
+            node: rng.random_range(0..1_000_000),
+            owner: rng.random_range(0..64),
+        },
+        19 => Message::OwnerReq { node: rng.random_range(0..1_000_000) },
+        20 => Message::OwnerResp {
+            node: rng.random_range(0..1_000_000),
+            owner: rng.random_range(0..64),
+        },
+        21 => Message::TombstoneReq {
+            node: rng.random_range(0..1_000_000),
+            old_owner: rng.random_range(0..64),
+        },
+        22 => Message::TombstoneResp { node: rng.random_range(0..1_000_000) },
         _ => {
             let dim = rng.random_range(1..16u32);
             let n_rows = rng.random_range(0..10usize);
@@ -91,7 +131,7 @@ fn random_message(rng: &mut StdRng) -> Message {
 #[test]
 fn every_variant_roundtrips() {
     let mut rng = StdRng::seed_from_u64(SEED);
-    let mut seen = [0usize; 13];
+    let mut seen = [0usize; 23];
     for _ in 0..CASES {
         let m = random_message(&mut rng);
         seen[match &m {
@@ -108,6 +148,16 @@ fn every_variant_roundtrips() {
             Message::AddEdgeResp { .. } => 10,
             Message::AddNodeReq { .. } => 11,
             Message::AddNodeResp { .. } => 12,
+            Message::PrepareMigrateReq { .. } => 13,
+            Message::PrepareMigrateResp { .. } => 14,
+            Message::MigrateCopyReq { .. } => 15,
+            Message::MigrateCopyResp { .. } => 16,
+            Message::CommitMigrateReq { .. } => 17,
+            Message::CommitMigrateResp { .. } => 18,
+            Message::OwnerReq { .. } => 19,
+            Message::OwnerResp { .. } => 20,
+            Message::TombstoneReq { .. } => 21,
+            Message::TombstoneResp { .. } => 22,
         }] += 1;
         let encoded = m.encode().unwrap();
         assert_eq!(encoded.len(), m.encoded_len(), "encoded_len mismatch for {:?}", m);
@@ -115,7 +165,7 @@ fn every_variant_roundtrips() {
     }
     assert!(
         seen.iter().all(|&c| c > 0),
-        "all thirteen variants must be exercised: {:?}",
+        "all twenty-three variants must be exercised: {:?}",
         seen
     );
 }
@@ -172,6 +222,93 @@ fn ingest_frames_reject_every_truncation_and_cross_format_payloads() {
     let mut edge_as_node = edge.to_vec();
     edge_as_node[0] = node[0];
     assert!(Message::decode(Bytes::from(edge_as_node)).is_err());
+}
+
+/// Migration frames carry the row bytes that crash-recovery correctness
+/// rests on, so they get the exhaustive treatment too: every prefix of
+/// every migration frame errors; every single-bit flip decodes to an error
+/// or a valid message (never a panic); appended garbage is rejected (the
+/// migration decoders are exact-length); and a variable-length payload
+/// under a fixed-length migration tag (and vice versa) is refused, not
+/// reinterpreted.
+#[test]
+fn migration_frames_reject_truncation_bitflips_and_cross_format_payloads() {
+    let frames = [
+        Message::PrepareMigrateReq { node: 9, dest: 2 },
+        Message::PrepareMigrateResp {
+            node: 9,
+            owner: 1,
+            row: vec![1.0, -2.0, 0.25],
+            neighbors: vec![3, 14, 900_000],
+        },
+        Message::MigrateCopyReq {
+            node: 9,
+            dest: 2,
+            row: vec![1.0, -2.0, 0.25],
+            neighbors: vec![3, 14, 900_000],
+        },
+        Message::MigrateCopyResp { node: 9 },
+        Message::CommitMigrateReq { node: 9, owner: 2 },
+        Message::CommitMigrateResp { node: 9, owner: 2 },
+        Message::OwnerReq { node: 9 },
+        Message::OwnerResp { node: 9, owner: 2 },
+        Message::TombstoneReq { node: 9, old_owner: 1 },
+        Message::TombstoneResp { node: 9 },
+    ];
+    let mut rng = StdRng::seed_from_u64(SEED ^ 3);
+    for m in &frames {
+        let encoded = m.encode().unwrap();
+        // Truncation at every offset.
+        for cut in 0..encoded.len() {
+            assert!(
+                Message::decode(encoded.slice(0..cut)).is_err(),
+                "{:?} cut at {} must not decode",
+                m,
+                cut
+            );
+        }
+        // Exact-length discipline: trailing garbage is rejected.
+        let mut long = encoded.to_vec();
+        long.push(0xAB);
+        assert_eq!(
+            Message::decode(Bytes::from(long)).unwrap_err(),
+            bgl_store::StoreError::Malformed("migrate frame length mismatch"),
+            "{:?} with trailing garbage",
+            m
+        );
+        // Bit flips never panic.
+        for _ in 0..16 {
+            let mut corrupted = encoded.to_vec();
+            let pos = rng.random_range(0..corrupted.len());
+            corrupted[pos] ^= 1 << rng.random_range(0..8u32);
+            let _ = Message::decode(Bytes::from(corrupted));
+        }
+        assert_eq!(Message::decode(encoded).unwrap(), *m);
+    }
+    // Cross-format: the variable-length copy payload under every
+    // fixed-length migration tag violates exact length; a fixed-length
+    // payload under the copy tag runs out of bytes for its counts. (The
+    // prepare-resp tag is excluded: it deliberately shares the copy
+    // frame's layout — the snapshot is what gets copied.)
+    let copy = frames[2].encode().unwrap();
+    let prepare_resp_tag = frames[1].encode().unwrap()[0];
+    let fixed = frames[4].encode().unwrap();
+    for other in &frames {
+        let tag = other.encode().unwrap()[0];
+        if tag == copy[0] || tag == prepare_resp_tag {
+            continue;
+        }
+        let mut copy_as_other = copy.to_vec();
+        copy_as_other[0] = tag;
+        assert!(
+            Message::decode(Bytes::from(copy_as_other)).is_err(),
+            "copy payload under tag {} must not decode",
+            tag
+        );
+    }
+    let mut fixed_as_copy = fixed.to_vec();
+    fixed_as_copy[0] = copy[0];
+    assert!(Message::decode(Bytes::from(fixed_as_copy)).is_err());
 }
 
 #[test]

@@ -87,3 +87,16 @@ cargo run --release -p bench --bin figures -- --serve --small --out "$(mktemp -d
 env -u RUST_TEST_THREADS cargo test -q -p bgl-ingest
 env -u RUST_TEST_THREADS cargo test -q --release -p bgl-ingest
 cargo run --release -p bench --bin figures -- --churn --small --out "$(mktemp -d)"
+
+# Live owner migration: the chaos suite kills the source, the destination
+# and bystanders at every protocol phase — in-process and over real TCP
+# under r=2 — then proves recovery to one agreed owner per node, WAL
+# replay of half-done migrations, and a post-migration epoch bitwise
+# identical to a never-migrated cluster. Real sockets and threaded epochs,
+# so uncapped, and once under --release where the epoch comparisons run at
+# full speed. The figures --migrate smoke run sweeps the drain budget at
+# test scale with the zero-lost/zero-dup and physical-tracks-logical
+# edge-cut bands armed.
+env -u RUST_TEST_THREADS cargo test -q -p bgl --test migrate
+env -u RUST_TEST_THREADS cargo test -q --release -p bgl --test migrate
+cargo run --release -p bench --bin figures -- --migrate --small --out "$(mktemp -d)"
